@@ -1,0 +1,423 @@
+// Package repro_test holds the benchmark harness: one testing.B benchmark
+// per paper table and figure (regenerating the experiment at a reduced
+// scale per iteration), the ablation benches from DESIGN.md, and
+// micro-benchmarks of the numerical kernels.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches report wall time for a full (quick-scale)
+// regeneration of each artifact; use cmd/experiments -scale paper for the
+// full-size runs recorded in EXPERIMENTS.md.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/coverage"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/descent"
+	"repro/internal/exp"
+	"repro/internal/geom"
+	"repro/internal/markov"
+	"repro/internal/mat"
+	"repro/internal/mcmc"
+	"repro/internal/rng"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// benchScale keeps each experiment iteration fast while preserving its
+// structure; see exp.Quick for the shape.
+var benchScale = exp.Scale{
+	Runs:        4,
+	OptIters:    150,
+	SimSteps:    5000,
+	SimReps:     2,
+	TracePoints: 10,
+	Seed:        1,
+}
+
+// --- One bench per paper table. ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableI(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableII(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableIII(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableIV(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One bench per paper figure. ---
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.Figure2(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure3(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure4(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.Figure5(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.Figure6(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exp.Figure7(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := exp.Figure8(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations and baselines (DESIGN.md experiment index). ---
+
+func BenchmarkAblationStepSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationStepSize(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNoise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationNoise(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AblationWarmStart(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineMCMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BaselineMCMC(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalysisMixing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableMixing(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalysisDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableDetection(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.TableFleet(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionEnergy(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionEntropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ExtensionEntropy(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the numerical kernels. ---
+
+// benchModel builds the Topology 3 cost model used by the kernel benches.
+func benchModel(b *testing.B) (*cost.Model, *mat.Matrix) {
+	b.Helper()
+	top := topology.Topology3()
+	model, err := cost.NewModel(top, cost.Uniform(top.M(), 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := descent.RandomInit(rng.New(1), top.M(), 1e-7)
+	return model, p
+}
+
+// BenchmarkEvaluate measures one closed-form cost evaluation
+// (π, Z, R solve plus the Eq. 9 terms) on a 4-PoI topology.
+func BenchmarkEvaluate(b *testing.B) {
+	model, p := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Evaluate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGradient measures the analytic Eq. 10 gradient (evaluation
+// plus the O(M³) tensor contractions).
+func BenchmarkGradient(b *testing.B) {
+	model, p := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := model.Gradient(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGradientFiniteDifference measures the finite-difference
+// alternative the analytic gradient replaces: 2·M² central-difference
+// evaluations (ablation A3 — the cost of not having Eq. 10).
+func BenchmarkGradientFiniteDifference(b *testing.B) {
+	model, p := benchModel(b)
+	n := p.Rows()
+	const h = 1e-6
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < n; k++ {
+			for l := 0; l < n; l++ {
+				up := p.Clone()
+				up.Add(k, l, h)
+				dn := p.Clone()
+				dn.Add(k, l, -h)
+				// Renormalize rows to stay stochastic (zero-row-sum pairs).
+				up.Add(k, (l+1)%n, -h)
+				dn.Add(k, (l+1)%n, h)
+				evUp, err := model.Evaluate(up)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evDn, err := model.Evaluate(dn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = (evUp.U - evDn.U) / (2 * h)
+			}
+		}
+	}
+}
+
+// BenchmarkChainSolve measures the Markov substrate: π, Z, Z², R for one
+// 9-state chain.
+func BenchmarkChainSolve(b *testing.B) {
+	p := descent.RandomInit(rng.New(2), 9, 1e-7)
+	chain, err := markov.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationStep measures the Markov walk simulator per
+// transition.
+func BenchmarkSimulationStep(b *testing.B) {
+	top := topology.Topology3()
+	p := descent.RandomInit(rng.New(3), top.M(), 1e-7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sim.Run(sim.Config{
+		Topology: top, P: p, Steps: b.N + 1, Seed: 4, TimeModel: sim.Physical,
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOptimizerIteration measures one perturbed-descent iteration
+// (gradient, noise, line search, acceptance) on Topology 1.
+func BenchmarkOptimizerIteration(b *testing.B) {
+	top := topology.Topology1()
+	model, err := cost.NewModel(top, cost.Uniform(top.M(), 0, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := descent.New(model, descent.Options{
+		Variant:    descent.Perturbed,
+		MaxIters:   b.N,
+		Seed:       5,
+		StallIters: b.N + 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := opt.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRoutePlanning measures the visibility-graph path planner on a
+// field with several obstacles.
+func BenchmarkRoutePlanning(b *testing.B) {
+	planner, err := route.New([]route.Rect{
+		{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4},
+		{MinX: 5, MinY: 0, MaxX: 6, MaxY: 3},
+		{MinX: 1, MinY: 5, MaxX: 3, MaxY: 6},
+		{MinX: 6, MinY: 5, MaxX: 8, MaxY: 6},
+	}, 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := geom.Point{X: 0.5, Y: 0.5}
+	dest := geom.Point{X: 8.5, Y: 6.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Route(a, dest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncidentSimulation measures the Poisson incident overlay per
+// Markov transition.
+func BenchmarkIncidentSimulation(b *testing.B) {
+	top := topology.Topology3()
+	p := descent.RandomInit(rng.New(6), top.M(), 1e-7)
+	rates := []float64{1, 1, 1, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sim.RunIncidents(sim.Config{
+		Topology: top, P: p, Steps: b.N + 1, Seed: 7,
+	}, rates); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkChainAnalysis measures the full ChainAnalysis (SLEM, mixing,
+// moments) on a 4-state chain.
+func BenchmarkChainAnalysis(b *testing.B) {
+	top := topology.Topology1()
+	planner, err := core.NewPlanner(top, cost.Uniform(top.M(), 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := descent.RandomInit(rng.New(8), top.M(), 1e-7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.Analyze(p, core.AnalyzeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetropolisConstruction measures the baseline chain builder.
+func BenchmarkMetropolisConstruction(b *testing.B) {
+	tau := topology.Topology4().Target()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.MetropolisHastings(tau); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicOptimize measures an end-to-end public-API optimization
+// at a small budget.
+func BenchmarkPublicOptimize(b *testing.B) {
+	scn, err := coverage.PaperTopology(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coverage.Optimize(scn,
+			coverage.Objectives{Alpha: 1, Beta: 1e-4},
+			coverage.Options{MaxIters: 50, Seed: uint64(i + 1)},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/coverage"
+)
+
+func TestRunHappyPath(t *testing.T) {
+	if err := run([]string{"-topology", "2", "-alpha", "1", "-beta", "0.01", "-iters", "30", "-seed", "1"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"basic", "adaptive", "perturbed"} {
+		if err := run([]string{"-topology", "1", "-beta", "1", "-algorithm", alg, "-iters", "10"}); err != nil {
+			t.Errorf("algorithm %s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunExtensionFlags(t *testing.T) {
+	if err := run([]string{
+		"-topology", "1", "-iters", "20",
+		"-energy-weight", "1", "-energy-target", "0.2",
+		"-entropy-weight", "0.1",
+	}); err != nil {
+		t.Fatalf("run with extensions: %v", err)
+	}
+}
+
+func TestRunScenarioFileAndSave(t *testing.T) {
+	dir := t.TempDir()
+	scn, err := coverage.PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	scnPath := filepath.Join(dir, "scn.json")
+	if err := coverage.SaveScenario(scnPath, scn); err != nil {
+		t.Fatalf("SaveScenario: %v", err)
+	}
+	planPath := filepath.Join(dir, "plan.json")
+	if err := run([]string{
+		"-scenario", scnPath, "-save", planPath, "-analyze",
+		"-iters", "30", "-beta", "0.01",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	plan, err := coverage.LoadPlan(planPath)
+	if err != nil {
+		t.Fatalf("LoadPlan: %v", err)
+	}
+	if len(plan.TransitionMatrix) != 3 {
+		t.Errorf("saved plan has %d rows", len(plan.TransitionMatrix))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad topology":  {"-topology", "9"},
+		"bad algorithm": {"-algorithm", "magic"},
+		"bad flag":      {"-no-such-flag"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

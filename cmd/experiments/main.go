@@ -1,0 +1,206 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (plus the ablations and extensions listed in DESIGN.md) and
+// prints them as text. Use -scale paper for the published configuration
+// (slow) or the default quick scale for a fast structural reproduction.
+//
+// Usage:
+//
+//	experiments                 # run everything at quick scale
+//	experiments -run tableIII   # one experiment
+//	experiments -scale paper -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// experiment is one runnable unit producing renderable results.
+type experiment struct {
+	name string
+	run  func(exp.Scale) ([]string, error)
+}
+
+// renderMode selects how tables are rendered.
+type renderMode int
+
+const (
+	renderText renderMode = iota
+	renderCSV
+)
+
+// activeMode is set once at startup from the -format flag; experiments
+// run sequentially, so a package-scoped mode is race-free here.
+var activeMode = renderText
+
+// tables wraps a table-producing runner.
+func tables(fn func(exp.Scale) (*exp.Table, error)) func(exp.Scale) ([]string, error) {
+	return func(sc exp.Scale) ([]string, error) {
+		t, err := fn(sc)
+		if err != nil {
+			return nil, err
+		}
+		if activeMode == renderCSV {
+			return []string{t.CSV()}, nil
+		}
+		return []string{t.Render()}, nil
+	}
+}
+
+// figures wraps figure-producing runners of varying arity.
+func figures(fn func(exp.Scale) ([]*exp.Figure, error)) func(exp.Scale) ([]string, error) {
+	return func(sc exp.Scale) ([]string, error) {
+		figs, err := fn(sc)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, 0, len(figs))
+		for _, f := range figs {
+			if activeMode == renderCSV {
+				out = append(out, f.Title+"\n"+f.CSV())
+			} else {
+				out = append(out, f.Render())
+			}
+		}
+		return out, nil
+	}
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"tableI", tables(exp.TableI)},
+		{"tableII", tables(exp.TableII)},
+		{"tableIII", tables(exp.TableIII)},
+		{"tableIV", tables(exp.TableIV)},
+		{"figure2", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			a, b, err := exp.Figure2(sc)
+			return []*exp.Figure{a, b}, err
+		})},
+		{"figure3", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			f, err := exp.Figure3(sc)
+			return []*exp.Figure{f}, err
+		})},
+		{"figure4", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			f, err := exp.Figure4(sc)
+			return []*exp.Figure{f}, err
+		})},
+		{"figure5", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			a, b, err := exp.Figure5(sc)
+			return []*exp.Figure{a, b}, err
+		})},
+		{"figure6", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			a, b, err := exp.Figure6(sc)
+			return []*exp.Figure{a, b}, err
+		})},
+		{"figure7", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			a, b, err := exp.Figure7(sc)
+			return []*exp.Figure{a, b}, err
+		})},
+		{"figure8", figures(func(sc exp.Scale) ([]*exp.Figure, error) {
+			a, b, c, err := exp.Figure8(sc)
+			return []*exp.Figure{a, b, c}, err
+		})},
+		{"baselineMCMC", tables(exp.BaselineMCMC)},
+		{"analysisMixing", tables(exp.TableMixing)},
+		{"analysisDetection", tables(exp.TableDetection)},
+		{"fleet", tables(exp.TableFleet)},
+		{"ablationStepSize", tables(exp.AblationStepSize)},
+		{"ablationNoise", tables(exp.AblationNoise)},
+		{"ablationWarmStart", tables(exp.AblationWarmStart)},
+		{"extensionEnergy", tables(exp.ExtensionEnergy)},
+		{"extensionEntropy", tables(exp.ExtensionEntropy)},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only   = fs.String("run", "", "run only the named experiment (empty = all)")
+		scale  = fs.String("scale", "quick", "compute scale: quick | mid | paper")
+		out    = fs.String("out", "", "also write results to this file")
+		seed   = fs.Uint64("seed", 0, "override the scale's seed (0 = keep)")
+		list   = fs.Bool("list", false, "list experiment names and exit")
+		format = fs.String("format", "text", "table rendering: text | csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		activeMode = renderText
+	case "csv":
+		activeMode = renderCSV
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	exps := registry()
+	if *list {
+		names := make([]string, len(exps))
+		for i, e := range exps {
+			names[i] = e.name
+		}
+		sort.Strings(names)
+		fmt.Fprintln(stdout, strings.Join(names, "\n"))
+		return nil
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.Quick
+	case "mid":
+		sc = exp.Mid
+	case "paper":
+		sc = exp.PaperScale
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	writers := []io.Writer{stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	w := io.MultiWriter(writers...)
+
+	ran := 0
+	for _, e := range exps {
+		if *only != "" && e.name != *only {
+			continue
+		}
+		ran++
+		fmt.Fprintf(w, "=== %s (scale: %s) ===\n", e.name, *scale)
+		blocks, err := e.run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		for _, b := range blocks {
+			fmt.Fprintln(w, b)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment named %q (use -list)", *only)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tableI", "tableIV", "figure2", "figure8", "baselineMCMC", "ablationNoise"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "nope"}, &buf); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &buf); err == nil {
+		t.Error("expected error for unknown scale")
+	}
+}
+
+func TestRunSingleExperimentAndOutFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "res.txt")
+	var buf bytes.Buffer
+	// ablationStepSize is among the cheapest full experiments.
+	if err := run([]string{"-run", "ablationStepSize", "-out", out, "-seed", "3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Ablation A1") {
+		t.Errorf("stdout missing table:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read out file: %v", err)
+	}
+	if !strings.Contains(string(data), "Ablation A1") {
+		t.Error("out file missing table")
+	}
+}
+
+func TestRunFigureExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "figure4"}, &buf); err != nil {
+		t.Fatalf("run figure4: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Errorf("missing figure output:\n%s", buf.String())
+	}
+	// Figures in CSV mode.
+	buf.Reset()
+	if err := run([]string{"-run", "figure4", "-format", "csv"}, &buf); err != nil {
+		t.Fatalf("run figure4 csv: %v", err)
+	}
+	if !strings.Contains(buf.String(), "line,x,y") {
+		t.Errorf("missing csv figure output:\n%s", buf.String())
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "ablationStepSize", "-format", "csv"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "step policy,final U,iterations") {
+		t.Errorf("csv header missing:\n%s", buf.String())
+	}
+	if err := run([]string{"-format", "yaml"}, &buf); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestRegistryCoversPaperArtifacts(t *testing.T) {
+	names := make(map[string]bool)
+	for _, e := range registry() {
+		names[e.name] = true
+	}
+	for _, want := range []string{
+		"tableI", "tableII", "tableIII", "tableIV",
+		"figure2", "figure3", "figure4", "figure5", "figure6", "figure7", "figure8",
+	} {
+		if !names[want] {
+			t.Errorf("registry missing paper artifact %q", want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/coverage"
+)
+
+func TestRunSources(t *testing.T) {
+	for _, src := range []string{"uniform", "mcmc"} {
+		if err := run([]string{
+			"-topology", "2", "-source", src, "-steps", "2000", "-reps", "2",
+		}); err != nil {
+			t.Errorf("source %s: %v", src, err)
+		}
+	}
+}
+
+func TestRunOptimizeSource(t *testing.T) {
+	if err := run([]string{
+		"-topology", "1", "-source", "optimize", "-iters", "30",
+		"-steps", "2000", "-reps", "1",
+	}); err != nil {
+		t.Fatalf("optimize source: %v", err)
+	}
+}
+
+func TestRunExposureModels(t *testing.T) {
+	for _, model := range []string{"step", "physical", "interrupted"} {
+		if err := run([]string{
+			"-topology", "3", "-source", "uniform", "-steps", "2000",
+			"-reps", "1", "-exposure", model,
+		}); err != nil {
+			t.Errorf("exposure %s: %v", model, err)
+		}
+	}
+}
+
+func TestRunPlanFileAndFleet(t *testing.T) {
+	dir := t.TempDir()
+	scn, err := coverage.PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	plan, err := coverage.Optimize(scn, coverage.Objectives{Beta: 1},
+		coverage.Options{MaxIters: 30, Seed: 1})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	planPath := filepath.Join(dir, "plan.json")
+	if err := coverage.SavePlan(planPath, plan); err != nil {
+		t.Fatalf("SavePlan: %v", err)
+	}
+	scnPath := filepath.Join(dir, "scn.json")
+	if err := coverage.SaveScenario(scnPath, scn); err != nil {
+		t.Fatalf("SaveScenario: %v", err)
+	}
+	if err := run([]string{
+		"-scenario", scnPath, "-plan", planPath, "-steps", "2000", "-reps", "1",
+	}); err != nil {
+		t.Fatalf("run with plan file: %v", err)
+	}
+	// Fleet mode.
+	if err := run([]string{
+		"-scenario", scnPath, "-plan", planPath, "-steps", "2000", "-sensors", "3",
+	}); err != nil {
+		t.Fatalf("run fleet: %v", err)
+	}
+	if err := run([]string{"-plan", "/no/such/plan.json"}); err == nil {
+		t.Error("missing plan file should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad topology": {"-topology", "0"},
+		"bad source":   {"-source", "psychic"},
+		"bad exposure": {"-source", "uniform", "-exposure", "imaginary"},
+		"bad flag":     {"-what"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

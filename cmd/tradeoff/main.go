@@ -1,0 +1,111 @@
+// Command tradeoff sweeps the exposure weight β on a scenario and prints
+// the coverage/exposure tradeoff frontier — the paper's Tables I/II as a
+// command. Output is a text table by default, or CSV with -csv for
+// plotting.
+//
+// Usage:
+//
+//	tradeoff -topology 3 -betas 1,1e-2,1e-4,1e-6,0
+//	tradeoff -scenario harbor.json -csv > frontier.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/coverage"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ContinueOnError)
+	var (
+		topo     = fs.Int("topology", 3, "paper topology number (1-4)")
+		scenario = fs.String("scenario", "", "JSON scenario file (overrides -topology)")
+		betaList = fs.String("betas", "1,1e-2,1e-4,1e-6", "comma-separated exposure weights to sweep")
+		alpha    = fs.Float64("alpha", 1, "fixed coverage weight α")
+		iters    = fs.Int("iters", 1500, "optimizer iterations per point")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of a text table")
+		pareto   = fs.Bool("pareto", false, "keep only non-dominated points")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scn coverage.Scenario
+	var err error
+	if *scenario != "" {
+		scn, err = coverage.LoadScenario(*scenario)
+	} else {
+		scn, err = coverage.PaperTopology(*topo)
+	}
+	if err != nil {
+		return err
+	}
+
+	betas, err := parseBetas(*betaList)
+	if err != nil {
+		return err
+	}
+
+	points, err := coverage.TradeoffCurve(scn, coverage.TradeoffOptions{
+		Alpha:    *alpha,
+		Betas:    betas,
+		Optimize: coverage.Options{MaxIters: *iters, Seed: *seed},
+	})
+	if err != nil {
+		return err
+	}
+	if *pareto {
+		points = coverage.ParetoFilter(points)
+	}
+
+	if *csv {
+		fmt.Println("alpha,beta,deltaC,eBar,energy")
+		for _, p := range points {
+			fmt.Printf("%g,%g,%g,%g,%g\n", p.Alpha, p.Beta, p.DeltaC, p.EBar, p.Energy)
+		}
+		return nil
+	}
+	fmt.Printf("tradeoff frontier on %s (α=%g, %d iterations per point)\n\n",
+		scn.Name, *alpha, *iters)
+	fmt.Printf("%-12s %-12s %-12s %-10s\n", "β", "ΔC", "Ē", "travel D")
+	for _, p := range points {
+		fmt.Printf("%-12g %-12.6g %-12.6g %-10.4g\n", p.Beta, p.DeltaC, p.EBar, p.Energy)
+	}
+	return nil
+}
+
+// parseBetas parses a comma-separated list of non-negative floats.
+func parseBetas(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad beta %q: %v", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative beta %v", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no betas given")
+	}
+	return out, nil
+}

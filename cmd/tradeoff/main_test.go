@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseBetas(t *testing.T) {
+	got, err := parseBetas("1, 1e-2 ,0")
+	if err != nil {
+		t.Fatalf("parseBetas: %v", err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 0.01 || got[2] != 0 {
+		t.Errorf("parseBetas = %v", got)
+	}
+	if _, err := parseBetas("x"); err == nil {
+		t.Error("bad float should error")
+	}
+	if _, err := parseBetas("-1"); err == nil {
+		t.Error("negative should error")
+	}
+	if _, err := parseBetas(" , "); err == nil {
+		t.Error("empty list should error")
+	}
+}
+
+func TestRunTextAndCSV(t *testing.T) {
+	if err := run([]string{"-topology", "2", "-betas", "1,1e-4", "-iters", "40"}); err != nil {
+		t.Fatalf("text run: %v", err)
+	}
+	if err := run([]string{"-topology", "2", "-betas", "1,1e-4", "-iters", "40", "-csv", "-pareto"}); err != nil {
+		t.Fatalf("csv run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad topology": {"-topology", "7"},
+		"bad betas":    {"-betas", "nope"},
+		"bad flag":     {"-zzz"},
+		"bad scenario": {"-scenario", "/does/not/exist.json"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

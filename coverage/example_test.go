@@ -1,0 +1,159 @@
+package coverage_test
+
+import (
+	"fmt"
+
+	"repro/coverage"
+)
+
+// ExampleOptimize optimizes a small patrol and prints the headline
+// metrics. All randomness is seeded, so the output is stable.
+func ExampleOptimize() {
+	scn, err := coverage.LineScenario("demo", 3, []float64{0.5, 0.25, 0.25})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan, err := coverage.Optimize(scn,
+		coverage.Objectives{Alpha: 1, Beta: 1e-3},
+		coverage.Options{MaxIters: 300, Seed: 7},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("PoIs: %d\n", len(plan.TransitionMatrix))
+	fmt.Printf("converged stationary mass: %.1f\n",
+		plan.Stationary[0]+plan.Stationary[1]+plan.Stationary[2])
+	// Output:
+	// PoIs: 3
+	// converged stationary mass: 1.0
+}
+
+// ExampleNewExecutor shows the deployment loop: one categorical draw per
+// movement decision, no other state.
+func ExampleNewExecutor() {
+	scn, _ := coverage.LineScenario("demo", 3, []float64{0.5, 0.25, 0.25})
+	plan, err := coverage.Optimize(scn,
+		coverage.Objectives{Beta: 1},
+		coverage.Options{MaxIters: 100, Seed: 1},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	exec, err := coverage.NewExecutor(plan, 0, 42)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	steps := exec.Walk(5)
+	fmt.Printf("visited %d PoIs starting from PoI 0\n", len(steps))
+	// Output:
+	// visited 5 PoIs starting from PoI 0
+}
+
+// ExampleAnalyze inspects a schedule's spectral and exposure-variability
+// profile.
+func ExampleAnalyze() {
+	scn, _ := coverage.PaperTopology(1)
+	plan, err := coverage.Optimize(scn,
+		coverage.Objectives{Beta: 1},
+		coverage.Options{MaxIters: 200, Seed: 2},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a, err := coverage.Analyze(scn, plan)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("spectral gap positive: %v\n", a.SpectralGap > 0)
+	fmt.Printf("per-PoI exposure stats: %d\n", len(a.ExposureStdDev))
+	// Output:
+	// spectral gap positive: true
+	// per-PoI exposure stats: 4
+}
+
+// ExampleSimulateFleet compares one sensor against three on the same
+// schedule.
+func ExampleSimulateFleet() {
+	scn, _ := coverage.PaperTopology(1)
+	plan, err := coverage.Optimize(scn,
+		coverage.Objectives{Beta: 1},
+		coverage.Options{MaxIters: 150, Seed: 4},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	solo, err := coverage.SimulateFleet(scn, plan, 1, coverage.SimOptions{Steps: 20000, Seed: 6})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	trio, err := coverage.SimulateFleet(scn, plan, 3, coverage.SimOptions{Steps: 20000, Seed: 6})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("3 sensors cover more: %v\n", trio.CoverageShare[0] > solo.CoverageShare[0])
+	// Output:
+	// 3 sensors cover more: true
+}
+
+// ExampleEstimateSchedule recovers a deployed schedule from its observed
+// visit trajectory.
+func ExampleEstimateSchedule() {
+	scn, _ := coverage.LineScenario("demo", 3, []float64{0.5, 0.25, 0.25})
+	plan, err := coverage.Optimize(scn,
+		coverage.Objectives{Beta: 1},
+		coverage.Options{MaxIters: 100, Seed: 1},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	exec, _ := coverage.NewExecutor(plan, 0, 9)
+	trajectory := append([]int{exec.Current()}, exec.Walk(50000)...)
+
+	est, err := coverage.EstimateSchedule(trajectory, 3, 0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The estimate is close to the deployed matrix.
+	worst := 0.0
+	for i := range est {
+		for j := range est[i] {
+			if d := est[i][j] - plan.TransitionMatrix[i][j]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	fmt.Printf("recovered within 0.05: %v\n", worst < 0.05)
+	// Output:
+	// recovered within 0.05: true
+}
+
+// ExampleTradeoffCurve sweeps the exposure weight and reports how many
+// frontier points survive Pareto filtering.
+func ExampleTradeoffCurve() {
+	scn, _ := coverage.PaperTopology(2)
+	points, err := coverage.TradeoffCurve(scn, coverage.TradeoffOptions{
+		Betas:    []float64{1, 1e-4},
+		Optimize: coverage.Options{MaxIters: 200, Seed: 3},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	frontier := coverage.ParetoFilter(points)
+	fmt.Printf("swept %d weights, %d on the frontier\n", len(points), len(frontier))
+	// Output:
+	// swept 2 weights, 2 on the frontier
+}

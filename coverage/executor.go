@@ -1,0 +1,95 @@
+package coverage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrPlan indicates an invalid plan (malformed transition matrix).
+var ErrPlan = errors.New("coverage: invalid plan")
+
+// Executor drives a Plan in real time. It is the deployment-side half of
+// the system: each movement decision is a single categorical draw from
+// the current PoI's row — constant time, no history, no bookkeeping —
+// which is exactly the "stateless stochastic scheduling" property the
+// paper optimizes for.
+//
+// An Executor is deterministic for a fixed seed and is not safe for
+// concurrent use.
+type Executor struct {
+	p   [][]float64
+	cur int
+	src *rng.Source
+}
+
+// NewExecutor validates the plan's matrix and returns an Executor
+// positioned at the start PoI.
+func NewExecutor(plan *Plan, start int, seed uint64) (*Executor, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("%w: nil plan", ErrPlan)
+	}
+	if err := validateMatrix(plan.TransitionMatrix); err != nil {
+		return nil, err
+	}
+	n := len(plan.TransitionMatrix)
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("%w: start %d outside [0, %d)", ErrPlan, start, n)
+	}
+	rows := make([][]float64, n)
+	for i, r := range plan.TransitionMatrix {
+		rows[i] = append([]float64(nil), r...)
+	}
+	return &Executor{p: rows, cur: start, src: rng.New(seed)}, nil
+}
+
+// validateMatrix checks that the rows form a square stochastic matrix.
+func validateMatrix(p [][]float64) error {
+	n := len(p)
+	if n == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrPlan)
+	}
+	for i, row := range p {
+		if len(row) != n {
+			return fmt.Errorf("%w: row %d has %d entries, want %d", ErrPlan, i, len(row), n)
+		}
+		var sum float64
+		for j, v := range row {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return fmt.Errorf("%w: p[%d][%d] = %v", ErrPlan, i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("%w: row %d sums to %v", ErrPlan, i, sum)
+		}
+	}
+	return nil
+}
+
+// Current returns the PoI the sensor is at.
+func (e *Executor) Current() int { return e.cur }
+
+// Next draws the sensor's next PoI (possibly the current one, meaning
+// "stay for another pause") and advances the executor to it.
+func (e *Executor) Next() int {
+	next := e.src.Categorical(e.p[e.cur])
+	if next < 0 {
+		// Rows were validated stochastic, so this cannot occur; stay put
+		// as the safe degenerate behavior.
+		next = e.cur
+	}
+	e.cur = next
+	return next
+}
+
+// Walk returns the next n PoIs, advancing the executor.
+func (e *Executor) Walk(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = e.Next()
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package coverage
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testPlan(t *testing.T) (*Plan, Scenario) {
+	t.Helper()
+	scn, err := PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	plan, err := Optimize(scn, Objectives{Alpha: 1, Beta: 1e-3}, Options{MaxIters: 150, Seed: 8})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return plan, scn
+}
+
+func TestExecutorValidation(t *testing.T) {
+	plan, _ := testPlan(t)
+	if _, err := NewExecutor(nil, 0, 1); !errors.Is(err, ErrPlan) {
+		t.Errorf("nil plan err = %v", err)
+	}
+	if _, err := NewExecutor(plan, -1, 1); !errors.Is(err, ErrPlan) {
+		t.Errorf("bad start err = %v", err)
+	}
+	if _, err := NewExecutor(plan, 99, 1); !errors.Is(err, ErrPlan) {
+		t.Errorf("start out of range err = %v", err)
+	}
+	bad := &Plan{TransitionMatrix: [][]float64{{0.5, 0.6}, {0.5, 0.5}}}
+	if _, err := NewExecutor(bad, 0, 1); !errors.Is(err, ErrPlan) {
+		t.Errorf("bad row sum err = %v", err)
+	}
+	ragged := &Plan{TransitionMatrix: [][]float64{{1}, {0.5, 0.5}}}
+	if _, err := NewExecutor(ragged, 0, 1); !errors.Is(err, ErrPlan) {
+		t.Errorf("ragged err = %v", err)
+	}
+	empty := &Plan{}
+	if _, err := NewExecutor(empty, 0, 1); !errors.Is(err, ErrPlan) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestExecutorDeterministicWalk(t *testing.T) {
+	plan, _ := testPlan(t)
+	e1, err := NewExecutor(plan, 0, 77)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	e2, err := NewExecutor(plan, 0, 77)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	w1 := e1.Walk(500)
+	w2 := e2.Walk(500)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("walks diverged at step %d", i)
+		}
+	}
+}
+
+func TestExecutorFrequenciesMatchStationary(t *testing.T) {
+	plan, _ := testPlan(t)
+	e, err := NewExecutor(plan, 0, 5)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	const steps = 400000
+	counts := make([]int, len(plan.Stationary))
+	for i := 0; i < steps; i++ {
+		counts[e.Next()]++
+	}
+	for i, pi := range plan.Stationary {
+		freq := float64(counts[i]) / steps
+		if math.Abs(freq-pi) > 0.01 {
+			t.Errorf("PoI %d: frequency %v, π %v", i, freq, pi)
+		}
+	}
+}
+
+func TestExecutorIsolatedFromPlanMutation(t *testing.T) {
+	plan, _ := testPlan(t)
+	e, err := NewExecutor(plan, 0, 1)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	plan.TransitionMatrix[0][0] = 42 // corrupt the source plan
+	if e.Current() != 0 {
+		t.Error("Current changed")
+	}
+	next := e.Next() // must not observe the corruption (no panic, valid index)
+	if next < 0 || next >= len(plan.TransitionMatrix) {
+		t.Errorf("Next = %d", next)
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	plan, _ := testPlan(t)
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		t.Fatalf("WritePlan: %v", err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatalf("ReadPlan: %v", err)
+	}
+	if got.Cost != plan.Cost || got.DeltaC != plan.DeltaC || got.EBar != plan.EBar {
+		t.Errorf("metrics changed in round trip")
+	}
+	for i := range plan.TransitionMatrix {
+		for j := range plan.TransitionMatrix[i] {
+			if got.TransitionMatrix[i][j] != plan.TransitionMatrix[i][j] {
+				t.Fatalf("matrix changed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPlanFileRoundTrip(t *testing.T) {
+	plan, _ := testPlan(t)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := SavePlan(path, plan); err != nil {
+		t.Fatalf("SavePlan: %v", err)
+	}
+	got, err := LoadPlan(path)
+	if err != nil {
+		t.Fatalf("LoadPlan: %v", err)
+	}
+	if got.Cost != plan.Cost {
+		t.Error("cost changed through file round trip")
+	}
+	if _, err := LoadPlan(filepath.Join(t.TempDir(), "missing.json")); !errors.Is(err, ErrPersist) {
+		t.Errorf("missing file err = %v", err)
+	}
+}
+
+func TestReadPlanRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "hello",
+		"wrong kind":    `{"version":1,"kind":"scenario","plan":null}`,
+		"wrong version": `{"version":9,"kind":"plan","plan":{"transitionMatrix":[[1]]}}`,
+		"bad matrix":    `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.4,0.4],[0.5,0.5]]}}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadPlan(strings.NewReader(body)); !errors.Is(err, ErrPersist) {
+			t.Errorf("%s: err = %v, want ErrPersist", name, err)
+		}
+	}
+}
+
+func TestWritePlanRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, nil); !errors.Is(err, ErrPersist) {
+		t.Errorf("nil plan err = %v", err)
+	}
+	if err := WritePlan(&buf, &Plan{TransitionMatrix: [][]float64{{2}}}); !errors.Is(err, ErrPersist) {
+		t.Errorf("invalid matrix err = %v", err)
+	}
+}
+
+func TestScenarioRoundTrip(t *testing.T) {
+	scn := Scenario{
+		Name: "round-trip",
+		PoIs: []PoI{
+			{X: 0.5, Y: 0.5, Pause: 2},
+			{X: 3.5, Y: 0.5},
+		},
+		Target:    []float64{0.6, 0.4},
+		Obstacles: []Obstacle{{MinX: 1.8, MinY: -1, MaxX: 2.2, MaxY: 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteScenario(&buf, scn); err != nil {
+		t.Fatalf("WriteScenario: %v", err)
+	}
+	got, err := ReadScenario(&buf)
+	if err != nil {
+		t.Fatalf("ReadScenario: %v", err)
+	}
+	if got.Name != scn.Name || len(got.PoIs) != 2 || got.PoIs[0].Pause != 2 ||
+		len(got.Obstacles) != 1 || got.Target[0] != 0.6 {
+		t.Errorf("scenario changed: %+v", got)
+	}
+	// The round-tripped scenario is directly optimizable.
+	if _, err := Optimize(got, Objectives{Beta: 1}, Options{MaxIters: 20}); err != nil {
+		t.Errorf("optimize round-tripped scenario: %v", err)
+	}
+}
+
+func TestScenarioFileRoundTrip(t *testing.T) {
+	scn, err := PaperTopology(1)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := SaveScenario(path, scn); err != nil {
+		t.Fatalf("SaveScenario: %v", err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatalf("LoadScenario: %v", err)
+	}
+	if len(got.PoIs) != 4 {
+		t.Errorf("PoIs = %d", len(got.PoIs))
+	}
+}
+
+func TestWriteScenarioValidates(t *testing.T) {
+	var buf bytes.Buffer
+	bad := Scenario{Name: "bad", PoIs: []PoI{{X: 0, Y: 0}}, Target: []float64{1}}
+	if err := WriteScenario(&buf, bad); !errors.Is(err, ErrScenario) {
+		t.Errorf("err = %v, want ErrScenario", err)
+	}
+}
+
+func TestReadScenarioRejectsGarbage(t *testing.T) {
+	if _, err := ReadScenario(strings.NewReader("{}")); !errors.Is(err, ErrPersist) {
+		t.Errorf("empty err = %v", err)
+	}
+	// Structurally valid JSON, semantically broken scenario.
+	body := `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0}],"target":[1]}}`
+	if _, err := ReadScenario(strings.NewReader(body)); !errors.Is(err, ErrScenario) {
+		t.Errorf("semantic err = %v", err)
+	}
+}

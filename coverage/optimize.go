@@ -1,0 +1,357 @@
+package coverage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/descent"
+	"repro/internal/markov"
+	"repro/internal/mat"
+)
+
+// ErrObjectives indicates an invalid objective configuration.
+var ErrObjectives = errors.New("coverage: invalid objectives")
+
+// Objectives weights the optimization criteria (the paper's Eq. 9 with
+// uniform per-PoI weights, plus the §VII extensions).
+type Objectives struct {
+	// Alpha weights the coverage-time deviation ΔC.
+	Alpha float64
+	// Beta weights the squared aggregate exposure Ē².
+	Beta float64
+	// PerPoIAlpha, when non-nil, overrides Alpha with one weight per PoI
+	// (α_i in Eq. 9) — e.g. to care about coverage fidelity only at
+	// specific sites.
+	PerPoIAlpha []float64
+	// PerPoIBeta, when non-nil, overrides Beta with one weight per PoI
+	// (β_i in Eq. 9) — e.g. to bound exposure only where incidents are
+	// costly.
+	PerPoIBeta []float64
+	// EnergyWeight, when positive, adds ½·w·(D − EnergyTarget)² on the
+	// mean travel distance per transition.
+	EnergyWeight float64
+	// EnergyTarget is the prescribed mean movement γ.
+	EnergyTarget float64
+	// EntropyWeight, when positive, rewards schedule unpredictability by
+	// subtracting λ·H from the cost.
+	EntropyWeight float64
+	// Epsilon overrides the barrier width of Eq. 9 (default 1e-4).
+	Epsilon float64
+}
+
+// Algorithm selects the optimization variant (§V).
+type Algorithm int
+
+// The three algorithm configurations of the paper.
+const (
+	// PerturbedDescent (V2+V3+V4) is the recommended default: it escapes
+	// the landscape's numerous local optima.
+	PerturbedDescent Algorithm = iota
+	// BasicDescent (V1) uses uniform initialization and a fixed step.
+	BasicDescent
+	// AdaptiveDescent (V2+V3) line-searches the step but stops at the
+	// first local optimum.
+	AdaptiveDescent
+)
+
+// Options tunes the optimizer run. The zero value is a sensible default
+// (perturbed descent, automatic budget).
+type Options struct {
+	// Algorithm selects the descent variant.
+	Algorithm Algorithm
+	// MaxIters bounds the iteration count (default 2000).
+	MaxIters int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// FixedStep is the Δt for BasicDescent (default 1e-6).
+	FixedStep float64
+	// NoiseStdDev is the V4 perturbation scale (default 0.1).
+	NoiseStdDev float64
+	// RecordTrace attaches the per-iteration history to the Plan.
+	RecordTrace bool
+	// InitialMatrix warm-starts the search from a given transition matrix
+	// instead of the variant's default initialization. On larger PoI sets
+	// (≥ 9) seeding with MetropolisBaseline typically reaches far better
+	// optima than a random start.
+	InitialMatrix [][]float64
+}
+
+// TracePoint is one optimizer iteration in a Plan's history.
+type TracePoint struct {
+	Iteration int     `json:"iteration"`
+	Cost      float64 `json:"cost"`
+	DeltaC    float64 `json:"deltaC"`
+	EBar      float64 `json:"eBar"`
+}
+
+// Plan is an optimized coverage schedule.
+type Plan struct {
+	// TransitionMatrix holds the optimal p_ij: at PoI i, move next to j
+	// with probability TransitionMatrix[i][j].
+	TransitionMatrix [][]float64 `json:"transitionMatrix"`
+	// Stationary is the chain's stationary distribution π.
+	Stationary []float64 `json:"stationary"`
+	// CoverageShare is the achieved long-run coverage distribution C̄_i.
+	CoverageShare []float64 `json:"coverageShare"`
+	// MeanExposure is the per-PoI expected exposure Ē_i, in Markov steps.
+	MeanExposure []float64 `json:"meanExposureSteps"`
+	// DeltaC is the coverage-time deviation metric (Eq. 12).
+	DeltaC float64 `json:"deltaC"`
+	// EBar is the aggregate exposure metric (Eq. 13).
+	EBar float64 `json:"eBar"`
+	// Cost is the achieved penalized cost U_ε.
+	Cost float64 `json:"cost"`
+	// Energy is the mean travel distance per transition.
+	Energy float64 `json:"energy"`
+	// Entropy is the schedule's entropy rate in nats.
+	Entropy float64 `json:"entropyNats"`
+	// Iterations is the number of optimizer iterations executed.
+	Iterations int `json:"iterations"`
+	// Converged reports whether the optimizer stopped before its budget.
+	Converged bool `json:"converged"`
+	// Trace is the optimization history (only when Options.RecordTrace).
+	Trace []TracePoint `json:"trace,omitempty"`
+}
+
+// weights converts public objectives to the internal form.
+func (o Objectives) weights(m int) (cost.Weights, error) {
+	if o.Alpha < 0 || o.Beta < 0 {
+		return cost.Weights{}, fmt.Errorf("%w: negative α or β", ErrObjectives)
+	}
+	w := cost.Uniform(m, o.Alpha, o.Beta)
+	if o.PerPoIAlpha != nil {
+		if len(o.PerPoIAlpha) != m {
+			return cost.Weights{}, fmt.Errorf("%w: %d per-PoI alphas for %d PoIs",
+				ErrObjectives, len(o.PerPoIAlpha), m)
+		}
+		w.Alpha = append([]float64(nil), o.PerPoIAlpha...)
+	}
+	if o.PerPoIBeta != nil {
+		if len(o.PerPoIBeta) != m {
+			return cost.Weights{}, fmt.Errorf("%w: %d per-PoI betas for %d PoIs",
+				ErrObjectives, len(o.PerPoIBeta), m)
+		}
+		w.Beta = append([]float64(nil), o.PerPoIBeta...)
+	}
+	var anyPrimary float64
+	for i := 0; i < m; i++ {
+		anyPrimary += w.Alpha[i] + w.Beta[i]
+	}
+	if anyPrimary == 0 && o.EnergyWeight == 0 && o.EntropyWeight == 0 {
+		return cost.Weights{}, fmt.Errorf("%w: all objective weights are zero", ErrObjectives)
+	}
+	w.EnergyWeight = o.EnergyWeight
+	w.EnergyTarget = o.EnergyTarget
+	w.EntropyWeight = o.EntropyWeight
+	if o.Epsilon != 0 {
+		w.Epsilon = o.Epsilon
+	}
+	return w, nil
+}
+
+// variant maps the public algorithm to the internal one.
+func (o Options) variant() descent.Variant {
+	switch o.Algorithm {
+	case BasicDescent:
+		return descent.Basic
+	case AdaptiveDescent:
+		return descent.Adaptive
+	default:
+		return descent.Perturbed
+	}
+}
+
+// planner builds the internal engine for a scenario and objectives.
+func planner(scn Scenario, obj Objectives) (*core.Planner, error) {
+	top, err := scn.build()
+	if err != nil {
+		return nil, err
+	}
+	w, err := obj.weights(top.M())
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewPlanner(top, w)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	return p, nil
+}
+
+// Optimize computes the transition matrix minimizing the weighted
+// objectives on the scenario.
+func Optimize(scn Scenario, obj Objectives, opts Options) (*Plan, error) {
+	eng, err := planner(scn, obj)
+	if err != nil {
+		return nil, err
+	}
+	var initial *mat.Matrix
+	if opts.InitialMatrix != nil {
+		initial, err = mat.NewFromRows(opts.InitialMatrix)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: initial matrix: %w", err)
+		}
+	}
+	res, err := eng.Optimize(descent.Options{
+		Variant:     opts.variant(),
+		MaxIters:    opts.MaxIters,
+		Seed:        opts.Seed,
+		FixedStep:   opts.FixedStep,
+		NoiseStdDev: opts.NoiseStdDev,
+		RecordTrace: opts.RecordTrace,
+		InitialP:    initial,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	return planFromResult(res), nil
+}
+
+// planFromResult converts an internal descent result to the public Plan.
+func planFromResult(res *descent.Result) *Plan {
+	n := res.P.Rows()
+	p := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = res.P.Row(i)
+	}
+	plan := &Plan{
+		TransitionMatrix: p,
+		Stationary:       append([]float64(nil), res.Eval.Sol.Pi...),
+		CoverageShare:    append([]float64(nil), res.Eval.CBar...),
+		MeanExposure:     append([]float64(nil), res.Eval.EBarI...),
+		DeltaC:           res.Eval.DeltaC,
+		EBar:             res.Eval.EBar,
+		Cost:             res.Eval.U,
+		Energy:           res.Eval.Energy,
+		Entropy:          res.Eval.Entropy,
+		Iterations:       res.Iters,
+		Converged:        res.Converged,
+	}
+	for _, rec := range res.Trace {
+		plan.Trace = append(plan.Trace, TracePoint{
+			Iteration: rec.Iter,
+			Cost:      rec.U,
+			DeltaC:    rec.DeltaC,
+			EBar:      rec.EBar,
+		})
+	}
+	return plan
+}
+
+// OptimizeBest runs `restarts` independent optimizations with split
+// seeds and returns the plan with the lowest cost. Because the cost
+// landscape has many local optima, multi-start is the cheap insurance on
+// top of the perturbed variant's own noise; the returned plan is
+// deterministic for a fixed Options.Seed.
+func OptimizeBest(scn Scenario, obj Objectives, opts Options, restarts int) (*Plan, error) {
+	if restarts <= 0 {
+		return nil, fmt.Errorf("%w: %d restarts", ErrObjectives, restarts)
+	}
+	eng, err := planner(scn, obj)
+	if err != nil {
+		return nil, err
+	}
+	var initial *mat.Matrix
+	if opts.InitialMatrix != nil {
+		initial, err = mat.NewFromRows(opts.InitialMatrix)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: initial matrix: %w", err)
+		}
+	}
+	results, err := eng.OptimizeMany(descent.Options{
+		Variant:     opts.variant(),
+		MaxIters:    opts.MaxIters,
+		Seed:        opts.Seed,
+		FixedStep:   opts.FixedStep,
+		NoiseStdDev: opts.NoiseStdDev,
+		RecordTrace: opts.RecordTrace,
+		InitialP:    initial,
+	}, restarts)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Eval.U < best.Eval.U {
+			best = r
+		}
+	}
+	return planFromResult(best), nil
+}
+
+// EvaluateMatrix computes the plan metrics for a user-supplied transition
+// matrix under the scenario and objectives — useful for comparing
+// hand-built or baseline schedules against optimized ones.
+func EvaluateMatrix(scn Scenario, obj Objectives, p [][]float64) (*Plan, error) {
+	eng, err := planner(scn, obj)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := mat.NewFromRows(p)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	ev, err := eng.Evaluate(pm)
+	if err != nil {
+		return nil, err
+	}
+	n := pm.Rows()
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = pm.Row(i)
+	}
+	return &Plan{
+		TransitionMatrix: rows,
+		Stationary:       append([]float64(nil), ev.Sol.Pi...),
+		CoverageShare:    append([]float64(nil), ev.CBar...),
+		MeanExposure:     append([]float64(nil), ev.EBarI...),
+		DeltaC:           ev.DeltaC,
+		EBar:             ev.EBar,
+		Cost:             ev.U,
+		Energy:           ev.Energy,
+		Entropy:          ev.Entropy,
+	}, nil
+}
+
+// EstimateSchedule fits a transition matrix to an observed PoI-visit
+// trajectory by smoothed maximum likelihood. Use it to recover the
+// schedule a deployed (or third-party) sensor is actually following —
+// e.g. to evaluate it under your objectives with EvaluateMatrix, to
+// detect drift from a saved plan, or to warm-start re-optimization via
+// Options.InitialMatrix. Positive smoothing keeps the estimate ergodic.
+func EstimateSchedule(trajectory []int, pois int, smoothing float64) ([][]float64, error) {
+	p, err := markov.Estimate(trajectory, pois, smoothing)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	rows := make([][]float64, p.Rows())
+	for i := range rows {
+		rows[i] = p.Row(i)
+	}
+	return rows, nil
+}
+
+// MetropolisBaseline returns the Metropolis–Hastings chain whose
+// stationary distribution equals the scenario's target allocation — the
+// coverage-only baseline the paper's Related Work discusses.
+func MetropolisBaseline(scn Scenario) ([][]float64, error) {
+	top, err := scn.build()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewPlanner(top, cost.Uniform(top.M(), 1, 1))
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	p, err := eng.Baseline()
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	rows := make([][]float64, p.Rows())
+	for i := range rows {
+		rows[i] = p.Row(i)
+	}
+	return rows, nil
+}

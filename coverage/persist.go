@@ -1,0 +1,136 @@
+package coverage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrPersist indicates a malformed plan or scenario file.
+var ErrPersist = errors.New("coverage: persist")
+
+// fileVersion is the on-disk format version; bump on incompatible
+// changes.
+const fileVersion = 1
+
+// planEnvelope is the on-disk representation of a Plan.
+type planEnvelope struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+	Plan    *Plan  `json:"plan"`
+}
+
+// scenarioEnvelope is the on-disk representation of a Scenario.
+type scenarioEnvelope struct {
+	Version  int       `json:"version"`
+	Kind     string    `json:"kind"`
+	Scenario *Scenario `json:"scenario"`
+}
+
+// WritePlan serializes a plan as versioned JSON.
+func WritePlan(w io.Writer, plan *Plan) error {
+	if plan == nil {
+		return fmt.Errorf("%w: nil plan", ErrPersist)
+	}
+	if err := validateMatrix(plan.TransitionMatrix); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(planEnvelope{Version: fileVersion, Kind: "plan", Plan: plan}); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return nil
+}
+
+// ReadPlan parses and validates a plan written by WritePlan.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var env planEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if env.Version != fileVersion || env.Kind != "plan" || env.Plan == nil {
+		return nil, fmt.Errorf("%w: not a version-%d plan file", ErrPersist, fileVersion)
+	}
+	if err := validateMatrix(env.Plan.TransitionMatrix); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return env.Plan, nil
+}
+
+// SavePlan writes a plan to a file.
+func SavePlan(path string, plan *Plan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	defer f.Close()
+	if err := WritePlan(f, plan); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPlan reads a plan from a file.
+func LoadPlan(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	defer f.Close()
+	return ReadPlan(f)
+}
+
+// WriteScenario serializes a scenario as versioned JSON.
+func WriteScenario(w io.Writer, scn Scenario) error {
+	// Validate by building the internal topology.
+	if _, err := scn.build(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(scenarioEnvelope{Version: fileVersion, Kind: "scenario", Scenario: &scn}); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return nil
+}
+
+// ReadScenario parses and validates a scenario written by WriteScenario.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	var env scenarioEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	if env.Version != fileVersion || env.Kind != "scenario" || env.Scenario == nil {
+		return Scenario{}, fmt.Errorf("%w: not a version-%d scenario file", ErrPersist, fileVersion)
+	}
+	if _, err := env.Scenario.build(); err != nil {
+		return Scenario{}, err
+	}
+	return *env.Scenario, nil
+}
+
+// SaveScenario writes a scenario to a file.
+func SaveScenario(path string, scn Scenario) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	defer f.Close()
+	if err := WriteScenario(f, scn); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadScenario reads a scenario from a file.
+func LoadScenario(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	defer f.Close()
+	return ReadScenario(f)
+}

@@ -1,0 +1,212 @@
+// Package coverage is the public API of the mobile-sensor coverage
+// optimizer. It reproduces the system of Ma, Yau, Yip, Rao and Chen,
+// "Stochastic Steepest-Descent Optimization of Multiple-Objective Mobile
+// Sensor Coverage" (ICDCS 2010): a mobile sensor patrols a set of points
+// of interest (PoIs) under a Markov schedule, and the package computes the
+// transition probabilities that optimally balance coverage-time fidelity,
+// exposure times, and optional energy/entropy objectives.
+//
+// Typical use:
+//
+//	scn, err := coverage.LineScenario("pipeline", 4, []float64{0.4, 0.1, 0.1, 0.4})
+//	...
+//	plan, err := coverage.Optimize(scn, coverage.Objectives{Alpha: 1, Beta: 1e-4}, coverage.Options{})
+//	...
+//	fmt.Println(plan.TransitionMatrix) // drive the sensor with a coin toss per Markov step
+//
+// The resulting Plan is stateless to execute: at PoI i, the sensor draws
+// the next PoI j with probability P[i][j] — a constant-time operation with
+// no bookkeeping, the property that motivates stochastic scheduling.
+package coverage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// ErrScenario indicates an invalid scenario specification.
+var ErrScenario = errors.New("coverage: invalid scenario")
+
+// Defaults applied by the scenario builders (a quarter-cell sensing
+// range, unit speed and unit dwell on the unit-cell layouts).
+const (
+	// DefaultRange is the sensing range used by the convenience builders.
+	DefaultRange = 0.25
+	// DefaultSpeed is the sensor's travel speed.
+	DefaultSpeed = 1.0
+	// DefaultPause is the dwell time per visit.
+	DefaultPause = 1.0
+)
+
+// Compile-time lockstep with the internal topology defaults: each index
+// expression is a constant that is valid only when the difference is
+// exactly zero, so drift between the packages breaks the build.
+var (
+	_ = [1]struct{}{}[DefaultRange-topology.DefaultRange]
+	_ = [1]struct{}{}[DefaultSpeed-topology.DefaultSpeed]
+	_ = [1]struct{}{}[DefaultPause-topology.DefaultPause]
+)
+
+// PoI is one point of interest.
+type PoI struct {
+	// X, Y locate the PoI in the plane.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Pause is the dwell time per visit; DefaultPause if zero.
+	Pause float64 `json:"pause,omitempty"`
+}
+
+// Obstacle is an axis-aligned rectangular region the sensor cannot cross.
+// Travel between PoIs routes around obstacles along shortest feasible
+// polylines, which changes travel times, energy costs, and pass-through
+// coverage accordingly.
+type Obstacle struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+// Scenario describes a coverage problem: the physical layout plus the
+// target allocation of coverage time.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string `json:"name"`
+	// PoIs are the points of interest (at least two).
+	PoIs []PoI `json:"pois"`
+	// Target is the prescribed coverage-time allocation Φ (a probability
+	// vector over the PoIs).
+	Target []float64 `json:"target"`
+	// Range is the sensing range r; DefaultRange if zero.
+	Range float64 `json:"range,omitempty"`
+	// Speed is the travel speed; DefaultSpeed if zero.
+	Speed float64 `json:"speed,omitempty"`
+	// Obstacles are regions the sensor must route around (optional).
+	Obstacles []Obstacle `json:"obstacles,omitempty"`
+}
+
+// build converts the scenario into the internal topology, applying
+// defaults and validation.
+func (s Scenario) build() (*topology.Topology, error) {
+	if s.Range == 0 {
+		s.Range = DefaultRange
+	}
+	if s.Speed == 0 {
+		s.Speed = DefaultSpeed
+	}
+	pois := make([]topology.PoI, len(s.PoIs))
+	for i, p := range s.PoIs {
+		pause := p.Pause
+		if pause == 0 {
+			pause = DefaultPause
+		}
+		pois[i] = topology.PoI{
+			Pos:   geom.Point{X: p.X, Y: p.Y},
+			Pause: pause,
+		}
+	}
+	var router topology.Router
+	if len(s.Obstacles) > 0 {
+		rects := make([]route.Rect, len(s.Obstacles))
+		for i, o := range s.Obstacles {
+			rects[i] = route.Rect{MinX: o.MinX, MinY: o.MinY, MaxX: o.MaxX, MaxY: o.MaxY}
+		}
+		planner, err := route.New(rects, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		router = planner
+	}
+	top, err := topology.New(topology.Config{
+		Name:   s.Name,
+		PoIs:   pois,
+		Target: s.Target,
+		Range:  s.Range,
+		Speed:  s.Speed,
+		Router: router,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return top, nil
+}
+
+// LineScenario builds n PoIs on a line with unit spacing — the shape of
+// the paper's Topologies 2 and 3 (pass-through coverage couples interior
+// PoIs).
+func LineScenario(name string, n int, target []float64) (Scenario, error) {
+	top, err := topology.Line(name, n, target)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return fromTopology(top), nil
+}
+
+// GridScenario builds rows×cols PoIs at unit-cell centers in row-major
+// order — the shape of the paper's Topologies 1 and 4.
+func GridScenario(name string, rows, cols int, target []float64) (Scenario, error) {
+	top, err := topology.Grid(name, rows, cols, target)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return fromTopology(top), nil
+}
+
+// RingScenario builds n PoIs evenly spaced on a circle of the given
+// radius — the classic perimeter-patrol layout. The radius must be large
+// enough that adjacent PoIs are more than 2r apart.
+func RingScenario(name string, n int, radius float64, target []float64) (Scenario, error) {
+	if n < 2 {
+		return Scenario{}, fmt.Errorf("%w: ring needs n >= 2, got %d", ErrScenario, n)
+	}
+	if radius <= 0 {
+		return Scenario{}, fmt.Errorf("%w: radius %v", ErrScenario, radius)
+	}
+	pois := make([]PoI, n)
+	for i := range pois {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pois[i] = PoI{
+			X: radius + radius*math.Cos(theta),
+			Y: radius + radius*math.Sin(theta),
+		}
+	}
+	scn := Scenario{Name: name, PoIs: pois, Target: target}
+	// Validate eagerly so callers get layout errors (e.g. PoIs too close
+	// for the sensing range) at construction rather than at Optimize.
+	if _, err := scn.build(); err != nil {
+		return Scenario{}, err
+	}
+	return scn, nil
+}
+
+// PaperTopology returns the reconstruction of the paper's topology
+// n ∈ {1, 2, 3, 4} (Fig. 1; see DESIGN.md for the reconstruction notes).
+func PaperTopology(n int) (Scenario, error) {
+	top, err := topology.Paper(n)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	return fromTopology(top), nil
+}
+
+// fromTopology converts an internal topology back into the public
+// Scenario shape.
+func fromTopology(top *topology.Topology) Scenario {
+	pois := make([]PoI, top.M())
+	for i := range pois {
+		p := top.PoIAt(i)
+		pois[i] = PoI{X: p.Pos.X, Y: p.Pos.Y, Pause: p.Pause}
+	}
+	return Scenario{
+		Name:   top.Name(),
+		PoIs:   pois,
+		Target: top.Target(),
+		Range:  top.Range(),
+		Speed:  top.Speed(),
+	}
+}

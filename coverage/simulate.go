@@ -1,0 +1,193 @@
+package coverage
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/sim"
+)
+
+// ExposureModel selects how a simulation measures exposure segments.
+type ExposureModel int
+
+// Exposure measurement conventions; see the paper's §III-A assumptions
+// and §VI-D.
+const (
+	// StepExposure counts one time unit per Markov transition (matches the
+	// analytic Eq. 3 exactly in the long run).
+	StepExposure ExposureModel = iota
+	// PhysicalExposure uses real travel and pause durations; passing by a
+	// PoI does not end its exposure segment (the paper's simulation
+	// convention).
+	PhysicalExposure
+	// InterruptedExposure uses real durations and ends a segment whenever
+	// the sensor's disk sweeps over the PoI — the fully physical measure.
+	InterruptedExposure
+)
+
+// SimOptions configures a simulation.
+type SimOptions struct {
+	// Steps is the number of Markov transitions (default 100000).
+	Steps int
+	// Seed makes the walk reproducible.
+	Seed uint64
+	// Exposure selects the exposure measurement convention.
+	Exposure ExposureModel
+	// Replications repeats the simulation with split seeds (default 1);
+	// the report then carries per-replication values.
+	Replications int
+}
+
+// ReplicationMetrics is one replication's headline pair.
+type ReplicationMetrics struct {
+	DeltaC float64 `json:"deltaC"`
+	EBar   float64 `json:"eBar"`
+}
+
+// SimReport is the outcome of simulating a schedule.
+type SimReport struct {
+	// Steps per replication.
+	Steps int `json:"steps"`
+	// TotalTime is the mean physical elapsed time across replications.
+	TotalTime float64 `json:"totalTime"`
+	// CoverageShare is the mean realized coverage distribution.
+	CoverageShare []float64 `json:"coverageShare"`
+	// MeanExposure is the mean per-PoI exposure.
+	MeanExposure []float64 `json:"meanExposure"`
+	// DeltaC and EBar are the means of the measured Eq. 12/13 metrics.
+	DeltaC float64 `json:"deltaC"`
+	EBar   float64 `json:"eBar"`
+	// PerReplication carries each replication's (ΔC, Ē) pair.
+	PerReplication []ReplicationMetrics `json:"perReplication"`
+}
+
+// FleetReport summarizes a multi-sensor union-coverage simulation.
+type FleetReport struct {
+	// Sensors is the fleet size.
+	Sensors int `json:"sensors"`
+	// Horizon is the common physical time span measured.
+	Horizon float64 `json:"horizon"`
+	// CoverageShare is the union coverage fraction per PoI (a PoI counts
+	// as covered whenever any sensor has it in range).
+	CoverageShare []float64 `json:"coverageShare"`
+	// DeltaC is the squared deviation of the union shares from the target.
+	DeltaC float64 `json:"deltaC"`
+	// MeanGap and MaxGap are per-PoI uncovered-interval statistics on the
+	// merged timeline, in physical time units.
+	MeanGap []float64 `json:"meanGap"`
+	MaxGap  []float64 `json:"maxGap"`
+}
+
+// SimulateFleet deploys `sensors` independent sensors, each executing the
+// plan's schedule from staggered starting PoIs, and measures the union
+// coverage — the natural multi-sensor extension of the paper's model
+// (evaluated by exact simulation; the closed forms do not compose across
+// independent walkers).
+func SimulateFleet(scn Scenario, plan *Plan, sensors int, opts SimOptions) (*FleetReport, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("%w: nil plan", ErrScenario)
+	}
+	top, err := scn.build()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := mat.NewFromRows(plan.TransitionMatrix)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	if opts.Steps == 0 {
+		opts.Steps = 100000
+	}
+	met, err := sim.SimulateFleet(sim.FleetConfig{
+		Topology: top,
+		P:        pm,
+		Sensors:  sensors,
+		Steps:    opts.Steps,
+		Seed:     opts.Seed,
+		Stagger:  true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("coverage: fleet: %w", err)
+	}
+	return &FleetReport{
+		Sensors:       met.Sensors,
+		Horizon:       met.Horizon,
+		CoverageShare: met.CoverageShare,
+		DeltaC:        met.DeltaC,
+		MeanGap:       met.MeanGap,
+		MaxGap:        met.MaxGap,
+	}, nil
+}
+
+// Simulate drives the sensor with the plan's transition matrix on the
+// scenario and measures realized coverage and exposure.
+func Simulate(scn Scenario, plan *Plan, opts SimOptions) (*SimReport, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("%w: nil plan", ErrScenario)
+	}
+	return SimulateMatrix(scn, plan.TransitionMatrix, opts)
+}
+
+// SimulateMatrix is Simulate for a raw transition matrix.
+func SimulateMatrix(scn Scenario, p [][]float64, opts SimOptions) (*SimReport, error) {
+	top, err := scn.build()
+	if err != nil {
+		return nil, err
+	}
+	pm, err := mat.NewFromRows(p)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	if opts.Steps == 0 {
+		opts.Steps = 100000
+	}
+	if opts.Replications == 0 {
+		opts.Replications = 1
+	}
+	var model sim.TimeModel
+	switch opts.Exposure {
+	case PhysicalExposure:
+		model = sim.Physical
+	case InterruptedExposure:
+		model = sim.PhysicalInterrupted
+	default:
+		model = sim.UnitStep
+	}
+	runs, err := sim.RunMany(sim.Config{
+		Topology:  top,
+		P:         pm,
+		Steps:     opts.Steps,
+		Seed:      opts.Seed,
+		TimeModel: model,
+	}, opts.Replications)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: simulate: %w", err)
+	}
+
+	n := top.M()
+	rep := &SimReport{
+		Steps:         opts.Steps,
+		CoverageShare: make([]float64, n),
+		MeanExposure:  make([]float64, n),
+	}
+	for _, r := range runs {
+		rep.TotalTime += r.TotalTime
+		rep.DeltaC += r.DeltaC
+		rep.EBar += r.EBar
+		for i := 0; i < n; i++ {
+			rep.CoverageShare[i] += r.CoverageShare[i]
+			rep.MeanExposure[i] += r.MeanExposure[i]
+		}
+		rep.PerReplication = append(rep.PerReplication,
+			ReplicationMetrics{DeltaC: r.DeltaC, EBar: r.EBar})
+	}
+	k := float64(len(runs))
+	rep.TotalTime /= k
+	rep.DeltaC /= k
+	rep.EBar /= k
+	for i := 0; i < n; i++ {
+		rep.CoverageShare[i] /= k
+		rep.MeanExposure[i] /= k
+	}
+	return rep, nil
+}

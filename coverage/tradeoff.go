@@ -1,0 +1,95 @@
+package coverage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TradeoffPoint is one point of the coverage/exposure tradeoff frontier.
+type TradeoffPoint struct {
+	// Alpha and Beta are the weights that produced this point.
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	// DeltaC and EBar are the achieved metrics (Eqs. 12–13).
+	DeltaC float64 `json:"deltaC"`
+	EBar   float64 `json:"eBar"`
+	// Energy is the mean travel distance per transition.
+	Energy float64 `json:"energy"`
+	// Plan is the full optimized schedule for this weighting.
+	Plan *Plan `json:"plan,omitempty"`
+}
+
+// TradeoffOptions configures TradeoffCurve.
+type TradeoffOptions struct {
+	// Alpha is the fixed coverage weight (default 1).
+	Alpha float64
+	// Betas are the exposure weights to sweep; required, at least one.
+	Betas []float64
+	// Optimize configures each underlying optimization run.
+	Optimize Options
+	// KeepPlans attaches the full Plan to every point (they are dropped
+	// by default to keep sweeps light).
+	KeepPlans bool
+}
+
+// TradeoffCurve sweeps the exposure weight β and returns one optimized
+// point per weight, sorted by descending β (the paper's Tables I/II as a
+// reusable primitive). Each run gets an independent seed derived from
+// Optimize.Seed, so the sweep is reproducible.
+func TradeoffCurve(scn Scenario, opts TradeoffOptions) ([]TradeoffPoint, error) {
+	if len(opts.Betas) == 0 {
+		return nil, fmt.Errorf("%w: no betas to sweep", ErrObjectives)
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	betas := append([]float64(nil), opts.Betas...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(betas)))
+
+	out := make([]TradeoffPoint, 0, len(betas))
+	for i, beta := range betas {
+		runOpts := opts.Optimize
+		runOpts.Seed = opts.Optimize.Seed + uint64(i)*0x9e3779b9
+		plan, err := Optimize(scn, Objectives{Alpha: alpha, Beta: beta}, runOpts)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: tradeoff β=%g: %w", beta, err)
+		}
+		pt := TradeoffPoint{
+			Alpha:  alpha,
+			Beta:   beta,
+			DeltaC: plan.DeltaC,
+			EBar:   plan.EBar,
+			Energy: plan.Energy,
+		}
+		if opts.KeepPlans {
+			pt.Plan = plan
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ParetoFilter returns the subset of points not dominated in the
+// (DeltaC, EBar) plane: a point survives unless another point is at
+// least as good on both metrics and strictly better on one.
+func ParetoFilter(points []TradeoffPoint) []TradeoffPoint {
+	var out []TradeoffPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if q.DeltaC <= p.DeltaC && q.EBar <= p.EBar &&
+				(q.DeltaC < p.DeltaC || q.EBar < p.EBar) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package coverage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTradeoffCurveTrend(t *testing.T) {
+	scn, err := PaperTopology(3)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	pts, err := TradeoffCurve(scn, TradeoffOptions{
+		Betas:    []float64{1e-6, 1, 1e-3}, // unsorted on purpose
+		Optimize: Options{MaxIters: 700, Seed: 2},
+	})
+	if err != nil {
+		t.Fatalf("TradeoffCurve: %v", err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Sorted by descending beta.
+	if pts[0].Beta != 1 || pts[2].Beta != 1e-6 {
+		t.Errorf("order: %v, %v, %v", pts[0].Beta, pts[1].Beta, pts[2].Beta)
+	}
+	// Endpoints of the sweep: coverage improves and exposure worsens as
+	// beta falls.
+	if pts[2].DeltaC >= pts[0].DeltaC {
+		t.Errorf("ΔC did not improve: %v -> %v", pts[0].DeltaC, pts[2].DeltaC)
+	}
+	if pts[2].EBar <= pts[0].EBar {
+		t.Errorf("Ē did not grow: %v -> %v", pts[0].EBar, pts[2].EBar)
+	}
+	// Plans dropped by default.
+	for _, p := range pts {
+		if p.Plan != nil {
+			t.Error("plan kept without KeepPlans")
+		}
+	}
+}
+
+func TestTradeoffCurveKeepPlans(t *testing.T) {
+	scn, err := PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	pts, err := TradeoffCurve(scn, TradeoffOptions{
+		Betas:     []float64{1e-3},
+		Optimize:  Options{MaxIters: 60, Seed: 4},
+		KeepPlans: true,
+	})
+	if err != nil {
+		t.Fatalf("TradeoffCurve: %v", err)
+	}
+	if pts[0].Plan == nil {
+		t.Fatal("plan missing with KeepPlans")
+	}
+	if len(pts[0].Plan.TransitionMatrix) != 3 {
+		t.Errorf("plan matrix rows = %d", len(pts[0].Plan.TransitionMatrix))
+	}
+}
+
+func TestTradeoffCurveValidation(t *testing.T) {
+	scn, err := PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	if _, err := TradeoffCurve(scn, TradeoffOptions{}); !errors.Is(err, ErrObjectives) {
+		t.Errorf("empty betas err = %v", err)
+	}
+}
+
+func TestParetoFilter(t *testing.T) {
+	pts := []TradeoffPoint{
+		{Beta: 1, DeltaC: 0.5, EBar: 3},    // frontier
+		{Beta: 0.1, DeltaC: 0.2, EBar: 10}, // frontier
+		{Beta: 0.5, DeltaC: 0.6, EBar: 5},  // dominated by the first
+		{Beta: 0.2, DeltaC: 0.2, EBar: 12}, // dominated by the second
+	}
+	kept := ParetoFilter(pts)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d points: %+v", len(kept), kept)
+	}
+	for _, p := range kept {
+		if p.DeltaC == 0.6 || p.EBar == 12 {
+			t.Errorf("dominated point survived: %+v", p)
+		}
+	}
+	if out := ParetoFilter(nil); out != nil {
+		t.Errorf("nil input produced %v", out)
+	}
+}
+
+func TestParetoFilterAllIncomparable(t *testing.T) {
+	pts := []TradeoffPoint{
+		{DeltaC: 0.1, EBar: 10},
+		{DeltaC: 0.2, EBar: 5},
+		{DeltaC: 0.3, EBar: 3},
+	}
+	if kept := ParetoFilter(pts); len(kept) != 3 {
+		t.Errorf("kept %d, want all 3", len(kept))
+	}
+}

@@ -1,0 +1,58 @@
+// Energy-aware coverage: §VII of the paper proposes charging the cost
+// function for sensor movement, with energy use proportional to distance
+// traveled: D = Σ_i π_i Σ_{j≠i} p_ij d_ij is the mean travel distance per
+// Markov transition, and (D − γ)² prescribes a movement budget γ.
+//
+// This example sweeps the movement budget on the paper's 1×3 line and
+// reports the resulting schedules: a generous budget lets the sensor
+// bounce between the endpoints (low exposure), a tight budget forces it
+// to dwell (low energy, high exposure).
+//
+// Run with:
+//
+//	go run ./examples/energyaware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/coverage"
+)
+
+func main() {
+	scn, err := coverage.PaperTopology(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Movement-budget sweep (Topology 2, α=1, β=1e-4, energy weight 5):")
+	fmt.Printf("%-10s %-14s %-12s %-12s %-14s\n",
+		"budget γ", "achieved D", "ΔC", "Ē", "self-loop p̄_ii")
+	for _, gamma := range []float64{0.8, 0.4, 0.2, 0.05} {
+		plan, err := coverage.Optimize(scn,
+			coverage.Objectives{
+				Alpha:        1,
+				Beta:         1e-4,
+				EnergyWeight: 5,
+				EnergyTarget: gamma,
+			},
+			coverage.Options{MaxIters: 1200, Seed: 9},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var selfLoop float64
+		for i, row := range plan.TransitionMatrix {
+			selfLoop += row[i]
+		}
+		selfLoop /= float64(len(plan.TransitionMatrix))
+		fmt.Printf("%-10g %-14.4f %-12.5g %-12.4f %-14.4f\n",
+			gamma, plan.Energy, plan.DeltaC, plan.EBar, selfLoop)
+	}
+
+	fmt.Println("\nReading the output: as the budget γ tightens, the optimizer")
+	fmt.Println("raises the self-loop probabilities (the sensor dwells instead")
+	fmt.Println("of traveling), trading exposure Ē for motion energy — the")
+	fmt.Println("tradeoff the paper describes when reducing the exposure weight.")
+}

@@ -1,0 +1,61 @@
+// Adversarial patrol: §VII of the paper argues that a randomized schedule
+// is valuable against a smart adversary — if the intruder can predict the
+// sensor's position, it can time its activity to avoid detection. The
+// entropy of the Markov schedule quantifies that unpredictability.
+//
+// This example optimizes a patrol over a 2×2 site with and without the
+// entropy reward and compares:
+//
+//   - the schedule's entropy rate H (higher = harder to anticipate),
+//   - the coverage and exposure costs paid for the added randomness.
+//
+// Run with:
+//
+//	go run ./examples/patrol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/coverage"
+)
+
+func main() {
+	scn, err := coverage.PaperTopology(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Patrol schedule vs entropy reward λ (α=1, β=1e-4, Topology 1):")
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s\n", "λ", "entropy H", "ΔC", "Ē", "cost U")
+	var plans []*coverage.Plan
+	lambdas := []float64{0, 0.03, 0.3, 3}
+	for _, lam := range lambdas {
+		plan, err := coverage.Optimize(scn,
+			coverage.Objectives{Alpha: 1, Beta: 1e-4, EntropyWeight: lam},
+			coverage.Options{MaxIters: 1200, Seed: 5},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plans = append(plans, plan)
+		fmt.Printf("%-8g %-12.4f %-12.5g %-12.4f %-10.5g\n",
+			lam, plan.Entropy, plan.DeltaC, plan.EBar, plan.Cost)
+	}
+
+	// Show how the most and least random schedules distribute the next
+	// hop from PoI 1 — the practical difference an adversary would face.
+	fmt.Println("\nNext-hop distribution from PoI 1:")
+	fmt.Printf("  λ=%g: ", lambdas[0])
+	for _, v := range plans[0].TransitionMatrix[0] {
+		fmt.Printf("%.3f ", v)
+	}
+	fmt.Printf("\n  λ=%g: ", lambdas[len(lambdas)-1])
+	for _, v := range plans[len(plans)-1].TransitionMatrix[0] {
+		fmt.Printf("%.3f ", v)
+	}
+	fmt.Println()
+	fmt.Println("\nReading the output: increasing λ flattens the transition rows")
+	fmt.Println("(higher entropy rate), at a bounded increase in ΔC and Ē.")
+}

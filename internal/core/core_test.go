@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/descent"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func newPlanner(t *testing.T, topo *topology.Topology, alpha, beta float64) *Planner {
+	t.Helper()
+	p, err := NewPlanner(topo, cost.Uniform(topo.M(), alpha, beta))
+	if err != nil {
+		t.Fatalf("NewPlanner: %v", err)
+	}
+	return p
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(nil, cost.Weights{}); !errors.Is(err, ErrPlanner) {
+		t.Errorf("nil topology err = %v, want ErrPlanner", err)
+	}
+	top := topology.Topology2()
+	if _, err := NewPlanner(top, cost.Uniform(5, 1, 1)); err == nil {
+		t.Error("expected weight mismatch error")
+	}
+}
+
+func TestPlannerAccessors(t *testing.T) {
+	top := topology.Topology2()
+	p := newPlanner(t, top, 1, 1)
+	if p.Topology() != top {
+		t.Error("Topology accessor")
+	}
+	if p.Model() == nil {
+		t.Error("Model accessor")
+	}
+}
+
+func TestPlannerEndToEnd(t *testing.T) {
+	top := topology.Topology2()
+	p := newPlanner(t, top, 1, 1e-4)
+
+	res, err := p.Optimize(descent.Options{Variant: descent.Perturbed, MaxIters: 300, Seed: 3})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+
+	// The optimized schedule must beat the MH baseline under the same
+	// objective.
+	base, err := p.Baseline()
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	baseEval, err := p.Evaluate(base)
+	if err != nil {
+		t.Fatalf("Evaluate baseline: %v", err)
+	}
+	if res.Eval.U > baseEval.U {
+		t.Errorf("optimized U %v worse than baseline %v", res.Eval.U, baseEval.U)
+	}
+
+	// Simulation of the optimized schedule tracks its analytic coverage.
+	runs, err := p.Simulate(res.P, SimulateOptions{Steps: 100000, Seed: 5, Replications: 2})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("replications = %d", len(runs))
+	}
+	for i := range res.Eval.CBar {
+		if math.Abs(runs[0].CoverageShare[i]-res.Eval.CBar[i]) > 0.02 {
+			t.Errorf("share[%d]: simulated %v, analytic %v",
+				i, runs[0].CoverageShare[i], res.Eval.CBar[i])
+		}
+	}
+}
+
+func TestPlannerOptimizeMany(t *testing.T) {
+	p := newPlanner(t, topology.Topology1(), 0, 1)
+	results, err := p.OptimizeMany(descent.Options{Variant: descent.Adaptive, MaxIters: 100, Seed: 7}, 3)
+	if err != nil {
+		t.Fatalf("OptimizeMany: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if _, err := p.OptimizeMany(descent.Options{Variant: descent.Adaptive}, 0); !errors.Is(err, ErrPlanner) {
+		t.Errorf("zero runs err = %v, want ErrPlanner", err)
+	}
+}
+
+func TestPlannerNilArguments(t *testing.T) {
+	p := newPlanner(t, topology.Topology2(), 1, 1)
+	if _, err := p.Evaluate(nil); !errors.Is(err, ErrPlanner) {
+		t.Errorf("Evaluate(nil) err = %v, want ErrPlanner", err)
+	}
+	if _, err := p.Simulate(nil, SimulateOptions{}); !errors.Is(err, ErrPlanner) {
+		t.Errorf("Simulate(nil) err = %v, want ErrPlanner", err)
+	}
+}
+
+func TestPlannerSimulateDefaults(t *testing.T) {
+	p := newPlanner(t, topology.Topology2(), 1, 1)
+	base, err := p.Baseline()
+	if err != nil {
+		t.Fatalf("Baseline: %v", err)
+	}
+	runs, err := p.Simulate(base, SimulateOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(runs) != 1 || runs[0].Steps != 100000 {
+		t.Errorf("defaults not applied: %d runs, %d steps", len(runs), runs[0].Steps)
+	}
+	if _, err := p.Simulate(base, SimulateOptions{Seed: 1, TimeModel: sim.PhysicalInterrupted, Steps: 100}); err != nil {
+		t.Errorf("explicit time model: %v", err)
+	}
+}

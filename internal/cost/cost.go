@@ -1,0 +1,339 @@
+// Package cost implements the paper's multi-objective cost function U_ε
+// (Eq. 9) over Markov transition matrices, together with its exact
+// analytic gradient in transition-probability space (Eq. 10) and the
+// projection onto the stochastic-matrix tangent space (Eq. 11).
+//
+// The cost combines:
+//
+//   - the coverage-time deviation term ½ Σ_i α_i G_i² with
+//     G_i = Σ_{j,k} π_j p_jk (T_{jk,i} − Φ_i T_jk),
+//   - the exposure-time term ½ Σ_i β_i Ē_i² with
+//     Ē_i = Σ_{j≠i} p_ij R_ji / (1 − p_ii) (Eq. 3),
+//   - a log-barrier penalty keeping every p_ij inside (0, 1) (Eq. 9),
+//   - optional §VII extensions: an energy term ½ w_D (D − γ)² on the mean
+//     travel distance per transition, and an entropy reward −λH on the
+//     chain's entropy rate.
+//
+// All π-, Z- and R-dependent quantities come from package markov.
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/markov"
+	"repro/internal/mat"
+	"repro/internal/topology"
+)
+
+// ErrWeights indicates an invalid Weights configuration.
+var ErrWeights = errors.New("cost: invalid weights")
+
+// DefaultEpsilon is the paper's barrier width (ε = 0.0001 throughout §VI).
+const DefaultEpsilon = 1e-4
+
+// Weights configures the relative importance of the objectives.
+type Weights struct {
+	// Alpha are the per-PoI coverage-deviation weights α_i.
+	Alpha []float64
+	// Beta are the per-PoI exposure weights β_i.
+	Beta []float64
+	// Epsilon is the barrier width ε of Eq. 9; DefaultEpsilon if zero.
+	Epsilon float64
+
+	// EnergyWeight enables the §VII energy objective ½·w·(D − EnergyTarget)²
+	// when positive, where D = Σ_i π_i Σ_{j≠i} p_ij d_ij is the mean travel
+	// distance per transition.
+	EnergyWeight float64
+	// EnergyTarget is the prescribed mean movement γ.
+	EnergyTarget float64
+
+	// EntropyWeight λ adds −λ·H to the cost when positive, rewarding
+	// unpredictable schedules (§VII).
+	EntropyWeight float64
+}
+
+// Uniform returns Weights with α_i = alpha and β_i = beta for all m PoIs,
+// the configuration used throughout the paper's evaluation (§VI).
+func Uniform(m int, alpha, beta float64) Weights {
+	w := Weights{
+		Alpha:   make([]float64, m),
+		Beta:    make([]float64, m),
+		Epsilon: DefaultEpsilon,
+	}
+	for i := 0; i < m; i++ {
+		w.Alpha[i] = alpha
+		w.Beta[i] = beta
+	}
+	return w
+}
+
+// validate checks the weights against the number of PoIs.
+func (w *Weights) validate(m int) error {
+	if len(w.Alpha) != m || len(w.Beta) != m {
+		return fmt.Errorf("%w: %d alphas and %d betas for %d PoIs",
+			ErrWeights, len(w.Alpha), len(w.Beta), m)
+	}
+	for i := 0; i < m; i++ {
+		if w.Alpha[i] < 0 || w.Beta[i] < 0 {
+			return fmt.Errorf("%w: negative weight at PoI %d", ErrWeights, i)
+		}
+	}
+	if w.Epsilon < 0 || w.Epsilon >= 0.5 {
+		return fmt.Errorf("%w: epsilon %v outside [0, 0.5)", ErrWeights, w.Epsilon)
+	}
+	if w.EnergyWeight < 0 || w.EntropyWeight < 0 {
+		return fmt.Errorf("%w: negative extension weight", ErrWeights)
+	}
+	return nil
+}
+
+// Model evaluates U_ε and its gradient for a fixed topology and weights.
+type Model struct {
+	top *topology.Topology
+	w   Weights
+	// a[i][j*m+k] = T_{jk,i} − Φ_i·T_jk, the per-PoI coverage discrepancy
+	// coefficients, precomputed once.
+	a [][]float64
+	// travelRow[j*m+k] = T_jk for the denominator of C̄.
+	travel []float64
+}
+
+// NewModel validates the weights and precomputes the coverage coefficient
+// tables for the topology.
+func NewModel(top *topology.Topology, w Weights) (*Model, error) {
+	m := top.M()
+	if err := w.validate(m); err != nil {
+		return nil, err
+	}
+	if w.Epsilon == 0 {
+		w.Epsilon = DefaultEpsilon
+	}
+	// Copy the weight slices so later caller mutation cannot corrupt the
+	// model.
+	w.Alpha = append([]float64(nil), w.Alpha...)
+	w.Beta = append([]float64(nil), w.Beta...)
+
+	mod := &Model{
+		top:    top,
+		w:      w,
+		a:      make([][]float64, m),
+		travel: make([]float64, m*m),
+	}
+	for j := 0; j < m; j++ {
+		for k := 0; k < m; k++ {
+			mod.travel[j*m+k] = top.TravelTime(j, k)
+		}
+	}
+	for i := 0; i < m; i++ {
+		mod.a[i] = make([]float64, m*m)
+		phi := top.TargetAt(i)
+		for j := 0; j < m; j++ {
+			for k := 0; k < m; k++ {
+				mod.a[i][j*m+k] = top.CoverTime(j, k, i) - phi*top.TravelTime(j, k)
+			}
+		}
+	}
+	return mod, nil
+}
+
+// Topology returns the model's topology.
+func (m *Model) Topology() *topology.Topology { return m.top }
+
+// Weights returns a copy of the model's weights.
+func (m *Model) Weights() Weights {
+	w := m.w
+	w.Alpha = append([]float64(nil), w.Alpha...)
+	w.Beta = append([]float64(nil), w.Beta...)
+	return w
+}
+
+// Evaluation is the full breakdown of the cost at one transition matrix.
+type Evaluation struct {
+	// U is the total penalized cost U_ε (Eq. 9), the optimizer objective.
+	U float64
+	// Objective is U without the barrier penalty — the "real" cost of
+	// Eq. 4 plus any enabled extensions.
+	Objective float64
+
+	// CoverageTerm is ½ Σ_i α_i G_i².
+	CoverageTerm float64
+	// ExposureTerm is ½ Σ_i β_i Ē_i².
+	ExposureTerm float64
+	// Penalty is the barrier contribution.
+	Penalty float64
+	// EnergyTerm is ½ w_D (D − γ)² (zero when disabled).
+	EnergyTerm float64
+	// EntropyTerm is −λH (zero when disabled).
+	EntropyTerm float64
+
+	// DeltaC is the paper's coverage-time deviation metric Σ_i G_i²
+	// (Eq. 12, weight-free).
+	DeltaC float64
+	// EBar is the paper's aggregate exposure metric sqrt(Σ_i Ē_i²)
+	// (Eq. 13).
+	EBar float64
+	// G are the raw per-PoI coverage discrepancies G_i.
+	G []float64
+	// CBar is the achieved coverage-time distribution C̄_i (Eq. 2).
+	CBar []float64
+	// EBarI are the per-PoI mean exposure times Ē_i (Eq. 3).
+	EBarI []float64
+	// Energy is the mean travel distance per transition D (§VII).
+	Energy float64
+	// Entropy is the chain's entropy rate H (§VII).
+	Entropy float64
+
+	// Sol carries the chain solution (π, Z, R) the evaluation used.
+	Sol *markov.Solution
+}
+
+// Evaluate computes the full cost breakdown at transition matrix p.
+// It returns markov.ErrNotErgodic if the chain has no limiting behavior.
+func (m *Model) Evaluate(p *mat.Matrix) (*Evaluation, error) {
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := chain.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return m.EvaluateSolved(sol)
+}
+
+// EvaluateSolved computes the cost breakdown from an existing chain
+// solution, avoiding a re-solve when the caller already has one.
+func (m *Model) EvaluateSolved(sol *markov.Solution) (*Evaluation, error) {
+	n := m.top.M()
+	if len(sol.Pi) != n {
+		return nil, fmt.Errorf("%w: solution for %d states, topology has %d",
+			ErrWeights, len(sol.Pi), n)
+	}
+	ev := &Evaluation{
+		Sol:   sol,
+		G:     make([]float64, n),
+		CBar:  make([]float64, n),
+		EBarI: make([]float64, n),
+	}
+	p := sol.P
+
+	// Coverage: G_i = Σ_{j,k} π_j p_jk a^{(i)}_{jk}; C̄_i from Eq. 2.
+	var totalTime float64 // Σ π_j p_jk T_jk
+	coverNum := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			w := sol.Pi[j] * p.At(j, k)
+			if w == 0 {
+				continue
+			}
+			totalTime += w * m.travel[j*n+k]
+			for i := 0; i < n; i++ {
+				coverNum[i] += w * m.top.CoverTime(j, k, i)
+				ev.G[i] += w * m.a[i][j*n+k]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ev.CBar[i] = coverNum[i] / totalTime
+		ev.CoverageTerm += 0.5 * m.w.Alpha[i] * ev.G[i] * ev.G[i]
+		ev.DeltaC += ev.G[i] * ev.G[i]
+	}
+
+	// Exposure: Ē_i = Σ_{j≠i} p_ij R_ji / (1 − p_ii) (Eq. 3).
+	var sumE2 float64
+	for i := 0; i < n; i++ {
+		denom := 1 - p.At(i, i)
+		if denom <= 0 {
+			// p_ii = 1 would make the chain reducible; Solve rejects that
+			// earlier, so this is purely defensive.
+			return nil, fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, i, i)
+		}
+		var s float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			s += p.At(i, j) * sol.R.At(j, i)
+		}
+		ev.EBarI[i] = s / denom
+		ev.ExposureTerm += 0.5 * m.w.Beta[i] * ev.EBarI[i] * ev.EBarI[i]
+		sumE2 += ev.EBarI[i] * ev.EBarI[i]
+	}
+	ev.EBar = math.Sqrt(sumE2)
+
+	// Barrier penalty (Eq. 9).
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			ev.Penalty += barrier(p.At(j, k), m.w.Epsilon)
+		}
+	}
+
+	// §VII extensions.
+	if m.w.EnergyWeight > 0 {
+		ev.Energy = m.energy(sol)
+		d := ev.Energy - m.w.EnergyTarget
+		ev.EnergyTerm = 0.5 * m.w.EnergyWeight * d * d
+	} else {
+		ev.Energy = m.energy(sol)
+	}
+	ev.Entropy = sol.EntropyRate()
+	if m.w.EntropyWeight > 0 {
+		ev.EntropyTerm = -m.w.EntropyWeight * ev.Entropy
+	}
+
+	ev.Objective = ev.CoverageTerm + ev.ExposureTerm + ev.EnergyTerm + ev.EntropyTerm
+	ev.U = ev.Objective + ev.Penalty
+	return ev, nil
+}
+
+// energy returns D = Σ_i π_i Σ_{j≠i} p_ij d_ij.
+func (m *Model) energy(sol *markov.Solution) float64 {
+	n := m.top.M()
+	var d float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d += sol.Pi[i] * sol.P.At(i, j) * m.top.Distance(i, j)
+		}
+	}
+	return d
+}
+
+// barrier is the Eq. 9 penalty for a single entry: zero in [ε, 1−ε],
+// blowing up to +∞ as p approaches 0 or 1.
+func barrier(p, eps float64) float64 {
+	var b float64
+	if p <= eps {
+		if p <= 0 {
+			return math.Inf(1)
+		}
+		d := eps - p
+		b += -(1 / eps) * math.Log(p) * d * d
+	}
+	if p >= 1-eps {
+		if p >= 1 {
+			return math.Inf(1)
+		}
+		d := 1 - eps - p
+		b += -(1 / eps) * math.Log(1-p) * d * d
+	}
+	return b
+}
+
+// barrierDeriv is d(barrier)/dp.
+func barrierDeriv(p, eps float64) float64 {
+	var g float64
+	if p <= eps && p > 0 {
+		d := eps - p
+		g += -(1 / eps) * (d*d/p - 2*math.Log(p)*d)
+	}
+	if p >= 1-eps && p < 1 {
+		d := 1 - eps - p
+		g += -(1 / eps) * (-d*d/(1-p) - 2*math.Log(1-p)*d)
+	}
+	return g
+}

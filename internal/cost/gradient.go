@@ -1,0 +1,188 @@
+package cost
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Gradient evaluates the cost at p and returns the evaluation together
+// with the unprojected gradient [D_P U] of Eq. 10:
+//
+//	[D_P U]_kl = Σ_i π_k z_li ∂U/∂π_i
+//	           + Σ_ij ∂U/∂z_ij (z_ik z_lj − π_k (Z²)_lj)
+//	           + ∂U/∂p_kl.
+//
+// The partials ∂U/∂π, ∂U/∂Z, ∂U/∂P treat π, Z and P as independent
+// variables; the chain rule through π(P) and Z(P) is supplied by
+// Schweitzer's perturbation formulas, which the tensor contractions above
+// encode. Callers typically project the result with Project before
+// stepping so the iterate stays row-stochastic.
+func (m *Model) Gradient(p *mat.Matrix) (*Evaluation, *mat.Matrix, error) {
+	ev, err := m.Evaluate(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := m.gradientFromEval(ev)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, g, nil
+}
+
+// gradientFromEval assembles [D_P U] from a completed evaluation.
+func (m *Model) gradientFromEval(ev *Evaluation) (*mat.Matrix, error) {
+	n := m.top.M()
+	sol := ev.Sol
+	p := sol.P
+
+	dUdPi := make([]float64, n)
+	dUdZ := mat.New(n, n)
+	dUdP := mat.New(n, n)
+
+	// --- Coverage term: ½ Σ_i α_i G_i². ---
+	for i := 0; i < n; i++ {
+		c := m.w.Alpha[i] * ev.G[i]
+		if c == 0 {
+			continue
+		}
+		ai := m.a[i]
+		for j := 0; j < n; j++ {
+			var rowDot float64 // Σ_k p_jk a^{(i)}_{jk}
+			for k := 0; k < n; k++ {
+				a := ai[j*n+k]
+				rowDot += p.At(j, k) * a
+				dUdP.Add(j, k, c*sol.Pi[j]*a)
+			}
+			dUdPi[j] += c * rowDot
+		}
+	}
+
+	// --- Exposure term: ½ Σ_i β_i Ē_i². ---
+	for i := 0; i < n; i++ {
+		e := m.w.Beta[i] * ev.EBarI[i]
+		if e == 0 {
+			continue
+		}
+		denom := 1 - p.At(i, i)
+		pi := sol.Pi[i]
+		dUdPi[i] -= e * ev.EBarI[i] / pi
+		dUdZ.Add(i, i, e/pi)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dUdZ.Add(j, i, -e*p.At(i, j)/(pi*denom))
+			dUdP.Add(i, j, e*(sol.Z.At(i, i)-sol.Z.At(j, i))/(pi*denom))
+		}
+		dUdP.Add(i, i, e*ev.EBarI[i]/denom)
+	}
+
+	// --- Barrier penalty. ---
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if g := barrierDeriv(p.At(j, k), m.w.Epsilon); g != 0 {
+				dUdP.Add(j, k, g)
+			}
+		}
+	}
+
+	// --- Energy extension: ½ w (D − γ)². ---
+	if m.w.EnergyWeight > 0 {
+		c := m.w.EnergyWeight * (ev.Energy - m.w.EnergyTarget)
+		for i := 0; i < n; i++ {
+			var rowDist float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				d := m.top.Distance(i, j)
+				rowDist += p.At(i, j) * d
+				dUdP.Add(i, j, c*sol.Pi[i]*d)
+			}
+			dUdPi[i] += c * rowDist
+		}
+	}
+
+	// --- Entropy extension: −λ H. ---
+	if m.w.EntropyWeight > 0 {
+		lam := m.w.EntropyWeight
+		for i := 0; i < n; i++ {
+			var rowEnt float64 // Σ_j p_ij ln p_ij
+			for j := 0; j < n; j++ {
+				pij := p.At(i, j)
+				if pij <= 0 {
+					continue
+				}
+				lp := math.Log(pij)
+				rowEnt += pij * lp
+				dUdP.Add(i, j, lam*sol.Pi[i]*(lp+1))
+			}
+			dUdPi[i] += lam * rowEnt
+		}
+	}
+
+	// --- Assemble Eq. 10 with O(M³) contractions. ---
+	// term1_kl = π_k (Z·dUdPi)_l.
+	q, err := mat.MulVec(sol.Z, dUdPi)
+	if err != nil {
+		return nil, err
+	}
+	// term2a = Zᵀ · dUdZ · Zᵀ.
+	zt := mat.Transpose(sol.Z)
+	tmp, err := mat.Mul(dUdZ, zt)
+	if err != nil {
+		return nil, err
+	}
+	term2a, err := mat.Mul(zt, tmp)
+	if err != nil {
+		return nil, err
+	}
+	// term2b_kl = π_k (Z²·colsums(dUdZ))_l.
+	colsum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			colsum[j] += dUdZ.At(i, j)
+		}
+	}
+	r, err := mat.MulVec(sol.Z2, colsum)
+	if err != nil {
+		return nil, err
+	}
+
+	grad := mat.New(n, n)
+	for k := 0; k < n; k++ {
+		for l := 0; l < n; l++ {
+			grad.Set(k, l, sol.Pi[k]*(q[l]-r[l])+term2a.At(k, l)+dUdP.At(k, l))
+		}
+	}
+	return grad, nil
+}
+
+// Project applies Eq. 11: it subtracts each row's mean so every row of the
+// result sums to zero, making the negated result a feasible descent
+// direction within the stochastic-matrix polytope's affine hull.
+func Project(g *mat.Matrix) *mat.Matrix {
+	n := g.Rows()
+	cols := g.Cols()
+	out := mat.New(n, cols)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < cols; j++ {
+			sum += g.At(i, j)
+		}
+		mean := sum / float64(cols)
+		for j := 0; j < cols; j++ {
+			out.Set(i, j, g.At(i, j)-mean)
+		}
+	}
+	return out
+}
+
+// DirectionalDerivative returns ⟨[D_P U], V⟩, the rate of change of U
+// along the perturbation direction V. For zero-row-sum V this equals
+// d/dt U(P + tV) at t = 0, the property the finite-difference tests
+// verify.
+func DirectionalDerivative(grad, v *mat.Matrix) (float64, error) {
+	return mat.FrobeniusInner(grad, v)
+}

@@ -1,0 +1,730 @@
+// Package descent implements the paper's steepest-descent search over the
+// space of all Markov transition matrices (Sections IV–V), in the three
+// configurations evaluated in §VI:
+//
+//   - Basic (V1): uniform initialization p_ij = 1/M and a fixed step Δt.
+//   - Adaptive (V2+V3): random initialization and an optimal step chosen
+//     each iteration by a conservative trisection line search bounded by
+//     the box constraints 0 ≤ p_ij ≤ 1; a zero optimal step flags a local
+//     optimum and terminates the search.
+//   - Perturbed (V2+V3+V4): the adaptive algorithm with mean-zero Gaussian
+//     noise added to [D_P U] and a simulated-annealing acceptance rule
+//     (Hajek logarithmic cooling, T(n) = k / log(n+1)) that lets the
+//     search escape the numerous local optima of the solution space.
+//
+// Every step direction is the negated projection (Eq. 11) of the gradient
+// [D_P U] (Eq. 10), so iterates keep exact unit row sums; a configurable
+// probability floor keeps them strictly inside the polytope, matching the
+// role of the paper's barrier penalty.
+package descent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Optimizer configuration errors.
+var (
+	// ErrOptions indicates an invalid Options configuration.
+	ErrOptions = errors.New("descent: invalid options")
+)
+
+// Variant selects the algorithm configuration from Section V.
+type Variant int
+
+// The three algorithm configurations evaluated in the paper.
+const (
+	// Basic is variant V1: uniform init, fixed time step.
+	Basic Variant = iota + 1
+	// Adaptive is V2+V3: random init, trisection line search.
+	Adaptive
+	// Perturbed is V2+V3+V4: Adaptive plus gradient noise and annealed
+	// acceptance of worsening moves.
+	Perturbed
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Basic:
+		return "basic"
+	case Adaptive:
+		return "adaptive"
+	case Perturbed:
+		return "perturbed"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Defaults mirroring the paper's experimental settings (§VI).
+const (
+	// DefaultFixedStep is the paper's Δt = 0.000001 for the basic variant.
+	DefaultFixedStep = 1e-6
+	// DefaultAnnealK is the paper's annealing constant k = 10000.
+	DefaultAnnealK = 10000
+	// DefaultNoiseStdDev is the Gaussian σ applied to [D_P U] in V4,
+	// relative to the gradient's max-norm. Calibrated so independent runs
+	// land on the same optimum (see DESIGN.md §5 and the noise ablation
+	// bench).
+	DefaultNoiseStdDev = 0.1
+	// DefaultMaxIters bounds the optimization loop.
+	DefaultMaxIters = 2000
+	// DefaultMinProb keeps every transition probability strictly positive,
+	// preserving ergodicity along the whole trajectory.
+	DefaultMinProb = 1e-7
+	// DefaultLineSearchTol is the relative bracket width at which the
+	// trisection stops.
+	DefaultLineSearchTol = 1e-3
+	// DefaultStallIters is the number of consecutive non-improving
+	// iterations after which the perturbed variant stops.
+	DefaultStallIters = 200
+	// DefaultTolerance is the relative improvement below which an
+	// iteration counts as stalled.
+	DefaultTolerance = 1e-10
+)
+
+// Options configures an optimization run. Zero values select the package
+// defaults above.
+type Options struct {
+	// Variant selects Basic, Adaptive or Perturbed. Required.
+	Variant Variant
+	// MaxIters bounds the number of iterations.
+	MaxIters int
+	// FixedStep is the Δt used by the Basic variant.
+	FixedStep float64
+	// InitialP overrides the variant's initialization when non-nil; it
+	// must be ergodic and row-stochastic.
+	InitialP *mat.Matrix
+	// Seed drives random initialization (V2) and perturbations (V4).
+	Seed uint64
+	// NoiseStdDev is the σ of the Gaussian noise added to [D_P U] in V4.
+	NoiseStdDev float64
+	// AnnealK is the annealing constant k in T(n) = k / log(n+1).
+	AnnealK float64
+	// MinProb is the floor keeping entries strictly inside (0, 1).
+	MinProb float64
+	// LineSearchTol is the relative bracket width stopping the trisection.
+	LineSearchTol float64
+	// StallIters stops the run after this many non-improving iterations
+	// (Adaptive stops at the first zero step regardless).
+	StallIters int
+	// Tolerance is the relative improvement threshold for stall counting.
+	Tolerance float64
+	// RecordTrace captures one IterRecord per iteration in the result.
+	RecordTrace bool
+	// OnIteration, when non-nil, is invoked after every iteration with the
+	// current record and accepted matrix; experiment harnesses use it to
+	// drive side-by-side simulations (Figs. 6–8).
+	OnIteration func(rec IterRecord, p *mat.Matrix)
+}
+
+// withDefaults returns a copy of o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = DefaultMaxIters
+	}
+	if o.FixedStep == 0 {
+		o.FixedStep = DefaultFixedStep
+	}
+	if o.NoiseStdDev == 0 {
+		o.NoiseStdDev = DefaultNoiseStdDev
+	}
+	if o.AnnealK == 0 {
+		o.AnnealK = DefaultAnnealK
+	}
+	if o.MinProb == 0 {
+		o.MinProb = DefaultMinProb
+	}
+	if o.LineSearchTol == 0 {
+		o.LineSearchTol = DefaultLineSearchTol
+	}
+	if o.StallIters == 0 {
+		o.StallIters = DefaultStallIters
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = DefaultTolerance
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	switch o.Variant {
+	case Basic, Adaptive, Perturbed:
+	default:
+		return fmt.Errorf("%w: unknown variant %d", ErrOptions, int(o.Variant))
+	}
+	if o.MaxIters < 0 || o.FixedStep < 0 || o.NoiseStdDev < 0 ||
+		o.AnnealK < 0 || o.MinProb < 0 || o.LineSearchTol < 0 ||
+		o.StallIters < 0 || o.Tolerance < 0 {
+		return fmt.Errorf("%w: negative numeric option", ErrOptions)
+	}
+	if o.MinProb >= 0.5 {
+		return fmt.Errorf("%w: MinProb %v too large", ErrOptions, o.MinProb)
+	}
+	return nil
+}
+
+// IterRecord is one iteration of the optimization trace.
+type IterRecord struct {
+	// Iter is the 1-based iteration number.
+	Iter int
+	// U is the penalized cost after the iteration's accepted state.
+	U float64
+	// Objective is the unpenalized cost.
+	Objective float64
+	// DeltaC and EBar are the paper's two metrics (Eqs. 12–13).
+	DeltaC float64
+	EBar   float64
+	// Step is the step size taken this iteration (0 when the move was
+	// rejected).
+	Step float64
+	// Accepted reports whether the candidate move was kept.
+	Accepted bool
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// P is the best transition matrix found.
+	P *mat.Matrix
+	// Eval is the cost breakdown at P.
+	Eval *cost.Evaluation
+	// Iters is the number of iterations executed.
+	Iters int
+	// Converged reports whether the run stopped before MaxIters (zero
+	// adaptive step, or stall detection).
+	Converged bool
+	// LocalOptimum reports that the adaptive line search returned a zero
+	// step (the paper's definition of hitting a local optimum).
+	LocalOptimum bool
+	// Accepted and Rejected count candidate moves kept and discarded —
+	// for the perturbed variant the ratio exposes how often the annealed
+	// acceptance is actually consulted.
+	Accepted int
+	Rejected int
+	// Trace holds per-iteration records when Options.RecordTrace is set.
+	Trace []IterRecord
+}
+
+// Optimizer runs steepest descent for one cost model.
+type Optimizer struct {
+	model *cost.Model
+	opts  Options
+	src   *rng.Source
+}
+
+// New validates the options and builds an Optimizer.
+func New(model *cost.Model, opts Options) (*Optimizer, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	return &Optimizer{
+		model: model,
+		opts:  opts,
+		src:   rng.New(opts.Seed),
+	}, nil
+}
+
+// UniformInit returns the V1 initialization p_ij = 1/M.
+func UniformInit(m int) *mat.Matrix {
+	p := mat.New(m, m)
+	v := 1 / float64(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			p.Set(i, j, v)
+		}
+	}
+	return p
+}
+
+// RandomInit returns the V2 initialization: each row is drawn with the
+// paper's rand·rem/M scheme and then floored at minProb (renormalizing) so
+// the chain is ergodic and every entry is strictly inside the polytope.
+func RandomInit(src *rng.Source, m int, minProb float64) *mat.Matrix {
+	p := mat.New(m, m)
+	row := make([]float64, m)
+	for i := 0; i < m; i++ {
+		src.StochasticRow(row)
+		clampRow(row, minProb)
+		p.SetRow(i, row)
+	}
+	return p
+}
+
+// clampRow raises entries below floor to floor and renormalizes the row to
+// unit sum.
+func clampRow(row []float64, floor float64) {
+	if floor <= 0 {
+		return
+	}
+	var sum float64
+	for i := range row {
+		if row[i] < floor {
+			row[i] = floor
+		}
+		sum += row[i]
+	}
+	for i := range row {
+		row[i] /= sum
+	}
+}
+
+// initialMatrix picks the starting point per the variant.
+func (o *Optimizer) initialMatrix() *mat.Matrix {
+	if o.opts.InitialP != nil {
+		p := o.opts.InitialP.Clone()
+		for i := 0; i < p.Rows(); i++ {
+			row := p.Row(i)
+			clampRow(row, o.opts.MinProb)
+			p.SetRow(i, row)
+		}
+		return p
+	}
+	m := o.model.Topology().M()
+	if o.opts.Variant == Basic {
+		return UniformInit(m)
+	}
+	return RandomInit(o.src, m, o.opts.MinProb)
+}
+
+// Run executes the configured optimization and returns the best solution
+// found.
+func (o *Optimizer) Run() (*Result, error) {
+	switch o.opts.Variant {
+	case Basic:
+		return o.runBasic()
+	case Adaptive:
+		return o.runAdaptive()
+	case Perturbed:
+		return o.runPerturbed()
+	default:
+		return nil, fmt.Errorf("%w: unknown variant", ErrOptions)
+	}
+}
+
+// record appends a trace record and fires the iteration callback.
+func (o *Optimizer) record(res *Result, rec IterRecord, p *mat.Matrix) {
+	if o.opts.RecordTrace {
+		res.Trace = append(res.Trace, rec)
+	}
+	if o.opts.OnIteration != nil {
+		o.opts.OnIteration(rec, p)
+	}
+}
+
+// runBasic is variant V1: a fixed-step projected gradient loop.
+func (o *Optimizer) runBasic() (*Result, error) {
+	p := o.initialMatrix()
+	ev, err := o.model.Evaluate(p)
+	if err != nil {
+		return nil, fmt.Errorf("descent: evaluate initial point: %w", err)
+	}
+	res := &Result{P: p.Clone(), Eval: ev}
+	best := ev.U
+	stall := 0
+	for iter := 1; iter <= o.opts.MaxIters; iter++ {
+		_, grad, err := o.model.Gradient(p)
+		if err != nil {
+			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
+		}
+		dir := cost.Project(grad)
+		mat.ScaleInPlace(-1, dir)
+
+		// Clip the fixed step to the feasibility bound so the iterate
+		// never leaves the polytope interior.
+		step := o.opts.FixedStep
+		if bound := maxFeasibleStep(p, dir, o.opts.MinProb); bound < step {
+			step = bound
+		}
+		if step > 0 {
+			if err := mat.AddInPlace(p, step, dir); err != nil {
+				return nil, err
+			}
+		}
+		ev, err = o.model.Evaluate(p)
+		if err != nil {
+			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
+		}
+		res.Iters = iter
+		res.Accepted++
+		o.record(res, IterRecord{
+			Iter: iter, U: ev.U, Objective: ev.Objective,
+			DeltaC: ev.DeltaC, EBar: ev.EBar, Step: step, Accepted: true,
+		}, p)
+		if ev.U < best {
+			if best-ev.U < o.opts.Tolerance*math.Max(1, math.Abs(best)) {
+				stall++
+			} else {
+				stall = 0
+			}
+			best = ev.U
+			res.P = p.Clone()
+			res.Eval = ev
+		} else {
+			stall++
+		}
+		if stall >= o.opts.StallIters {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// runAdaptive is V2+V3: line-searched descent that stops at the first
+// local optimum.
+func (o *Optimizer) runAdaptive() (*Result, error) {
+	p := o.initialMatrix()
+	ev, err := o.model.Evaluate(p)
+	if err != nil {
+		return nil, fmt.Errorf("descent: evaluate initial point: %w", err)
+	}
+	res := &Result{P: p.Clone(), Eval: ev}
+	stall := 0
+	for iter := 1; iter <= o.opts.MaxIters; iter++ {
+		_, grad, err := o.model.Gradient(p)
+		if err != nil {
+			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
+		}
+		dir := cost.Project(grad)
+		mat.ScaleInPlace(-1, dir)
+
+		step, _, ok := o.lineSearch(p, dir, ev.U)
+		res.Iters = iter
+		if !ok || step == 0 {
+			// Δt* = 0: the paper's criterion for a local optimum.
+			res.Converged = true
+			res.LocalOptimum = true
+			o.record(res, IterRecord{
+				Iter: iter, U: ev.U, Objective: ev.Objective,
+				DeltaC: ev.DeltaC, EBar: ev.EBar, Step: 0, Accepted: false,
+			}, p)
+			break
+		}
+		prevU := ev.U
+		if err := mat.AddInPlace(p, step, dir); err != nil {
+			return nil, err
+		}
+		ev, err = o.model.Evaluate(p)
+		if err != nil {
+			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
+		}
+		res.Accepted++
+		o.record(res, IterRecord{
+			Iter: iter, U: ev.U, Objective: ev.Objective,
+			DeltaC: ev.DeltaC, EBar: ev.EBar, Step: step, Accepted: true,
+		}, p)
+		if ev.U < res.Eval.U {
+			res.P = p.Clone()
+			res.Eval = ev
+		}
+		// "Within some tolerance level" (§V): many consecutive iterations
+		// of negligible relative improvement is a practical Δt* ≈ 0.
+		if prevU-ev.U < o.opts.Tolerance*math.Max(1, math.Abs(prevU)) {
+			stall++
+		} else {
+			stall = 0
+		}
+		if stall >= o.opts.StallIters {
+			res.Converged = true
+			res.LocalOptimum = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// runPerturbed is V2+V3+V4: noisy descent with annealed acceptance.
+func (o *Optimizer) runPerturbed() (*Result, error) {
+	p := o.initialMatrix()
+	ev, err := o.model.Evaluate(p)
+	if err != nil {
+		return nil, fmt.Errorf("descent: evaluate initial point: %w", err)
+	}
+	res := &Result{P: p.Clone(), Eval: ev}
+	bestU := ev.U
+	curU := ev.U
+	stall := 0
+	for iter := 1; iter <= o.opts.MaxIters; iter++ {
+		_, grad, err := o.model.Gradient(p)
+		if err != nil {
+			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
+		}
+		// V4: perturb [D_P U] with mean-zero Gaussian noise scaled to the
+		// gradient's own magnitude, then project.
+		scale := mat.MaxAbs(grad)
+		if scale == 0 {
+			scale = 1
+		}
+		noisy := grad.Clone()
+		for i := 0; i < noisy.Rows(); i++ {
+			for j := 0; j < noisy.Cols(); j++ {
+				noisy.Add(i, j, o.src.Norm(0, o.opts.NoiseStdDev*scale))
+			}
+		}
+		dir := cost.Project(noisy)
+		mat.ScaleInPlace(-1, dir)
+
+		step, _, ok := o.lineSearch(p, dir, curU)
+		if !ok || step == 0 {
+			// Zero optimal step: take a uniform random step within bounds
+			// (the paper's escape move).
+			bound := maxFeasibleStep(p, dir, o.opts.MinProb)
+			if bound <= 0 {
+				stall++
+				if stall >= o.opts.StallIters {
+					res.Converged = true
+					res.Iters = iter
+					break
+				}
+				continue
+			}
+			step = o.src.Uniform(0, bound)
+		}
+
+		cand := p.Clone()
+		if err := mat.AddInPlace(cand, step, dir); err != nil {
+			return nil, err
+		}
+		candEv, err := o.model.Evaluate(cand)
+		if err != nil {
+			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
+		}
+
+		accepted := false
+		if candEv.U < curU {
+			accepted = true
+		} else {
+			// Annealed acceptance with Hajek logarithmic cooling
+			// T(n) = k / log(n+1); Δ is the worsening normalized by the
+			// best cost so far so the schedule is scale-free (see
+			// DESIGN.md on the paper's formula).
+			norm := math.Abs(bestU)
+			if norm == 0 {
+				norm = 1
+			}
+			delta := (candEv.U - curU) / norm
+			temp := o.opts.AnnealK / math.Log(float64(iter)+1)
+			if temp > 0 && o.src.Float64() < math.Exp(-delta/temp) {
+				accepted = true
+			}
+		}
+
+		res.Iters = iter
+		if accepted {
+			res.Accepted++
+			p = cand
+			ev = candEv
+			curU = candEv.U
+		} else {
+			res.Rejected++
+		}
+		o.record(res, IterRecord{
+			Iter: iter, U: curU, Objective: ev.Objective,
+			DeltaC: ev.DeltaC, EBar: ev.EBar, Step: step, Accepted: accepted,
+		}, p)
+
+		if candEv.U < bestU-o.opts.Tolerance*math.Max(1, math.Abs(bestU)) {
+			stall = 0
+		} else {
+			stall++
+		}
+		if candEv.U < bestU {
+			bestU = candEv.U
+			res.P = cand.Clone()
+			res.Eval = candEv
+		}
+		if stall >= o.opts.StallIters {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// maxFeasibleStep returns the largest δ ≥ 0 such that every entry of
+// p + δ·dir stays within [floor, 1-floor]. Row sums are preserved by the
+// projection, so only the box constraints bind.
+func maxFeasibleStep(p, dir *mat.Matrix, floor float64) float64 {
+	bound := math.Inf(1)
+	n := p.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < p.Cols(); j++ {
+			v := dir.At(i, j)
+			if v == 0 {
+				continue
+			}
+			cur := p.At(i, j)
+			var room float64
+			if v > 0 {
+				room = (1 - floor - cur) / v
+			} else {
+				room = (floor - cur) / v
+			}
+			if room < bound {
+				bound = room
+			}
+		}
+	}
+	if math.IsInf(bound, 1) || bound < 0 {
+		return 0
+	}
+	return bound
+}
+
+// lineSearch implements V3: an approximate minimization of
+// φ(δ) = U(P + δ·dir) over [0, δ_max]. Because the minimizer is routinely
+// orders of magnitude smaller than the feasibility bound (the gradient
+// magnitude sets the natural step scale, not the box constraints), a
+// linear trisection alone cannot resolve it; the search therefore first
+// brackets the minimizer on a geometric (log-scale) grid and then runs the
+// paper's conservative trisection inside that bracket. It returns the
+// chosen step, the cost at that step, and false when no positive step
+// improves on curU (the paper's Δt* = 0 case).
+func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float64, bool) {
+	bound := maxFeasibleStep(p, dir, o.opts.MinProb)
+	if bound <= 0 {
+		return 0, curU, false
+	}
+	phi := func(delta float64) float64 {
+		cand := p.Clone()
+		if err := mat.AddInPlace(cand, delta, dir); err != nil {
+			return math.Inf(1)
+		}
+		ev, err := o.model.Evaluate(cand)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return ev.U
+	}
+	// Any numerically meaningful improvement counts; convergence ("within
+	// some tolerance level", §V) is judged by the caller's stall counter,
+	// not here, so the search is not cut off prematurely.
+	target := curU - 1e-15*math.Max(1, math.Abs(curU))
+
+	// Phase 1: geometric scan δ_k = bound / 4^k. The scan stops once the
+	// incumbent has been left behind by two scales (φ is locally unimodal
+	// in log δ near the minimizer) or the steps become physically
+	// meaningless.
+	const shrink = 4.0
+	bestStep, bestU := 0.0, curU
+	worseStreak := 0
+	for k, delta := 0, bound; k < 48 && delta > 1e-18*bound; k, delta = k+1, delta/shrink {
+		u := phi(delta)
+		if u < bestU {
+			bestStep, bestU = delta, u
+			worseStreak = 0
+		} else if bestStep > 0 {
+			worseStreak++
+			if worseStreak >= 2 {
+				break
+			}
+		}
+	}
+	if bestStep == 0 || bestU >= target {
+		return 0, curU, false
+	}
+
+	// Phase 2: conservative trisection within one geometric scale on each
+	// side of the phase-1 incumbent.
+	lo := bestStep / shrink
+	hi := math.Min(bound, bestStep*shrink)
+	tol := o.opts.LineSearchTol * (hi - lo)
+	for hi-lo > tol {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		u1 := phi(m1)
+		u2 := phi(m2)
+		if u1 < bestU {
+			bestStep, bestU = m1, u1
+		}
+		if u2 < bestU {
+			bestStep, bestU = m2, u2
+		}
+		// Conservative trisection: remove exactly one outer sub-section.
+		if u1 <= u2 {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return bestStep, bestU, true
+}
+
+// RunMany executes n independent runs with seeds split from opts.Seed and
+// returns all results; the experiment harness uses it for the CDFs of
+// Fig. 2 and the statistics of Table III.
+func RunMany(model *cost.Model, opts Options, n int) ([]*Result, error) {
+	return RunManyParallel(model, opts, n, 1)
+}
+
+// RunManyParallel is RunMany with up to `workers` runs in flight at once.
+// Results are identical to the sequential version for any worker count:
+// per-run seeds are split from opts.Seed up front and results land at
+// their run's index. The cost model is shared across workers, which is
+// safe because Model is immutable after construction.
+func RunManyParallel(model *cost.Model, opts Options, n, workers int) ([]*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d runs", ErrOptions, n)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	master := rng.New(opts.Seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	out := make([]*Result, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = runOne(model, opts, seeds[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					out[i], errs[i] = runOne(model, opts, seeds[i])
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("descent: run %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// runOne executes a single seeded run.
+func runOne(model *cost.Model, opts Options, seed uint64) (*Result, error) {
+	runOpts := opts
+	runOpts.Seed = seed
+	opt, err := New(model, runOpts)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Run()
+}

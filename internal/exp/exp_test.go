@@ -1,0 +1,524 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testScale keeps the experiments structurally identical to the paper's
+// but cheap enough for CI.
+var testScale = Scale{
+	Runs:        6,
+	OptIters:    300,
+	SimSteps:    8000,
+	SimReps:     2,
+	TracePoints: 10,
+	Seed:        7,
+}
+
+// sweepScale gives the tradeoff sweep a larger budget since its
+// assertions compare converged metrics.
+var sweepScale = Scale{
+	Runs:        6,
+	OptIters:    900,
+	SimSteps:    8000,
+	SimReps:     2,
+	TracePoints: 10,
+	Seed:        7,
+}
+
+func TestScaleValidate(t *testing.T) {
+	bad := Scale{}
+	if _, err := TableI(bad); !errors.Is(err, ErrScale) {
+		t.Errorf("err = %v, want ErrScale", err)
+	}
+	if _, err := TableIII(bad); !errors.Is(err, ErrScale) {
+		t.Errorf("err = %v, want ErrScale", err)
+	}
+	if _, err := TableIV(bad); !errors.Is(err, ErrScale) {
+		t.Errorf("err = %v, want ErrScale", err)
+	}
+	if _, _, err := Figure2(bad); !errors.Is(err, ErrScale) {
+		t.Errorf("err = %v, want ErrScale", err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "T",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "333") {
+		t.Errorf("render = %q", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "333,4") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		Title: "F", XLabel: "x", YLabel: "y",
+		Lines: []Line{
+			{Name: "l1", X: []float64{1, 2, 3}, Y: []float64{0.1, 0.2, 0.3}},
+			{Name: "empty"},
+		},
+	}
+	out := fig.Render()
+	if !strings.Contains(out, "l1") || !strings.Contains(out, "(no data)") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := &Figure{
+		Title: "F",
+		Lines: []Line{{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.25}}},
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "line,x,y\n") {
+		t.Errorf("csv header: %q", csv)
+	}
+	if !strings.Contains(csv, "a,1.0000,0.5000") {
+		t.Errorf("csv rows: %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.25:   "0.2500",
+		1e-7:   "1.000e-07",
+		2.5e+7: "2.500e+07",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestTradeoffSweepTrend verifies the paper's central tradeoff (Tables
+// I/II): reducing the exposure weight β lets the coverage deviation ΔC
+// shrink while the exposure Ē grows.
+func TestTradeoffSweepTrend(t *testing.T) {
+	sweep, err := TradeoffSweep(sweepScale)
+	if err != nil {
+		t.Fatalf("TradeoffSweep: %v", err)
+	}
+	if len(sweep) != 6 {
+		t.Fatalf("%d rows, want 6", len(sweep))
+	}
+	// Endpoints of the sweep: exposure-only (0:1) vs coverage-only (1:0).
+	exposureOnly := sweep[0].Eval
+	coverageOnly := sweep[len(sweep)-1].Eval
+	if coverageOnly.DeltaC >= exposureOnly.DeltaC {
+		t.Errorf("ΔC(1:0) = %v not below ΔC(0:1) = %v",
+			coverageOnly.DeltaC, exposureOnly.DeltaC)
+	}
+	if coverageOnly.EBar <= exposureOnly.EBar {
+		t.Errorf("Ē(1:0) = %v not above Ē(0:1) = %v",
+			coverageOnly.EBar, exposureOnly.EBar)
+	}
+	// Coverage-only run should approach the target allocation
+	// Φ = (0.4, 0.1, 0.1, 0.4).
+	want := []float64{0.4, 0.1, 0.1, 0.4}
+	for i, c := range coverageOnly.CBar {
+		if diff := c - want[i]; diff > 0.08 || diff < -0.08 {
+			t.Errorf("coverage-only C̄_%d = %v, target %v", i, c, want[i])
+		}
+	}
+	// Exposure-only favors the interior PoIs (pass-through coverage), the
+	// Table I signature: C̄_2, C̄_3 above their targets.
+	if exposureOnly.CBar[1] <= want[1] || exposureOnly.CBar[2] <= want[2] {
+		t.Errorf("exposure-only interior coverage %v should exceed targets %v",
+			exposureOnly.CBar, want)
+	}
+}
+
+func TestTableIAndIIStructure(t *testing.T) {
+	tab1, err := TableI(testScale)
+	if err != nil {
+		t.Fatalf("TableI: %v", err)
+	}
+	if len(tab1.Rows) != 6 || len(tab1.Columns) != 5 {
+		t.Errorf("Table I shape: %d rows, %d cols", len(tab1.Rows), len(tab1.Columns))
+	}
+	tab2, err := TableII(testScale)
+	if err != nil {
+		t.Fatalf("TableII: %v", err)
+	}
+	if len(tab2.Rows) != 6 || len(tab2.Columns) != 5 {
+		t.Errorf("Table II shape: %d rows, %d cols", len(tab2.Rows), len(tab2.Columns))
+	}
+	if tab1.Rows[0][0] != "0:1" || tab1.Rows[5][0] != "1:0" {
+		t.Errorf("ratio labels: %v", tab1.Rows)
+	}
+}
+
+// TestTableIIIPerturbedBeatsAdaptive checks the paper's Table III shape:
+// the perturbed algorithm's worst and average costs beat (or match) the
+// adaptive algorithm's.
+func TestTableIIIPerturbedBeatsAdaptive(t *testing.T) {
+	tab, err := TableIII(testScale)
+	if err != nil {
+		t.Fatalf("TableIII: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	adAvg := parse(tab.Rows[0][2])
+	adMax := parse(tab.Rows[0][3])
+	peAvg := parse(tab.Rows[1][2])
+	peMax := parse(tab.Rows[1][3])
+	if peAvg > adAvg*1.02 {
+		t.Errorf("perturbed avg %v worse than adaptive avg %v", peAvg, adAvg)
+	}
+	if peMax > adMax*1.02 {
+		t.Errorf("perturbed max %v worse than adaptive max %v", peMax, adMax)
+	}
+}
+
+// TestTableIVTrend: the measured tradeoff moves the right way as β
+// shrinks (ΔC down, Ē up between the sweep endpoints).
+func TestTableIVTrend(t *testing.T) {
+	tab, err := TableIV(sweepScale)
+	if err != nil {
+		t.Fatalf("TableIV: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	dcFirst, ebFirst := parse(tab.Rows[0][1]), parse(tab.Rows[0][2])
+	dcLast, ebLast := parse(tab.Rows[3][1]), parse(tab.Rows[3][2])
+	if dcLast >= dcFirst {
+		t.Errorf("measured ΔC: 1:0 row %v not below 0:1 row %v", dcLast, dcFirst)
+	}
+	if ebLast <= ebFirst {
+		t.Errorf("measured Ē: 1:0 row %v not above 0:1 row %v", ebLast, ebFirst)
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	a, b, err := Figure2(testScale)
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	for _, fig := range []*Figure{a, b} {
+		if len(fig.Lines) != 2 {
+			t.Fatalf("%s: %d lines", fig.Title, len(fig.Lines))
+		}
+		for _, ln := range fig.Lines {
+			if len(ln.X) != testScale.Runs {
+				t.Errorf("%s/%s: %d points, want %d", fig.Title, ln.Name, len(ln.X), testScale.Runs)
+			}
+			// CDF must be monotone with final fraction 1.
+			for i := 1; i < len(ln.Y); i++ {
+				if ln.Y[i] < ln.Y[i-1] || ln.X[i] < ln.X[i-1] {
+					t.Errorf("%s/%s: CDF not monotone", fig.Title, ln.Name)
+					break
+				}
+			}
+			if ln.Y[len(ln.Y)-1] != 1 {
+				t.Errorf("%s/%s: CDF does not reach 1", fig.Title, ln.Name)
+			}
+		}
+	}
+}
+
+// TestFigure2PerturbedTighter is the paper's headline Fig. 2 shape: the
+// perturbed algorithm's cost spread across random starts is much tighter
+// than the adaptive algorithm's, and its worst run is no worse.
+func TestFigure2PerturbedTighter(t *testing.T) {
+	a, _, err := Figure2(sweepScale)
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	spread := func(ln Line) (lo, hi float64) {
+		return ln.X[0], ln.X[len(ln.X)-1]
+	}
+	var adaptive, perturbed Line
+	for _, ln := range a.Lines {
+		switch ln.Name {
+		case "adaptive":
+			adaptive = ln
+		case "perturbed":
+			perturbed = ln
+		}
+	}
+	aLo, aHi := spread(adaptive)
+	pLo, pHi := spread(perturbed)
+	if pHi-pLo >= aHi-aLo {
+		t.Errorf("perturbed spread %v not tighter than adaptive %v", pHi-pLo, aHi-aLo)
+	}
+	if pHi > aHi {
+		t.Errorf("perturbed worst %v above adaptive worst %v", pHi, aHi)
+	}
+	if pLo > aLo*1.01 {
+		t.Errorf("perturbed best %v worse than adaptive best %v", pLo, aLo)
+	}
+}
+
+func TestFigure3To5Structure(t *testing.T) {
+	f3, err := Figure3(testScale)
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if len(f3.Lines) != 3 {
+		t.Errorf("Figure 3 lines = %d", len(f3.Lines))
+	}
+	f4, err := Figure4(testScale)
+	if err != nil {
+		t.Fatalf("Figure4: %v", err)
+	}
+	if len(f4.Lines) != 1 || len(f4.Lines[0].Y) == 0 {
+		t.Error("Figure 4 empty")
+	}
+	// Basic algorithm's U decreases across the run.
+	y := f4.Lines[0].Y
+	if y[len(y)-1] > y[0] {
+		t.Errorf("Figure 4: U increased from %v to %v", y[0], y[len(y)-1])
+	}
+	f5a, f5b, err := Figure5(testScale)
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	if len(f5a.Lines) != 1 || len(f5b.Lines) != 3 {
+		t.Errorf("Figure 5 lines = %d/%d", len(f5a.Lines), len(f5b.Lines))
+	}
+}
+
+func TestFigure6Structure(t *testing.T) {
+	dc, eb, err := Figure6(testScale)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	for _, fig := range []*Figure{dc, eb} {
+		if len(fig.Lines) != 3 {
+			t.Fatalf("%s: %d lines, want mean/p25/p75", fig.Title, len(fig.Lines))
+		}
+		if len(fig.Lines[0].Y) == 0 {
+			t.Fatalf("%s: empty mean line", fig.Title)
+		}
+	}
+	// ΔC should improve over the run (α=1, β=0 optimizes coverage).
+	y := dc.Lines[0].Y
+	if y[len(y)-1] > y[0] {
+		t.Errorf("simulated ΔC rose from %v to %v", y[0], y[len(y)-1])
+	}
+}
+
+func TestFigure8Structure(t *testing.T) {
+	dc, eb, u, err := Figure8(testScale)
+	if err != nil {
+		t.Fatalf("Figure8: %v", err)
+	}
+	if dc == nil || eb == nil || u == nil {
+		t.Fatal("nil figure")
+	}
+	if len(u.Lines[0].Y) == 0 {
+		t.Fatal("empty U line")
+	}
+	y := u.Lines[0].Y
+	if y[len(y)-1] > y[0] {
+		t.Errorf("U rose from %v to %v", y[0], y[len(y)-1])
+	}
+}
+
+// TestBaselineMCMC verifies the motivating comparison: the optimized
+// chain achieves a cost no worse than the Metropolis–Hastings baseline
+// under the full multi-objective model.
+func TestBaselineMCMC(t *testing.T) {
+	tab, err := BaselineMCMC(sweepScale)
+	if err != nil {
+		t.Fatalf("BaselineMCMC: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	mhU := parse(tab.Rows[0][3])
+	sdU := parse(tab.Rows[1][3])
+	if sdU > mhU {
+		t.Errorf("steepest descent U %v worse than MH baseline %v", sdU, mhU)
+	}
+}
+
+func TestAblationStepSize(t *testing.T) {
+	tab, err := AblationStepSize(testScale)
+	if err != nil {
+		t.Fatalf("AblationStepSize: %v", err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	// The adaptive policy (last row) must beat the smallest fixed step
+	// (first row) under the same budget.
+	if ad, fx := parse(tab.Rows[4][1]), parse(tab.Rows[0][1]); ad > fx {
+		t.Errorf("adaptive U %v worse than tiny fixed step %v", ad, fx)
+	}
+}
+
+func TestAblationWarmStart(t *testing.T) {
+	tab, err := AblationWarmStart(testScale)
+	if err != nil {
+		t.Fatalf("AblationWarmStart: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	if cold, warm := parse(tab.Rows[0][1]), parse(tab.Rows[1][1]); warm > cold {
+		t.Errorf("warm start U %v worse than cold %v", warm, cold)
+	}
+}
+
+func TestAblationNoise(t *testing.T) {
+	tab, err := AblationNoise(testScale)
+	if err != nil {
+		t.Fatalf("AblationNoise: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTableMixing(t *testing.T) {
+	tab, err := TableMixing(testScale)
+	if err != nil {
+		t.Fatalf("TableMixing: %v", err)
+	}
+	if len(tab.Rows) != 6 || len(tab.Columns) != 5 {
+		t.Fatalf("shape: %d rows, %d cols", len(tab.Rows), len(tab.Columns))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows {
+		gap := parse(row[1])
+		if gap < 0 || gap > 1 {
+			t.Errorf("row %s: gap %v outside [0,1]", row[0], gap)
+		}
+		if mixing := parse(row[2]); mixing < 1 {
+			t.Errorf("row %s: mixing %v", row[0], mixing)
+		}
+	}
+}
+
+func TestTableDetection(t *testing.T) {
+	tab, err := TableDetection(testScale)
+	if err != nil {
+		t.Fatalf("TableDetection: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	for _, row := range tab.Rows {
+		mean := parse(row[1])
+		worst := parse(row[2])
+		if mean <= 0 || worst < mean {
+			t.Errorf("row %s: mean %v worst %v", row[0], mean, worst)
+		}
+	}
+}
+
+func TestTableFleet(t *testing.T) {
+	tab, err := TableFleet(testScale)
+	if err != nil {
+		t.Fatalf("TableFleet: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	// The worst mean gap must shrink from 1 sensor to 4.
+	if g1, g4 := parse(tab.Rows[0][2]), parse(tab.Rows[3][2]); g4 >= g1 {
+		t.Errorf("fleet gaps not shrinking: K=1 %v, K=4 %v", g1, g4)
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	energy, err := ExtensionEnergy(testScale)
+	if err != nil {
+		t.Fatalf("ExtensionEnergy: %v", err)
+	}
+	if len(energy.Rows) != 4 {
+		t.Fatalf("energy rows = %d", len(energy.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmtSscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	// Stronger energy weight (toward γ=0) must reduce mean travel.
+	if d0, d3 := parse(energy.Rows[0][2]), parse(energy.Rows[3][2]); d3 >= d0 {
+		t.Errorf("travel with weight 10 (%v) not below weight 0 (%v)", d3, d0)
+	}
+	entropy, err := ExtensionEntropy(testScale)
+	if err != nil {
+		t.Fatalf("ExtensionEntropy: %v", err)
+	}
+	if len(entropy.Rows) != 4 {
+		t.Fatalf("entropy rows = %d", len(entropy.Rows))
+	}
+	// Stronger entropy weight must raise the chain's entropy rate.
+	if h0, h3 := parse(entropy.Rows[0][1]), parse(entropy.Rows[3][1]); h3 <= h0 {
+		t.Errorf("entropy with λ=1 (%v) not above λ=0 (%v)", h3, h0)
+	}
+}

@@ -1,0 +1,152 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§VI) plus the ablations and baselines listed in DESIGN.md.
+// Each experiment is a pure function from a Scale (how much compute to
+// spend) to a Table or Figure holding the same rows/series the paper
+// reports; cmd/experiments renders them to text, and bench_test.go wraps
+// each one in a testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result with one row per configuration,
+// mirroring the paper's tables.
+type Table struct {
+	// Title identifies the experiment (e.g. "Table I").
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold the formatted cells.
+	Rows [][]string
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for p := len(cell); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	var total int
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns a comma-separated rendering (cells are numeric or simple
+// labels, so no quoting is needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Line is one named series of a Figure.
+type Line struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is the data behind one paper figure: one or more series over a
+// common pair of axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+}
+
+// Render returns a text rendering: per line, up to maxPts sampled points,
+// preceded by the series name. It is intentionally plain so the harness
+// output can be diffed run to run.
+func (f *Figure) Render() string {
+	const maxPts = 12
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s vs %s]\n", f.Title, f.YLabel, f.XLabel)
+	for _, ln := range f.Lines {
+		fmt.Fprintf(&b, "  %s:\n", ln.Name)
+		n := len(ln.X)
+		if n == 0 {
+			b.WriteString("    (no data)\n")
+			continue
+		}
+		stride := 1
+		if n > maxPts {
+			stride = (n + maxPts - 1) / maxPts
+		}
+		for i := 0; i < n; i += stride {
+			fmt.Fprintf(&b, "    %-12s %s\n", FormatFloat(ln.X[i]), FormatFloat(ln.Y[i]))
+		}
+		if (n-1)%stride != 0 {
+			fmt.Fprintf(&b, "    %-12s %s\n", FormatFloat(ln.X[n-1]), FormatFloat(ln.Y[n-1]))
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the figure as long-format CSV (line, x, y) suitable for
+// any plotting tool.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("line,x,y\n")
+	for _, ln := range f.Lines {
+		for i := range ln.X {
+			fmt.Fprintf(&b, "%s,%s,%s\n", ln.Name, FormatFloat(ln.X[i]), FormatFloat(ln.Y[i]))
+		}
+	}
+	return b.String()
+}
+
+// FormatFloat renders a value compactly: fixed precision for moderate
+// magnitudes, scientific for very small or large ones.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av < 1e-3 || av >= 1e6:
+		return strconv.FormatFloat(v, 'e', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 4, 64)
+	}
+}

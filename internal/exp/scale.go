@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrScale indicates an invalid Scale.
+var ErrScale = errors.New("exp: invalid scale")
+
+// Scale controls how much compute each experiment spends. The paper's
+// settings are expensive (200 independent optimizations for Table III);
+// Quick keeps the same structure at a fraction of the cost for tests and
+// benchmarks, while PaperScale approaches the published configuration.
+type Scale struct {
+	// Runs is the number of independent optimizations for CDF/statistics
+	// experiments (paper: 200).
+	Runs int
+	// OptIters is the per-run optimizer iteration budget.
+	OptIters int
+	// SimSteps is the number of Markov transitions per simulation.
+	SimSteps int
+	// SimReps is the number of repeated simulations per matrix (paper: 10).
+	SimReps int
+	// TracePoints is how many iteration samples figures keep per line.
+	TracePoints int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Quick is the default scale for tests and benchmarks.
+var Quick = Scale{
+	Runs:        12,
+	OptIters:    400,
+	SimSteps:    20000,
+	SimReps:     3,
+	TracePoints: 25,
+	Seed:        1,
+}
+
+// Mid trades some statistical resolution for a much faster full
+// regeneration; the shapes reported in EXPERIMENTS.md are recorded at
+// this scale.
+var Mid = Scale{
+	Runs:        60,
+	OptIters:    3000,
+	SimSteps:    100000,
+	SimReps:     10,
+	TracePoints: 30,
+	Seed:        1,
+}
+
+// PaperScale approximates the published experimental configuration.
+var PaperScale = Scale{
+	Runs:        200,
+	OptIters:    6000,
+	SimSteps:    200000,
+	SimReps:     10,
+	TracePoints: 40,
+	Seed:        1,
+}
+
+func (s Scale) validate() error {
+	if s.Runs <= 0 || s.OptIters <= 0 || s.SimSteps <= 0 || s.SimReps <= 0 || s.TracePoints <= 0 {
+		return fmt.Errorf("%w: %+v", ErrScale, s)
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package exp
+
+import "fmt"
+
+// fmtSscan parses a FormatFloat-rendered cell back into a float64 for
+// assertions.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,136 @@
+// Package geom provides the planar geometry underlying the physical sensor
+// model: points, straight-line travel segments, point-to-segment distance,
+// and — the piece the coverage model depends on — the length of the chord a
+// segment cuts through a sensing disk. That chord length, divided by travel
+// speed, is the time the moving sensor covers a PoI it passes by
+// (the paper's T_{jk,i} quantities).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p - q as a vector (represented as a Point).
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns s*p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dot returns the dot product of p and q as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between two points.
+func Dist(p, q Point) float64 { return p.Sub(q).Norm() }
+
+// String renders the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Segment is the directed straight-line path from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the length of the segment.
+func (s Segment) Length() float64 { return Dist(s.A, s.B) }
+
+// PointAt returns the point at parameter t in [0,1] along the segment.
+func (s Segment) PointAt(t float64) Point {
+	return s.A.Add(s.B.Sub(s.A).Scale(t))
+}
+
+// DistToPoint returns the minimum distance from the segment to point c.
+func (s Segment) DistToPoint(c Point) float64 {
+	d := s.B.Sub(s.A)
+	len2 := d.Dot(d)
+	if len2 == 0 {
+		return Dist(s.A, c)
+	}
+	t := c.Sub(s.A).Dot(d) / len2
+	t = math.Max(0, math.Min(1, t))
+	return Dist(s.PointAt(t), c)
+}
+
+// Interval is a parameter range [Lo, Hi] within [0, 1] along a segment.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Length returns Hi - Lo, never negative.
+func (iv Interval) Length() float64 {
+	if iv.Hi < iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Empty reports whether the interval has zero measure.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// CoverageInterval returns the sub-interval of [0,1] during which a sensor
+// moving along seg is within distance r of the point c, and whether such an
+// interval exists. The bounds are roots of the quadratic
+// |A + t(B-A) - c|^2 = r^2 clipped to [0, 1].
+//
+// For a zero-length segment the interval is [0,1] if the (stationary)
+// sensor is within range, otherwise absent.
+func CoverageInterval(seg Segment, c Point, r float64) (Interval, bool) {
+	if r < 0 {
+		return Interval{}, false
+	}
+	d := seg.B.Sub(seg.A)
+	f := seg.A.Sub(c)
+	a := d.Dot(d)
+	if a == 0 {
+		if f.Norm() <= r {
+			return Interval{0, 1}, true
+		}
+		return Interval{}, false
+	}
+	b := 2 * f.Dot(d)
+	cc := f.Dot(f) - r*r
+	disc := b*b - 4*a*cc
+	if disc < 0 {
+		return Interval{}, false
+	}
+	sq := math.Sqrt(disc)
+	t0 := (-b - sq) / (2 * a)
+	t1 := (-b + sq) / (2 * a)
+	lo := math.Max(0, t0)
+	hi := math.Min(1, t1)
+	if hi <= lo {
+		return Interval{}, false
+	}
+	return Interval{lo, hi}, true
+}
+
+// CoverageTime returns the length of time a sensor moving along seg at the
+// given speed spends within distance r of c. Speed must be positive.
+func CoverageTime(seg Segment, c Point, r, speed float64) (float64, error) {
+	if speed <= 0 {
+		return 0, fmt.Errorf("geom: non-positive speed %v", speed)
+	}
+	iv, ok := CoverageInterval(seg, c, r)
+	if !ok {
+		return 0, nil
+	}
+	return iv.Length() * seg.Length() / speed, nil
+}
+
+// PassesThrough reports whether the path seg comes within distance r of c,
+// excluding grazing contact of zero measure.
+func PassesThrough(seg Segment, c Point, r float64) bool {
+	_, ok := CoverageInterval(seg, c, r)
+	return ok
+}

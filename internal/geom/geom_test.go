@@ -1,0 +1,300 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, 5}
+	if got := q.Sub(p); got != (Point{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Add(q); got != (Point{4, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 13 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Dist(Point{0, 0}, Point{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestSegmentLengthAndPointAt(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{4, 0}}
+	if got := s.Length(); got != 4 {
+		t.Errorf("Length = %v", got)
+	}
+	if got := s.PointAt(0.25); got != (Point{1, 0}) {
+		t.Errorf("PointAt(0.25) = %v", got)
+	}
+	if got := s.PointAt(0); got != s.A {
+		t.Errorf("PointAt(0) = %v", got)
+	}
+	if got := s.PointAt(1); got != s.B {
+		t.Errorf("PointAt(1) = %v", got)
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	cases := []struct {
+		name string
+		c    Point
+		want float64
+	}{
+		{"above middle", Point{5, 3}, 3},
+		{"beyond end", Point{13, 4}, 5},
+		{"before start", Point{-3, 4}, 5},
+		{"on segment", Point{5, 0}, 0},
+		{"at endpoint", Point{10, 0}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.DistToPoint(tc.c); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("DistToPoint = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDistToPointDegenerateSegment(t *testing.T) {
+	s := Segment{Point{1, 1}, Point{1, 1}}
+	if got := s.DistToPoint(Point{4, 5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("degenerate DistToPoint = %v, want 5", got)
+	}
+}
+
+func TestCoverageIntervalCrossingCenter(t *testing.T) {
+	// Path passes straight through the disk center: chord = 2r.
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	iv, ok := CoverageInterval(s, Point{5, 0}, 1)
+	if !ok {
+		t.Fatal("expected coverage")
+	}
+	if math.Abs(iv.Length()*s.Length()-2) > 1e-9 {
+		t.Errorf("chord length = %v, want 2", iv.Length()*s.Length())
+	}
+	// Interval centered at t=0.5.
+	if math.Abs((iv.Lo+iv.Hi)/2-0.5) > 1e-9 {
+		t.Errorf("interval midpoint = %v, want 0.5", (iv.Lo+iv.Hi)/2)
+	}
+}
+
+func TestCoverageIntervalOffsetChord(t *testing.T) {
+	// Disk center offset 0.6 from the line, r=1 -> half-chord = 0.8.
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	iv, ok := CoverageInterval(s, Point{5, 0.6}, 1)
+	if !ok {
+		t.Fatal("expected coverage")
+	}
+	if math.Abs(iv.Length()*s.Length()-1.6) > 1e-9 {
+		t.Errorf("chord length = %v, want 1.6", iv.Length()*s.Length())
+	}
+}
+
+func TestCoverageIntervalMiss(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	if _, ok := CoverageInterval(s, Point{5, 2}, 1); ok {
+		t.Error("expected no coverage for a path 2 away with r=1")
+	}
+}
+
+func TestCoverageIntervalTangent(t *testing.T) {
+	// Exactly tangent: zero-measure contact must not count.
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	if _, ok := CoverageInterval(s, Point{5, 1}, 1); ok {
+		t.Error("tangent contact should produce no interval")
+	}
+}
+
+func TestCoverageIntervalClippedAtEndpoints(t *testing.T) {
+	// Disk centered at the start of the path: only the leading half of the
+	// chord lies on the segment.
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	iv, ok := CoverageInterval(s, Point{0, 0}, 1)
+	if !ok {
+		t.Fatal("expected coverage")
+	}
+	if math.Abs(iv.Lo) > 1e-9 || math.Abs(iv.Hi-0.1) > 1e-9 {
+		t.Errorf("interval = [%v, %v], want [0, 0.1]", iv.Lo, iv.Hi)
+	}
+}
+
+func TestCoverageIntervalDiskBeyondSegment(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	if _, ok := CoverageInterval(s, Point{12, 0}, 1); ok {
+		t.Error("disk entirely beyond the segment end should not be covered")
+	}
+}
+
+func TestCoverageIntervalStationary(t *testing.T) {
+	s := Segment{Point{3, 3}, Point{3, 3}}
+	iv, ok := CoverageInterval(s, Point{3, 3.5}, 1)
+	if !ok || iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("stationary in range: iv=%v ok=%v, want [0,1] true", iv, ok)
+	}
+	if _, ok := CoverageInterval(s, Point{9, 9}, 1); ok {
+		t.Error("stationary out of range should not be covered")
+	}
+}
+
+func TestCoverageIntervalNegativeRadius(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{1, 0}}
+	if _, ok := CoverageInterval(s, Point{0.5, 0}, -1); ok {
+		t.Error("negative radius should produce no coverage")
+	}
+}
+
+func TestCoverageTime(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	got, err := CoverageTime(s, Point{5, 0}, 1, 2)
+	if err != nil {
+		t.Fatalf("CoverageTime: %v", err)
+	}
+	if math.Abs(got-1) > 1e-9 { // chord 2 at speed 2
+		t.Errorf("CoverageTime = %v, want 1", got)
+	}
+	if _, err := CoverageTime(s, Point{5, 0}, 1, 0); err == nil {
+		t.Error("zero speed should error")
+	}
+}
+
+func TestPassesThrough(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{2, 0}}
+	if !PassesThrough(s, Point{1, 0.1}, 0.25) {
+		t.Error("expected pass-through")
+	}
+	if PassesThrough(s, Point{1, 1}, 0.25) {
+		t.Error("unexpected pass-through")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	if (Interval{0.2, 0.5}).Length() != 0.3 {
+		t.Error("Length")
+	}
+	if (Interval{0.5, 0.2}).Length() != 0 {
+		t.Error("inverted Length should be 0")
+	}
+	if !(Interval{0.5, 0.5}).Empty() {
+		t.Error("point interval should be empty")
+	}
+	if (Interval{0.1, 0.9}).Empty() {
+		t.Error("proper interval should not be empty")
+	}
+}
+
+// TestCoverageIntervalConsistentWithDistance cross-checks the analytic
+// interval against the segment-to-point distance on random configurations:
+// an interval exists iff the minimum distance is below r.
+func TestCoverageIntervalConsistentWithDistance(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 2000; trial++ {
+		seg := Segment{
+			Point{r.Float64() * 10, r.Float64() * 10},
+			Point{r.Float64() * 10, r.Float64() * 10},
+		}
+		c := Point{r.Float64() * 10, r.Float64() * 10}
+		radius := r.Float64() * 3
+		_, ok := CoverageInterval(seg, c, radius)
+		minDist := seg.DistToPoint(c)
+		// Skip near-tangent configurations where floating point decides.
+		if math.Abs(minDist-radius) < 1e-9 {
+			continue
+		}
+		if ok != (minDist < radius) {
+			t.Fatalf("trial %d: interval ok=%v but minDist=%v radius=%v", trial, ok, minDist, radius)
+		}
+	}
+}
+
+// TestCoverageIntervalSampled validates interval bounds by dense sampling
+// along the segment.
+func TestCoverageIntervalSampled(t *testing.T) {
+	r := rand.New(rand.NewPCG(23, 24))
+	for trial := 0; trial < 200; trial++ {
+		seg := Segment{
+			Point{r.Float64() * 4, r.Float64() * 4},
+			Point{r.Float64() * 4, r.Float64() * 4},
+		}
+		if seg.Length() < 1e-6 {
+			continue
+		}
+		c := Point{r.Float64() * 4, r.Float64() * 4}
+		radius := 0.3 + r.Float64()
+		iv, ok := CoverageInterval(seg, c, radius)
+		const steps = 400
+		for k := 0; k <= steps; k++ {
+			tt := float64(k) / steps
+			inside := Dist(seg.PointAt(tt), c) < radius-1e-9
+			// Inclusive bounds: the interval endpoints themselves are on
+			// the disk boundary or the segment ends.
+			inClosedInterval := ok && tt >= iv.Lo-1e-9 && tt <= iv.Hi+1e-9
+			if inside && !inClosedInterval {
+				t.Fatalf("trial %d: point at t=%v inside disk but outside interval %+v", trial, tt, iv)
+			}
+			strictlyInInterval := ok && tt > iv.Lo+1e-9 && tt < iv.Hi-1e-9
+			if strictlyInInterval && Dist(seg.PointAt(tt), c) > radius+1e-9 {
+				t.Fatalf("trial %d: t=%v in interval but outside disk", trial, tt)
+			}
+		}
+	}
+}
+
+// TestCoverageReversalProperty: traversing the segment in either
+// direction spends the same time in the disk.
+func TestCoverageReversalProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 500; trial++ {
+		seg := Segment{
+			Point{r.Float64() * 6, r.Float64() * 6},
+			Point{r.Float64() * 6, r.Float64() * 6},
+		}
+		rev := Segment{seg.B, seg.A}
+		c := Point{r.Float64() * 6, r.Float64() * 6}
+		radius := 0.2 + r.Float64()
+		t1, err := CoverageTime(seg, c, radius, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := CoverageTime(rev, c, radius, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(t1-t2) > 1e-9 {
+			t.Fatalf("trial %d: forward %v vs reverse %v", trial, t1, t2)
+		}
+	}
+}
+
+// TestDistSymmetryProperty uses testing/quick for metric symmetry and the
+// triangle inequality.
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		// Clamp wild quick-generated values into a sane range.
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		if math.Abs(Dist(a, b)-Dist(b, a)) > 1e-9 {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

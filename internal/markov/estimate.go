@@ -1,0 +1,60 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Estimate fits a transition matrix to an observed state trajectory by
+// maximum likelihood with additive (Laplace) smoothing:
+//
+//	p̂_ij = (count(i→j) + smoothing) / (count(i→·) + M·smoothing)
+//
+// Positive smoothing keeps every entry strictly positive, so the estimate
+// is ergodic and directly usable as an optimizer warm start or for
+// drift detection against a deployed plan (compare with the plan's matrix
+// under the ConditionNumber bound). states must contain values in [0, m).
+func Estimate(states []int, m int, smoothing float64) (*mat.Matrix, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("%w: %d states", ErrNotStochastic, m)
+	}
+	if len(states) < 2 {
+		return nil, fmt.Errorf("markov: estimate needs at least 2 observations, got %d", len(states))
+	}
+	if smoothing < 0 {
+		return nil, fmt.Errorf("markov: negative smoothing %v", smoothing)
+	}
+	counts := make([][]float64, m)
+	for i := range counts {
+		counts[i] = make([]float64, m)
+	}
+	for idx, s := range states {
+		if s < 0 || s >= m {
+			return nil, fmt.Errorf("markov: observation %d = %d outside [0, %d)", idx, s, m)
+		}
+		if idx > 0 {
+			counts[states[idx-1]][s]++
+		}
+	}
+	p := mat.New(m, m)
+	for i := 0; i < m; i++ {
+		var rowTotal float64
+		for j := 0; j < m; j++ {
+			rowTotal += counts[i][j]
+		}
+		denom := rowTotal + float64(m)*smoothing
+		if denom == 0 {
+			// State never visited (or only as the final observation):
+			// fall back to uniform, the max-entropy choice.
+			for j := 0; j < m; j++ {
+				p.Set(i, j, 1/float64(m))
+			}
+			continue
+		}
+		for j := 0; j < m; j++ {
+			p.Set(i, j, (counts[i][j]+smoothing)/denom)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,106 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestEstimateValidation(t *testing.T) {
+	if _, err := Estimate([]int{0, 1}, 1, 0.1); err == nil {
+		t.Error("m=1 should error")
+	}
+	if _, err := Estimate([]int{0}, 3, 0.1); err == nil {
+		t.Error("single observation should error")
+	}
+	if _, err := Estimate([]int{0, 5}, 3, 0.1); err == nil {
+		t.Error("out-of-range state should error")
+	}
+	if _, err := Estimate([]int{0, 1}, 3, -1); err == nil {
+		t.Error("negative smoothing should error")
+	}
+}
+
+func TestEstimateExactCounts(t *testing.T) {
+	// 0→1, 1→0, 0→1: p̂_01 = 1, p̂_10 = 1 with zero smoothing.
+	p, err := Estimate([]int{0, 1, 0, 1}, 2, 0)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if p.At(0, 1) != 1 || p.At(1, 0) != 1 {
+		t.Errorf("estimate = %v", p)
+	}
+}
+
+func TestEstimateSmoothingKeepsPositive(t *testing.T) {
+	p, err := Estimate([]int{0, 1, 0, 1}, 3, 0.5)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if err := CheckStochastic(p); err != nil {
+		t.Fatalf("not stochastic: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) <= 0 {
+				t.Errorf("p[%d][%d] = %v", i, j, p.At(i, j))
+			}
+		}
+	}
+	// Unvisited state 2 gets the uniform row... with smoothing its row is
+	// smoothed-uniform; either way it must be usable.
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if !c.IsErgodic() {
+		t.Error("smoothed estimate not ergodic")
+	}
+}
+
+// TestEstimateRecoversTrueChain: estimating from a long trajectory of a
+// known chain recovers its transition probabilities.
+func TestEstimateRecoversTrueChain(t *testing.T) {
+	truth, _ := mat.NewFromRows([][]float64{
+		{0.2, 0.5, 0.3},
+		{0.6, 0.1, 0.3},
+		{0.25, 0.25, 0.5},
+	})
+	src := rng.New(1212)
+	const steps = 400000
+	states := make([]int, steps)
+	cur := 0
+	row := make([]float64, 3)
+	for k := 0; k < steps; k++ {
+		states[k] = cur
+		for j := 0; j < 3; j++ {
+			row[j] = truth.At(cur, j)
+		}
+		cur = src.Categorical(row)
+	}
+	est, err := Estimate(states, 3, 0.5)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if d := mat.MaxAbsDiff(est, truth); d > 0.01 {
+		t.Errorf("estimate off by %v", d)
+	}
+	// And the estimated chain's stationary distribution matches.
+	cTrue, _ := New(truth)
+	sTrue, err := cTrue.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	cEst, _ := New(est)
+	sEst, err := cEst.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	for i := range sTrue.Pi {
+		if math.Abs(sTrue.Pi[i]-sEst.Pi[i]) > 0.01 {
+			t.Errorf("π_%d: true %v vs estimated %v", i, sTrue.Pi[i], sEst.Pi[i])
+		}
+	}
+}

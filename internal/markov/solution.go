@@ -1,0 +1,238 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Solution bundles the limiting quantities of an ergodic chain that the
+// cost function and its gradient consume: the stationary distribution π,
+// the matrix W whose rows all equal π, the fundamental matrix
+// Z = (I - P + W)^{-1} (Eq. 7), its square, and the mean first-passage
+// matrix R (Eq. 8). Everything is computed once in Solve and treated as
+// immutable afterwards.
+type Solution struct {
+	// P is the transition matrix the solution was computed from.
+	P *mat.Matrix
+	// Pi is the stationary distribution π.
+	Pi []float64
+	// W has every row equal to Pi (Eq. 5 context).
+	W *mat.Matrix
+	// Z is the fundamental matrix (I - P + W)^{-1} (Eq. 7).
+	Z *mat.Matrix
+	// Z2 is Z*Z, needed by the perturbation formula for dZ/dt.
+	Z2 *mat.Matrix
+	// R is the mean first-passage time matrix: R_ij is the expected number
+	// of transitions to first reach j starting from i, with
+	// R_ii = 1/π_i the mean return time (Eq. 8 with the column-scaling
+	// reading of R = (I - Z + J Z_dg) D; see DESIGN.md errata).
+	R *mat.Matrix
+}
+
+// Solve computes the stationary distribution and the derived matrices.
+// It returns ErrNotErgodic for chains without a unique positive stationary
+// distribution (checked structurally before any linear algebra).
+func (c *Chain) Solve() (*Solution, error) {
+	if !c.IsErgodic() {
+		return nil, fmt.Errorf("%w: irreducible=%v period=%d",
+			ErrNotErgodic, c.IsIrreducible(), c.Period())
+	}
+	n := c.M()
+	pi, err := stationary(c.p)
+	if err != nil {
+		return nil, err
+	}
+	w := mat.OuterOnesRow(pi, n)
+
+	// Z = (I - P + W)^{-1}.
+	imp, err := mat.SubM(mat.Identity(n), c.p)
+	if err != nil {
+		return nil, err
+	}
+	zin, err := mat.AddM(imp, w)
+	if err != nil {
+		return nil, err
+	}
+	z, err := mat.Inverse(zin)
+	if err != nil {
+		return nil, fmt.Errorf("markov: invert I-P+W: %w", err)
+	}
+	z2, err := mat.Mul(z, z)
+	if err != nil {
+		return nil, err
+	}
+
+	// R_ij = (δ_ij - z_ij + z_jj) / π_j.
+	r := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := 0.0
+			if i == j {
+				d = 1
+			}
+			r.Set(i, j, (d-z.At(i, j)+z.At(j, j))/pi[j])
+		}
+	}
+
+	return &Solution{
+		P:  c.p.Clone(),
+		Pi: pi,
+		W:  w,
+		Z:  z,
+		Z2: z2,
+		R:  r,
+	}, nil
+}
+
+// stationary solves π(I - P) = 0 with Σπ = 1 by replacing one equation of
+// the transposed homogeneous system with the normalization constraint.
+func stationary(p *mat.Matrix) ([]float64, error) {
+	n := p.Rows()
+	// A = (I - P)^T with the last row replaced by ones; b = e_n.
+	a := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -p.At(j, i)
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+		}
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := mat.SolveLinear(a, b)
+	if err != nil {
+		if errors.Is(err, mat.ErrSingular) {
+			return nil, fmt.Errorf("%w: stationary system singular", ErrNotErgodic)
+		}
+		return nil, err
+	}
+	for i, v := range pi {
+		if v <= 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: π_%d = %v", ErrNotErgodic, i, v)
+		}
+	}
+	return pi, nil
+}
+
+// StationaryPower estimates the stationary distribution by power
+// iteration, used in tests to cross-validate the direct solve. It returns
+// the distribution after either maxIter iterations or successive iterates
+// differ by less than tol in max norm.
+func (c *Chain) StationaryPower(maxIter int, tol float64) ([]float64, error) {
+	n := c.M()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next, err := c.Step(dist)
+		if err != nil {
+			return nil, err
+		}
+		var diff float64
+		for i := range next {
+			if d := math.Abs(next[i] - dist[i]); d > diff {
+				diff = d
+			}
+		}
+		dist = next
+		if diff < tol {
+			break
+		}
+	}
+	return dist, nil
+}
+
+// GroupInverse returns Meyer's group generalized inverse A# of A = I - P,
+// via A# = Z - W (equivalent to the paper's Z = I + P·A#, Eq. 7 context).
+func (s *Solution) GroupInverse() (*mat.Matrix, error) {
+	return mat.SubM(s.Z, s.W)
+}
+
+// EntropyRate returns the chain's entropy rate
+// H = -Σ_i π_i Σ_j p_ij ln p_ij (§VII), in nats. Zero-probability
+// transitions contribute zero.
+func (s *Solution) EntropyRate() float64 {
+	n := len(s.Pi)
+	var h float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := s.P.At(i, j)
+			if p > 0 {
+				h -= s.Pi[i] * p * math.Log(p)
+			}
+		}
+	}
+	return h
+}
+
+// KemenyConstant returns K = Σ_{j≠i} π_j R_ij, which is independent of the
+// starting state i and equals trace(Z) - 1.
+func (s *Solution) KemenyConstant() float64 {
+	var tr float64
+	for i := 0; i < len(s.Pi); i++ {
+		tr += s.Z.At(i, i)
+	}
+	return tr - 1
+}
+
+// ConditionNumber returns the Funderlic–Meyer condition number of the
+// stationary distribution: κ = max_{i,j} |a#_ij| where A# is the group
+// inverse of I − P. It bounds the stationary distribution's sensitivity
+// to perturbations of the transition matrix:
+//
+//	max_i |π̃_i − π_i| ≤ κ · ‖P̃ − P‖_∞
+//
+// for any ergodic P̃ (Funderlic & Meyer 1986). Schedules with small κ are
+// robust to estimation error in the transition probabilities they are
+// deployed with.
+func (s *Solution) ConditionNumber() (float64, error) {
+	aSharp, err := s.GroupInverse()
+	if err != nil {
+		return 0, err
+	}
+	return mat.MaxAbs(aSharp), nil
+}
+
+// DPi returns the directional derivative of the stationary distribution
+// along a perturbation direction V with zero row sums:
+// dπ = π V Z (Schweitzer; the paper's component form dπ_i/dt =
+// Σ_{k,l} π_k z_li V_kl).
+func (s *Solution) DPi(v *mat.Matrix) ([]float64, error) {
+	pv, err := mat.VecMul(s.Pi, v)
+	if err != nil {
+		return nil, err
+	}
+	return mat.VecMul(pv, s.Z)
+}
+
+// DZ returns the directional derivative of the fundamental matrix along a
+// zero-row-sum direction V: dZ = Z V Z - W V Z² (Schweitzer; the paper's
+// component form dz_ij/dt = Σ_{kl} [z_ik z_lj - π_k (Z²)_lj] V_kl).
+func (s *Solution) DZ(v *mat.Matrix) (*mat.Matrix, error) {
+	zv, err := mat.Mul(s.Z, v)
+	if err != nil {
+		return nil, err
+	}
+	zvz, err := mat.Mul(zv, s.Z)
+	if err != nil {
+		return nil, err
+	}
+	wv, err := mat.Mul(s.W, v)
+	if err != nil {
+		return nil, err
+	}
+	wvz2, err := mat.Mul(wv, s.Z2)
+	if err != nil {
+		return nil, err
+	}
+	return mat.SubM(zvz, wvz2)
+}

@@ -1,0 +1,227 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestSLEMTwoState(t *testing.T) {
+	// P = [[1-a, a], [b, 1-b]] has eigenvalues 1 and 1-a-b.
+	cases := []struct{ a, b float64 }{
+		{0.3, 0.1}, {0.5, 0.5}, {0.9, 0.8}, {0.05, 0.02},
+	}
+	for _, tc := range cases {
+		c := twoState(t, tc.a, tc.b)
+		s, err := c.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		got, err := s.SLEM(5000, 1e-12)
+		if err != nil {
+			t.Fatalf("SLEM: %v", err)
+		}
+		want := math.Abs(1 - tc.a - tc.b)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("a=%v b=%v: SLEM = %v, want %v", tc.a, tc.b, got, want)
+		}
+	}
+}
+
+func TestSLEMUniformChainIsZero(t *testing.T) {
+	n := 4
+	p := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p.Set(i, j, 1/float64(n))
+		}
+	}
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	got, err := s.SLEM(2000, 1e-12)
+	if err != nil {
+		t.Fatalf("SLEM: %v", err)
+	}
+	if got > 1e-8 {
+		t.Errorf("uniform chain SLEM = %v, want 0", got)
+	}
+}
+
+func TestSLEMComplexSpectrum(t *testing.T) {
+	// A lazy rotation has a complex conjugate eigenvalue pair; the
+	// norm-growth estimator must still converge to its modulus.
+	// P = 0.4·I + 0.6·C where C is the 3-cycle: eigenvalues
+	// 0.4 + 0.6·ω for cube roots ω; for ω = e^{±2πi/3},
+	// |0.4 + 0.6ω| = sqrt(0.4² + 0.6² - 0.4·0.6) = sqrt(0.28).
+	p, _ := mat.NewFromRows([][]float64{
+		{0.4, 0.6, 0},
+		{0, 0.4, 0.6},
+		{0.6, 0, 0.4},
+	})
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	got, err := s.SLEM(20000, 1e-12)
+	if err != nil {
+		t.Fatalf("SLEM: %v", err)
+	}
+	want := math.Sqrt(0.28)
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("SLEM = %v, want %v", got, want)
+	}
+}
+
+func TestSpectralGapBounds(t *testing.T) {
+	src := rng.New(222)
+	for trial := 0; trial < 20; trial++ {
+		c := randomErgodic(src, 2+src.IntN(5))
+		s, err := c.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		gap, err := s.SpectralGap(5000, 1e-10)
+		if err != nil {
+			t.Fatalf("SpectralGap: %v", err)
+		}
+		if gap < -1e-6 || gap > 1+1e-6 {
+			t.Errorf("trial %d: gap = %v outside [0,1]", trial, gap)
+		}
+	}
+}
+
+func TestSLEMValidation(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	s, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if _, err := s.SLEM(0, 1e-6); err == nil {
+		t.Error("expected error for zero maxIter")
+	}
+}
+
+func TestTVDistance(t *testing.T) {
+	d, err := TVDistance([]float64{1, 0}, []float64{0, 1})
+	if err != nil {
+		t.Fatalf("TVDistance: %v", err)
+	}
+	if d != 1 {
+		t.Errorf("TV = %v, want 1", d)
+	}
+	d, err = TVDistance([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("TVDistance: %v", err)
+	}
+	if d != 0 {
+		t.Errorf("TV = %v, want 0", d)
+	}
+	if _, err := TVDistance([]float64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestMixingTimeTwoState(t *testing.T) {
+	// Fast mixer: a = b = 0.5 mixes in one step (SLEM 0).
+	c := twoState(t, 0.5, 0.5)
+	s, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	tm, err := c.MixingTime(s, 0.01, 100)
+	if err != nil {
+		t.Fatalf("MixingTime: %v", err)
+	}
+	if tm != 1 {
+		t.Errorf("mixing time = %d, want 1", tm)
+	}
+
+	// Slow mixer: tiny transition rates.
+	slow := twoState(t, 0.01, 0.01)
+	ss, err := slow.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	tmSlow, err := slow.MixingTime(ss, 0.01, 10000)
+	if err != nil {
+		t.Fatalf("MixingTime: %v", err)
+	}
+	if tmSlow < 50 {
+		t.Errorf("slow chain mixing time = %d, expected ≫ 1", tmSlow)
+	}
+	// Theory: TV decays as (1-a-b)^t = 0.98^t from TV_0 ≤ 1; the 1%
+	// mixing time is near ln(0.01·...)/ln(0.98). Accept a broad band.
+	if tmSlow > 400 {
+		t.Errorf("slow chain mixing time = %d, unexpectedly large", tmSlow)
+	}
+}
+
+func TestMixingTimeBudgetExceeded(t *testing.T) {
+	slow := twoState(t, 1e-4, 1e-4)
+	s, err := slow.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	tm, err := slow.MixingTime(s, 0.001, 10)
+	if err != nil {
+		t.Fatalf("MixingTime: %v", err)
+	}
+	if tm != 11 {
+		t.Errorf("exceeded budget should report maxSteps+1, got %d", tm)
+	}
+}
+
+func TestMixingTimeValidation(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	s, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if _, err := c.MixingTime(s, 0, 10); err == nil {
+		t.Error("eps 0 should error")
+	}
+	if _, err := c.MixingTime(s, 1.5, 10); err == nil {
+		t.Error("eps > 1 should error")
+	}
+	if _, err := c.MixingTime(s, 0.1, 0); err == nil {
+		t.Error("maxSteps 0 should error")
+	}
+}
+
+// TestMixingConsistentWithSLEM: chains with a larger spectral gap mix no
+// slower (comparing a fast and a slow two-state chain).
+func TestMixingConsistentWithSLEM(t *testing.T) {
+	fast := twoState(t, 0.4, 0.4) // SLEM 0.2
+	slow := twoState(t, 0.05, 0.05)
+	sf, err := fast.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ssl, err := slow.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	tf, err := fast.MixingTime(sf, 0.01, 10000)
+	if err != nil {
+		t.Fatalf("MixingTime: %v", err)
+	}
+	ts, err := slow.MixingTime(ssl, 0.01, 10000)
+	if err != nil {
+		t.Fatalf("MixingTime: %v", err)
+	}
+	if tf >= ts {
+		t.Errorf("fast chain (t=%d) should mix before slow chain (t=%d)", tf, ts)
+	}
+}

@@ -1,0 +1,170 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular indicates that a matrix factored as numerically singular and
+// cannot be solved or inverted.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// LU holds an LU decomposition with partial pivoting, PA = LU, of a square
+// matrix. L has a unit diagonal and is stored in the strict lower triangle
+// of lu; U occupies the upper triangle including the diagonal.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64 // +1 or -1 with the parity of the permutation
+}
+
+// Factor computes the LU decomposition of a square matrix with partial
+// (row) pivoting. It returns ErrSingular if a pivot is exactly zero; near
+// singularity surfaces later as large residuals, which callers guard with
+// their own conditioning checks.
+func Factor(a *Matrix) (*LU, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("%w: LU of %dx%d", ErrDimension, a.rows, a.cols)
+	}
+	n := a.rows
+	f := &LU{
+		lu:    a.Clone(),
+		pivot: make([]int, n),
+		sign:  1,
+	}
+	d := f.lu.data
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Select the pivot row: largest magnitude in column k at or below
+		// the diagonal.
+		p := k
+		maxAbs := math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(d[i*n+k]); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				d[p*n+j], d[k*n+j] = d[k*n+j], d[p*n+j]
+			}
+			f.pivot[p], f.pivot[k] = f.pivot[k], f.pivot[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := d[i*n+k] * inv
+			d[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				d[i*n+j] -= l * d[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// SolveVec solves A x = b for a single right-hand side.
+func (f *LU) SolveVec(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve with rhs of %d, want %d", ErrDimension, len(b), n)
+	}
+	d := f.lu.data
+	x := make([]float64, n)
+	// Apply the permutation while loading b.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= d[i*n+j] * x[j]
+		}
+		x[i] = s / d[i*n+i]
+	}
+	return x, nil
+}
+
+// Solve solves A X = B column by column.
+func (f *LU) Solve(b *Matrix) (*Matrix, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		return nil, fmt.Errorf("%w: solve with rhs %dx%d, want %d rows", ErrDimension, b.rows, b.cols, n)
+	}
+	out := New(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x, err := f.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.data[i*b.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := f.sign
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Inverse returns A^{-1} for a square matrix A, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows))
+}
+
+// SolveLinear solves A x = b directly (factor + solve) for convenience at
+// call sites that need a single solve.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b)
+}
+
+// Det returns the determinant of a square matrix, or 0 when the matrix is
+// exactly singular (a zero pivot short-circuits the factorization).
+func Det(a *Matrix) (float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		if errors.Is(err, ErrSingular) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return f.Det(), nil
+}

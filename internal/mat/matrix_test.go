@@ -1,0 +1,386 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewFromRows(t *testing.T) {
+	m, err := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatalf("NewFromRows: %v", err)
+	}
+	if got := m.At(1, 0); got != 3 {
+		t.Errorf("At(1,0) = %v, want 3", got)
+	}
+	if got := m.At(0, 1); got != 2 {
+		t.Errorf("At(0,1) = %v, want 2", got)
+	}
+}
+
+func TestNewFromRowsRagged(t *testing.T) {
+	if _, err := NewFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("ragged rows: err = %v, want ErrDimension", err)
+	}
+	if _, err := NewFromRows(nil); !errors.Is(err, ErrDimension) {
+		t.Fatalf("empty rows: err = %v, want ErrDimension", err)
+	}
+}
+
+func TestNewFromRowsCopies(t *testing.T) {
+	src := [][]float64{{1, 2}, {3, 4}}
+	m, err := NewFromRows(src)
+	if err != nil {
+		t.Fatalf("NewFromRows: %v", err)
+	}
+	src[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("NewFromRows did not copy the input rows")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := id.At(i, j); got != want {
+				t.Errorf("I(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{2, 5})
+	if d.At(0, 0) != 2 || d.At(1, 1) != 5 || d.At(0, 1) != 0 {
+		t.Errorf("Diag produced %v", d)
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 7.5)
+	if m.At(0, 1) != 7.5 {
+		t.Errorf("round trip = %v, want 7.5", m.At(0, 1))
+	}
+	m.Add(0, 1, 0.5)
+	if m.At(0, 1) != 8 {
+		t.Errorf("after Add = %v, want 8", m.At(0, 1))
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 42
+	if m.At(0, 0) != 1 {
+		t.Error("Row returned a view, want a copy")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Col(1) = %v, want [2 4]", c)
+	}
+	c[0] = 42
+	if m.At(0, 1) != 2 {
+		t.Error("Col returned a view, want a copy")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(2, 2)
+	b, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if err := a.CopyFrom(b); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if !EqualApprox(a, b, 0) {
+		t.Error("CopyFrom did not copy contents")
+	}
+	if err := a.CopyFrom(New(3, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("shape mismatch err = %v, want ErrDimension", err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	sum, err := AddM(a, b)
+	if err != nil {
+		t.Fatalf("AddM: %v", err)
+	}
+	want, _ := NewFromRows([][]float64{{6, 8}, {10, 12}})
+	if !EqualApprox(sum, want, 0) {
+		t.Errorf("AddM = %v", sum)
+	}
+	diff, err := SubM(b, a)
+	if err != nil {
+		t.Fatalf("SubM: %v", err)
+	}
+	wantDiff, _ := NewFromRows([][]float64{{4, 4}, {4, 4}})
+	if !EqualApprox(diff, wantDiff, 0) {
+		t.Errorf("SubM = %v", diff)
+	}
+	sc := Scale(2, a)
+	wantSc, _ := NewFromRows([][]float64{{2, 4}, {6, 8}})
+	if !EqualApprox(sc, wantSc, 0) {
+		t.Errorf("Scale = %v", sc)
+	}
+}
+
+func TestAddDimensionMismatch(t *testing.T) {
+	if _, err := AddM(New(2, 2), New(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("AddM err = %v, want ErrDimension", err)
+	}
+	if _, err := SubM(New(2, 2), New(3, 2)); !errors.Is(err, ErrDimension) {
+		t.Errorf("SubM err = %v, want ErrDimension", err)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := Mul(a, b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want, _ := NewFromRows([][]float64{{19, 22}, {43, 50}})
+	if !EqualApprox(p, want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", p, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	p, err := Mul(a, Identity(3))
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !EqualApprox(p, a, 0) {
+		t.Error("A*I != A")
+	}
+	p2, err := Mul(Identity(3), a)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if !EqualApprox(p2, a, 0) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	if _, err := Mul(New(2, 3), New(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Errorf("Mul err = %v, want ErrDimension", err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := Transpose(a)
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("Transpose = %v", at)
+	}
+}
+
+func TestMulVecVecMul(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := MulVec(a, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	x, err := VecMul([]float64{1, 1}, a)
+	if err != nil {
+		t.Fatalf("VecMul: %v", err)
+	}
+	if x[0] != 4 || x[1] != 6 {
+		t.Errorf("VecMul = %v, want [4 6]", x)
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	d, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if d != 32 {
+		t.Errorf("Dot = %v, want 32", d)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("Dot err = %v, want ErrDimension", err)
+	}
+	a, _ := NewFromRows([][]float64{{3, 4}})
+	if n := FrobeniusNorm(a); math.Abs(n-5) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v, want 5", n)
+	}
+	if n := MaxAbs(a); n != 4 {
+		t.Errorf("MaxAbs = %v, want 4", n)
+	}
+	if n := NormVec2([]float64{3, 4}); math.Abs(n-5) > 1e-12 {
+		t.Errorf("NormVec2 = %v, want 5", n)
+	}
+}
+
+func TestFrobeniusInner(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	got, err := FrobeniusInner(a, b)
+	if err != nil {
+		t.Fatalf("FrobeniusInner: %v", err)
+	}
+	if got != 5+12+21+32 {
+		t.Errorf("FrobeniusInner = %v, want 70", got)
+	}
+}
+
+func TestRowSumsAndSumVec(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	rs := RowSums(a)
+	if rs[0] != 3 || rs[1] != 7 {
+		t.Errorf("RowSums = %v, want [3 7]", rs)
+	}
+	if s := SumVec([]float64{1, 2, 3}); s != 6 {
+		t.Errorf("SumVec = %v, want 6", s)
+	}
+}
+
+func TestOuterOnesRow(t *testing.T) {
+	w := OuterOnesRow([]float64{0.25, 0.75}, 3)
+	if w.Rows() != 3 || w.Cols() != 2 {
+		t.Fatalf("shape = %dx%d", w.Rows(), w.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		if w.At(i, 0) != 0.25 || w.At(i, 1) != 0.75 {
+			t.Errorf("row %d = %v", i, w.Row(i))
+		}
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 1}, {1, 1}})
+	b, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if err := AddInPlace(a, 2, b); err != nil {
+		t.Fatalf("AddInPlace: %v", err)
+	}
+	want, _ := NewFromRows([][]float64{{3, 5}, {7, 9}})
+	if !EqualApprox(a, want, 0) {
+		t.Errorf("AddInPlace = %v", a)
+	}
+}
+
+func TestScaleInPlace(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	ScaleInPlace(0.5, a)
+	want, _ := NewFromRows([][]float64{{0.5, 1}, {1.5, 2}})
+	if !EqualApprox(a, want, 0) {
+		t.Errorf("ScaleInPlace = %v", a)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}})
+	b, _ := NewFromRows([][]float64{{1.5, 1}})
+	if d := MaxAbsDiff(a, b); d != 1 {
+		t.Errorf("MaxAbsDiff = %v, want 1", d)
+	}
+	if d := MaxAbsDiff(a, New(2, 2)); !math.IsInf(d, 1) {
+		t.Errorf("shape mismatch diff = %v, want +Inf", d)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 2}})
+	if got := a.String(); got != "[1.000000 2.000000]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// randomMatrix builds a matrix with entries drawn uniformly from
+// [-scale, scale].
+func randomMatrix(r *rand.Rand, n int, scale float64) *Matrix {
+	m := New(n, n)
+	for i := range m.Data() {
+		m.Data()[i] = scale * (2*r.Float64() - 1)
+	}
+	return m
+}
+
+// TestMulAssociativityProperty checks (AB)C == A(BC) on random matrices.
+func TestMulAssociativityProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.IntN(6)
+		a := randomMatrix(r, n, 2)
+		b := randomMatrix(r, n, 2)
+		c := randomMatrix(r, n, 2)
+		ab, _ := Mul(a, b)
+		left, _ := Mul(ab, c)
+		bc, _ := Mul(b, c)
+		right, _ := Mul(a, bc)
+		if MaxAbsDiff(left, right) > 1e-9 {
+			t.Fatalf("trial %d: (AB)C != A(BC), diff %v", trial, MaxAbsDiff(left, right))
+		}
+	}
+}
+
+// TestTransposeInvolutionProperty checks (A^T)^T == A via testing/quick on
+// the flattened representation.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(vals [9]float64) bool {
+		m := New(3, 3)
+		copy(m.Data(), vals[:])
+		return EqualApprox(Transpose(Transpose(m)), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransposeProductProperty checks (AB)^T == B^T A^T.
+func TestTransposeProductProperty(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.IntN(5)
+		a := randomMatrix(r, n, 3)
+		b := randomMatrix(r, n, 3)
+		ab, _ := Mul(a, b)
+		left := Transpose(ab)
+		right, _ := Mul(Transpose(b), Transpose(a))
+		if MaxAbsDiff(left, right) > 1e-9 {
+			t.Fatalf("trial %d: (AB)^T != B^T A^T", trial)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// AddM returns a + b.
+func AddM(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: add %dx%d and %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// SubM returns a - b.
+func SubM(a, b *Matrix) (*Matrix, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return nil, fmt.Errorf("%w: sub %dx%d and %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s * a as a new matrix.
+func Scale(s float64, a *Matrix) *Matrix {
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = s * a.data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every entry of a by s.
+func ScaleInPlace(s float64, a *Matrix) {
+	for i := range a.data {
+		a.data[i] *= s
+	}
+}
+
+// AddInPlace adds s*b into a (a += s*b). The shapes must match.
+func AddInPlace(a *Matrix, s float64, b *Matrix) error {
+	if a.rows != b.rows || a.cols != b.cols {
+		return fmt.Errorf("%w: axpy %dx%d and %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	for i := range a.data {
+		a.data[i] += s * b.data[i]
+	}
+	return nil
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows of
+	// b and out, which matters once M grows past cache lines.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose of a.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.cols, a.rows)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			out.data[j*a.rows+i] = a.data[i*a.cols+j]
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x.
+func MulVec(a *Matrix, x []float64) ([]float64, error) {
+	if a.cols != len(x) {
+		return nil, fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrDimension, a.rows, a.cols, len(x))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// VecMul returns the vector-matrix product x*a (x treated as a row vector).
+func VecMul(x []float64, a *Matrix) ([]float64, error) {
+	if a.rows != len(x) {
+		return nil, fmt.Errorf("%w: vecmul vector of %d by %dx%d", ErrDimension, len(x), a.rows, a.cols)
+	}
+	out := make([]float64, a.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: dot vectors of %d and %d", ErrDimension, len(x), len(y))
+	}
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s, nil
+}
+
+// FrobeniusInner returns the Frobenius inner product <a, b> = sum a_ij*b_ij.
+func FrobeniusInner(a, b *Matrix) (float64, error) {
+	if a.rows != b.rows || a.cols != b.cols {
+		return 0, fmt.Errorf("%w: inner %dx%d and %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	var s float64
+	for i := range a.data {
+		s += a.data[i] * b.data[i]
+	}
+	return s, nil
+}
+
+// FrobeniusNorm returns the Frobenius norm sqrt(sum a_ij^2).
+func FrobeniusNorm(a *Matrix) float64 {
+	var s float64
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry of the matrix (the max norm).
+func MaxAbs(a *Matrix) float64 {
+	var m float64
+	for _, v := range a.data {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// RowSums returns the vector of per-row sums.
+func RowSums(a *Matrix) []float64 {
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		var s float64
+		for _, v := range a.data[i*a.cols : (i+1)*a.cols] {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SumVec returns the sum of the vector entries.
+func SumVec(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// NormVec2 returns the Euclidean norm of x.
+func NormVec2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// OuterOnesRow returns the matrix whose every row equals the given row
+// vector; used to build W (all rows equal to the stationary distribution).
+func OuterOnesRow(row []float64, rows int) *Matrix {
+	out := New(rows, len(row))
+	for i := 0; i < rows; i++ {
+		copy(out.data[i*len(row):(i+1)*len(row)], row)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+// Package mcmc implements the Metropolis–Hastings baseline the paper's
+// Related Work discusses: when the only objective is the distribution of
+// the sensor's time among the PoIs, a reversible chain with a prescribed
+// stationary distribution can be constructed directly, with no
+// optimization. The baseline ignores exposure times and the pass-through
+// coupling between PoIs — exactly the limitations that motivate the
+// paper's steepest-descent formulation — which the experiment harness
+// quantifies by evaluating both chains under the full cost model.
+package mcmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrTarget indicates an invalid target distribution.
+var ErrTarget = errors.New("mcmc: invalid target distribution")
+
+// MetropolisHastings builds the Metropolis chain over M states with a
+// uniform proposal and the classic acceptance min(1, τ_j/τ_i). The
+// returned matrix is row-stochastic, reversible with respect to τ, and
+// (for any non-degenerate τ) ergodic with stationary distribution exactly
+// τ.
+func MetropolisHastings(tau []float64) (*mat.Matrix, error) {
+	n := len(tau)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d states", ErrTarget, n)
+	}
+	var sum float64
+	for i, v := range tau {
+		if v <= 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: τ_%d = %v (must be positive)", ErrTarget, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("%w: sums to %v", ErrTarget, sum)
+	}
+	p := mat.New(n, n)
+	prop := 1 / float64(n-1) // uniform proposal over the other states
+	for i := 0; i < n; i++ {
+		var stay float64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			accept := math.Min(1, tau[j]/tau[i])
+			pij := prop * accept
+			p.Set(i, j, pij)
+			stay += pij
+		}
+		p.Set(i, i, 1-stay)
+	}
+	return p, nil
+}
+
+// LazyMetropolisHastings mixes the Metropolis chain with the identity:
+// p' = (1-lazy)·p + lazy·I. Laziness in (0, 1) guarantees aperiodicity
+// even for targets that would otherwise produce a periodic chain, and
+// models a sensor that dwells longer per visit.
+func LazyMetropolisHastings(tau []float64, lazy float64) (*mat.Matrix, error) {
+	if lazy < 0 || lazy >= 1 {
+		return nil, fmt.Errorf("%w: laziness %v outside [0, 1)", ErrTarget, lazy)
+	}
+	p, err := MetropolisHastings(tau)
+	if err != nil {
+		return nil, err
+	}
+	n := p.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (1 - lazy) * p.At(i, j)
+			if i == j {
+				v += lazy
+			}
+			p.Set(i, j, v)
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,134 @@
+package mcmc
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/rng"
+)
+
+func TestMetropolisHastingsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		tau  []float64
+	}{
+		{"too few states", []float64{1}},
+		{"zero entry", []float64{0.5, 0.5, 0}},
+		{"negative entry", []float64{1.2, -0.1, -0.1}},
+		{"bad sum", []float64{0.5, 0.2, 0.2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := MetropolisHastings(tc.tau); !errors.Is(err, ErrTarget) {
+				t.Errorf("err = %v, want ErrTarget", err)
+			}
+		})
+	}
+}
+
+func TestMetropolisHastingsStationary(t *testing.T) {
+	targets := [][]float64{
+		{0.4, 0.1, 0.1, 0.4},
+		{0.1, 0.2, 0.3, 0.4},
+		{0.45, 0.10, 0.45},
+		{0.25, 0.25, 0.25, 0.25},
+	}
+	for _, tau := range targets {
+		p, err := MetropolisHastings(tau)
+		if err != nil {
+			t.Fatalf("MetropolisHastings(%v): %v", tau, err)
+		}
+		chain, err := markov.New(p)
+		if err != nil {
+			t.Fatalf("markov.New: %v", err)
+		}
+		sol, err := chain.Solve()
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		for i := range tau {
+			if math.Abs(sol.Pi[i]-tau[i]) > 1e-9 {
+				t.Errorf("τ=%v: π_%d = %v, want %v", tau, i, sol.Pi[i], tau[i])
+			}
+		}
+	}
+}
+
+func TestMetropolisHastingsReversible(t *testing.T) {
+	src := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + src.IntN(7)
+		tau := make([]float64, n)
+		src.DirichletRow(tau, 2)
+		// Keep entries strictly positive.
+		for i := range tau {
+			tau[i] = 0.9*tau[i] + 0.1/float64(n)
+		}
+		p, err := MetropolisHastings(tau)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				lhs := tau[i] * p.At(i, j)
+				rhs := tau[j] * p.At(j, i)
+				if math.Abs(lhs-rhs) > 1e-12 {
+					t.Fatalf("trial %d: detailed balance broken at (%d,%d): %v vs %v",
+						trial, i, j, lhs, rhs)
+				}
+			}
+		}
+	}
+}
+
+func TestMetropolisHastingsRowsStochastic(t *testing.T) {
+	p, err := MetropolisHastings([]float64{0.7, 0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatalf("MetropolisHastings: %v", err)
+	}
+	if err := markov.CheckStochastic(p); err != nil {
+		t.Errorf("not stochastic: %v", err)
+	}
+	// The dominant state must hold significant self-probability (moves to
+	// lighter states are usually rejected).
+	if p.At(0, 0) < 0.5 {
+		t.Errorf("p_00 = %v, want > 0.5", p.At(0, 0))
+	}
+}
+
+func TestLazyMetropolisHastings(t *testing.T) {
+	tau := []float64{0.3, 0.3, 0.4}
+	p, err := LazyMetropolisHastings(tau, 0.5)
+	if err != nil {
+		t.Fatalf("LazyMetropolisHastings: %v", err)
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		t.Fatalf("markov.New: %v", err)
+	}
+	sol, err := chain.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Laziness preserves the stationary distribution.
+	for i := range tau {
+		if math.Abs(sol.Pi[i]-tau[i]) > 1e-9 {
+			t.Errorf("π_%d = %v, want %v", i, sol.Pi[i], tau[i])
+		}
+	}
+	// Self-loops inflated.
+	base, _ := MetropolisHastings(tau)
+	for i := range tau {
+		if p.At(i, i) <= base.At(i, i) {
+			t.Errorf("lazy self-loop %v not larger than base %v", p.At(i, i), base.At(i, i))
+		}
+	}
+	if _, err := LazyMetropolisHastings(tau, 1); !errors.Is(err, ErrTarget) {
+		t.Errorf("laziness 1: err = %v, want ErrTarget", err)
+	}
+	if _, err := LazyMetropolisHastings(tau, -0.1); !errors.Is(err, ErrTarget) {
+		t.Errorf("negative laziness: err = %v, want ErrTarget", err)
+	}
+}

@@ -1,0 +1,255 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 identical draws across split streams", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split()
+	b := New(7).Split()
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic for a fixed parent seed")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	s := New(4)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.IntN(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("IntN(5) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("IntN(5) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2) // mean 0.5
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := New(15)
+	// Both the Knuth regime (< 30) and the normal-approximation regime.
+	for _, mean := range []float64{0.3, 2, 12, 80} {
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(mean))
+			if v < 0 {
+				t.Fatalf("negative Poisson draw")
+			}
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		variance := sumSq/n - m*m
+		if math.Abs(m-mean) > 0.03*mean+0.02 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) variance = %v", mean, variance)
+		}
+	}
+}
+
+func TestPoissonDegenerate(t *testing.T) {
+	s := New(16)
+	if v := s.Poisson(0); v != 0 {
+		t.Errorf("Poisson(0) = %d", v)
+	}
+	if v := s.Poisson(-3); v != 0 {
+		t.Errorf("Poisson(-3) = %d", v)
+	}
+	if v := s.Poisson(math.NaN()); v != 0 {
+		t.Errorf("Poisson(NaN) = %d", v)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	s := New(8)
+	weights := []float64{1, 3, 0, 6}
+	counts := make([]int, 4)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		idx := s.Categorical(weights)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("Categorical returned %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[2])
+	}
+	for i, want := range []float64{0.1, 0.3, 0, 0.6} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("index %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalDegenerate(t *testing.T) {
+	s := New(9)
+	if idx := s.Categorical(nil); idx != -1 {
+		t.Errorf("Categorical(nil) = %d, want -1", idx)
+	}
+	if idx := s.Categorical([]float64{0, 0}); idx != -1 {
+		t.Errorf("Categorical(zeros) = %d, want -1", idx)
+	}
+	if idx := s.Categorical([]float64{0, 5, 0}); idx != 1 {
+		t.Errorf("Categorical single support = %d, want 1", idx)
+	}
+}
+
+func TestStochasticRowSumsToOne(t *testing.T) {
+	s := New(10)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + s.IntN(9)
+		row := make([]float64, n)
+		s.StochasticRow(row)
+		var sum float64
+		for _, v := range row {
+			if v < 0 {
+				t.Fatalf("negative entry %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row sum = %v, want 1", sum)
+		}
+	}
+}
+
+func TestStochasticRowEmpty(t *testing.T) {
+	s := New(11)
+	s.StochasticRow(nil) // must not panic
+}
+
+func TestDirichletRowSumsToOne(t *testing.T) {
+	s := New(12)
+	for _, alpha := range []float64{0.3, 1, 5} {
+		for trial := 0; trial < 100; trial++ {
+			row := make([]float64, 4)
+			s.DirichletRow(row, alpha)
+			var sum float64
+			for _, v := range row {
+				if v < 0 {
+					t.Fatalf("alpha=%v: negative entry %v", alpha, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("alpha=%v: row sum = %v", alpha, sum)
+			}
+		}
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	s := New(13)
+	const n = 100000
+	for _, shape := range []float64{0.5, 1, 2.5} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += s.gamma(shape)
+		}
+		if mean := sum / n; math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Errorf("Gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(14)
+	p := s.Perm(6)
+	seen := make([]bool, 6)
+	for _, v := range p {
+		if v < 0 || v >= 6 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

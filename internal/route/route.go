@@ -1,0 +1,253 @@
+// Package route plans physically feasible travel paths between PoIs.
+// The paper's Markov model requires that "travel from one PoI to another
+// must occur along a physically feasible route"; in open terrain that is
+// the straight line, but real deployments (buildings, water-distribution
+// plant rooms, restricted zones) contain regions the sensor cannot cross.
+//
+// The planner models obstacles as axis-aligned rectangles and computes
+// shortest polyline paths with a visibility graph: path vertices are the
+// endpoints plus the (slightly outset) obstacle corners, edges connect
+// mutually visible vertices, and Dijkstra extracts the shortest path.
+// For an empty obstacle set every route degenerates to the direct
+// segment, reproducing the paper's setting exactly.
+package route
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Routing errors.
+var (
+	// ErrObstacle indicates an invalid obstacle specification.
+	ErrObstacle = errors.New("route: invalid obstacle")
+	// ErrNoPath indicates that no feasible path exists between the
+	// endpoints (e.g. an endpoint is enclosed by obstacles).
+	ErrNoPath = errors.New("route: no feasible path")
+)
+
+// Rect is an axis-aligned rectangular obstacle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// valid reports whether the rectangle has positive area.
+func (r Rect) valid() bool {
+	return r.MaxX > r.MinX && r.MaxY > r.MinY
+}
+
+// contains reports whether the point lies strictly inside the rectangle.
+func (r Rect) contains(p geom.Point) bool {
+	return p.X > r.MinX && p.X < r.MaxX && p.Y > r.MinY && p.Y < r.MaxY
+}
+
+// outset returns the rectangle grown by m on every side.
+func (r Rect) outset(m float64) Rect {
+	return Rect{r.MinX - m, r.MinY - m, r.MaxX + m, r.MaxY + m}
+}
+
+// corners returns the rectangle's four corner points.
+func (r Rect) corners() [4]geom.Point {
+	return [4]geom.Point{
+		{X: r.MinX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MaxY},
+		{X: r.MinX, Y: r.MaxY},
+	}
+}
+
+// blocksSegment reports whether the segment properly intersects the
+// rectangle's interior. Touching the boundary does not block (paths may
+// graze obstacle corners).
+func (r Rect) blocksSegment(s geom.Segment) bool {
+	// Liang–Barsky clipping of the parametric segment against the
+	// rectangle; the segment blocks if a sub-interval of positive length
+	// lies inside the open rectangle.
+	x0, y0 := s.A.X, s.A.Y
+	dx, dy := s.B.X-s.A.X, s.B.Y-s.A.Y
+	t0, t1 := 0.0, 1.0
+	clip := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0 // parallel: inside iff q >= 0
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+	if !clip(-dx, x0-r.MinX) || !clip(dx, r.MaxX-x0) ||
+		!clip(-dy, y0-r.MinY) || !clip(dy, r.MaxY-y0) {
+		return false
+	}
+	// The clipped interval [t0, t1] lies within the closed rectangle;
+	// require positive length and a strictly interior midpoint so that
+	// boundary grazing does not count.
+	if t1-t0 <= 1e-12 {
+		return false
+	}
+	mid := s.PointAt((t0 + t1) / 2)
+	return r.contains(mid)
+}
+
+// Planner computes shortest feasible polylines between points.
+type Planner struct {
+	obstacles []Rect
+	// margin is how far path vertices are outset from obstacle corners so
+	// paths do not scrape the boundary.
+	margin float64
+	// waypoints caches the outset corners of all obstacles.
+	waypoints []geom.Point
+}
+
+// DefaultMargin is the corner outset used when Config.Margin is zero.
+const DefaultMargin = 1e-6
+
+// New validates the obstacles and builds a Planner. Margin ≤ 0 selects
+// DefaultMargin.
+func New(obstacles []Rect, margin float64) (*Planner, error) {
+	if margin <= 0 {
+		margin = DefaultMargin
+	}
+	p := &Planner{
+		obstacles: append([]Rect(nil), obstacles...),
+		margin:    margin,
+	}
+	for i, r := range obstacles {
+		if !r.valid() {
+			return nil, fmt.Errorf("%w: rectangle %d has non-positive extent", ErrObstacle, i)
+		}
+	}
+	for _, r := range p.obstacles {
+		for _, c := range r.outset(margin).corners() {
+			if !p.insideAnyObstacle(c) {
+				p.waypoints = append(p.waypoints, c)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Obstacles returns a copy of the planner's obstacle set.
+func (p *Planner) Obstacles() []Rect {
+	return append([]Rect(nil), p.obstacles...)
+}
+
+// insideAnyObstacle reports whether the point lies strictly inside any
+// obstacle.
+func (p *Planner) insideAnyObstacle(pt geom.Point) bool {
+	for _, r := range p.obstacles {
+		if r.contains(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear reports whether the straight segment between a and b crosses no
+// obstacle interior.
+func (p *Planner) Clear(a, b geom.Point) bool {
+	s := geom.Segment{A: a, B: b}
+	for _, r := range p.obstacles {
+		if r.blocksSegment(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Route returns the shortest feasible polyline from a to b, including
+// both endpoints. With no obstacles in the way it is [a, b]. It returns
+// ErrNoPath if an endpoint is inside an obstacle or the visibility graph
+// is disconnected.
+func (p *Planner) Route(a, b geom.Point) ([]geom.Point, error) {
+	if p.insideAnyObstacle(a) || p.insideAnyObstacle(b) {
+		return nil, fmt.Errorf("%w: endpoint inside an obstacle", ErrNoPath)
+	}
+	if p.Clear(a, b) {
+		return []geom.Point{a, b}, nil
+	}
+	// Visibility graph over {a, b, obstacle corners}.
+	nodes := make([]geom.Point, 0, len(p.waypoints)+2)
+	nodes = append(nodes, a, b)
+	nodes = append(nodes, p.waypoints...)
+	n := len(nodes)
+
+	const inf = math.MaxFloat64
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	dist[0] = 0
+	// Dijkstra with linear extraction: node counts stay small (4 corners
+	// per obstacle), so the O(n²) scan beats heap overhead.
+	for {
+		u := -1
+		best := inf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < best {
+				best = dist[i]
+				u = i
+			}
+		}
+		if u == -1 {
+			break
+		}
+		if u == 1 {
+			break // reached b
+		}
+		done[u] = true
+		for v := 0; v < n; v++ {
+			if done[v] || v == u {
+				continue
+			}
+			if !p.Clear(nodes[u], nodes[v]) {
+				continue
+			}
+			if d := dist[u] + geom.Dist(nodes[u], nodes[v]); d < dist[v] {
+				dist[v] = d
+				prev[v] = u
+			}
+		}
+	}
+	if dist[1] == inf {
+		return nil, fmt.Errorf("%w: endpoints are disconnected", ErrNoPath)
+	}
+	// Reconstruct a → b.
+	var rev []int
+	for u := 1; u != -1; u = prev[u] {
+		rev = append(rev, u)
+	}
+	path := make([]geom.Point, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, nodes[rev[i]])
+	}
+	return path, nil
+}
+
+// PathLength returns the total length of a polyline.
+func PathLength(path []geom.Point) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += geom.Dist(path[i-1], path[i])
+	}
+	return total
+}

@@ -1,0 +1,224 @@
+package route
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Rect{{0, 0, 0, 1}}, 0); !errors.Is(err, ErrObstacle) {
+		t.Errorf("degenerate rect err = %v, want ErrObstacle", err)
+	}
+	if _, err := New([]Rect{{1, 1, 0, 0}}, 0); !errors.Is(err, ErrObstacle) {
+		t.Errorf("inverted rect err = %v, want ErrObstacle", err)
+	}
+	p, err := New(nil, 0)
+	if err != nil {
+		t.Fatalf("empty obstacle set: %v", err)
+	}
+	if len(p.Obstacles()) != 0 {
+		t.Error("obstacles not empty")
+	}
+}
+
+func TestRouteNoObstaclesIsDirect(t *testing.T) {
+	p, err := New(nil, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 4}
+	path, err := p.Route(a, b)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(path) != 2 || path[0] != a || path[1] != b {
+		t.Errorf("path = %v, want direct", path)
+	}
+	if l := PathLength(path); math.Abs(l-5) > 1e-12 {
+		t.Errorf("length = %v, want 5", l)
+	}
+}
+
+func TestRouteAroundBlock(t *testing.T) {
+	// A wall straddles the direct path from (0, 0.5) to (4, 0.5).
+	p, err := New([]Rect{{1.5, -1, 2.5, 2}}, 1e-6)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := geom.Point{X: 0, Y: 0.5}, geom.Point{X: 4, Y: 0.5}
+	if p.Clear(a, b) {
+		t.Fatal("direct segment should be blocked")
+	}
+	path, err := p.Route(a, b)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if len(path) < 3 {
+		t.Fatalf("path = %v, want a detour", path)
+	}
+	// The detour must be longer than the direct distance but bounded by
+	// going around the whole wall.
+	l := PathLength(path)
+	if l <= 4 {
+		t.Errorf("detour length %v not above direct 4", l)
+	}
+	if l > 10 {
+		t.Errorf("detour length %v unreasonably long", l)
+	}
+	// No leg of the path may cross an obstacle.
+	for i := 1; i < len(path); i++ {
+		if !p.Clear(path[i-1], path[i]) {
+			t.Errorf("leg %d crosses an obstacle", i)
+		}
+	}
+	// Endpoints preserved.
+	if path[0] != a || path[len(path)-1] != b {
+		t.Errorf("endpoints = %v, %v", path[0], path[len(path)-1])
+	}
+}
+
+func TestRoutePicksShorterSide(t *testing.T) {
+	// Wall reaching far down but only slightly up: the route should go
+	// over the top.
+	p, err := New([]Rect{{1, -10, 2, 1}}, 1e-6)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 0}
+	path, err := p.Route(a, b)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	for _, pt := range path[1 : len(path)-1] {
+		if pt.Y < 0.5 {
+			t.Errorf("waypoint %v went the long way around", pt)
+		}
+	}
+}
+
+func TestRouteEndpointInsideObstacle(t *testing.T) {
+	p, err := New([]Rect{{0, 0, 2, 2}}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := p.Route(geom.Point{X: 1, Y: 1}, geom.Point{X: 5, Y: 5}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestRouteEnclosedEndpoint(t *testing.T) {
+	// Box the destination in with four walls (leaving it outside the
+	// walls' interiors but unreachable).
+	walls := []Rect{
+		{-1, -1, 3, 0}, // bottom
+		{-1, 2, 3, 3},  // top
+		{-1, 0, 0, 2},  // left
+		{2, 0, 3, 2},   // right
+	}
+	p, err := New(walls, 1e-6)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := p.Route(geom.Point{X: 1, Y: 1}, geom.Point{X: 10, Y: 10}); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestClearGrazingBoundaryAllowed(t *testing.T) {
+	p, err := New([]Rect{{0, 0, 1, 1}}, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// A segment sliding along the obstacle's top edge touches but does
+	// not enter the interior.
+	if !p.Clear(geom.Point{X: -1, Y: 1}, geom.Point{X: 2, Y: 1}) {
+		t.Error("boundary-grazing segment reported blocked")
+	}
+	// A segment through the middle is blocked.
+	if p.Clear(geom.Point{X: -1, Y: 0.5}, geom.Point{X: 2, Y: 0.5}) {
+		t.Error("interior-crossing segment reported clear")
+	}
+	// A segment fully inside is blocked.
+	if p.Clear(geom.Point{X: 0.2, Y: 0.5}, geom.Point{X: 0.8, Y: 0.5}) {
+		t.Error("interior segment reported clear")
+	}
+	// A segment wholly outside is clear.
+	if !p.Clear(geom.Point{X: -1, Y: 2}, geom.Point{X: 2, Y: 3}) {
+		t.Error("outside segment reported blocked")
+	}
+}
+
+func TestBlocksSegmentParallelOutside(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	// Vertical segment left of the box, parallel to its sides.
+	if r.blocksSegment(geom.Segment{A: geom.Point{X: -0.5, Y: -1}, B: geom.Point{X: -0.5, Y: 2}}) {
+		t.Error("parallel outside segment blocked")
+	}
+	if !r.blocksSegment(geom.Segment{A: geom.Point{X: 0.5, Y: -1}, B: geom.Point{X: 0.5, Y: 2}}) {
+		t.Error("vertical interior segment not blocked")
+	}
+}
+
+// TestRouteTriangleInequality: routed length is never shorter than the
+// straight-line distance, and never longer than routing via any single
+// intermediate waypoint.
+func TestRouteTriangleInequality(t *testing.T) {
+	obstacles := []Rect{
+		{2, 2, 4, 4},
+		{5, 0, 6, 3},
+		{1, 5, 3, 6},
+	}
+	p, err := New(obstacles, 1e-6)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	src := rng.New(77)
+	randomFree := func() geom.Point {
+		for {
+			pt := geom.Point{X: src.Uniform(0, 8), Y: src.Uniform(0, 8)}
+			if !p.insideAnyObstacle(pt) {
+				return pt
+			}
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomFree(), randomFree()
+		path, err := p.Route(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: Route: %v", trial, err)
+		}
+		l := PathLength(path)
+		if direct := geom.Dist(a, b); l < direct-1e-9 {
+			t.Fatalf("trial %d: routed %v shorter than direct %v", trial, l, direct)
+		}
+		// Every leg clear.
+		for i := 1; i < len(path); i++ {
+			if !p.Clear(path[i-1], path[i]) {
+				t.Fatalf("trial %d: leg %d blocked", trial, i)
+			}
+		}
+		// Shortest-path optimality within the graph: routing a → m → b
+		// (for a random free midpoint m) cannot beat the planner.
+		m := randomFree()
+		p1, err1 := p.Route(a, m)
+		p2, err2 := p.Route(m, b)
+		if err1 == nil && err2 == nil {
+			if via := PathLength(p1) + PathLength(p2); via < l-1e-9 {
+				t.Fatalf("trial %d: via-point path %v beats planner %v", trial, via, l)
+			}
+		}
+	}
+}
+
+func TestPathLengthEdgeCases(t *testing.T) {
+	if PathLength(nil) != 0 {
+		t.Error("nil path length")
+	}
+	if PathLength([]geom.Point{{X: 1, Y: 1}}) != 0 {
+		t.Error("single-point path length")
+	}
+}

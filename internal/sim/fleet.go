@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Fleet simulation: several sensors execute (copies of) a Markov schedule
+// over the same PoIs, and coverage is the union — a PoI is covered
+// whenever any sensor has it in range. The paper optimizes a single
+// sensor; fleets are the natural deployment extension, and because the
+// analytic machinery does not compose across independent walkers, the
+// fleet is evaluated by exact simulation: each sensor's trajectory is
+// unrolled into per-PoI absolute coverage windows, the windows are merged
+// on a common timeline, and the union coverage and gap (exposure)
+// statistics are measured on the merged intervals.
+
+// FleetConfig describes a fleet run.
+type FleetConfig struct {
+	// Topology supplies the physical layout.
+	Topology *topology.Topology
+	// P is the shared transition matrix each sensor executes.
+	P *mat.Matrix
+	// Sensors is the fleet size (≥ 1).
+	Sensors int
+	// Steps is the number of Markov transitions per sensor.
+	Steps int
+	// Seed drives all walks (each sensor gets a split stream).
+	Seed uint64
+	// Stagger, when true, starts sensor k at PoI k mod M instead of all
+	// sensors at PoI 0 — the deployment-sensible default.
+	Stagger bool
+}
+
+func (c *FleetConfig) validate() error {
+	if c.Topology == nil {
+		return fmt.Errorf("%w: nil topology", ErrConfig)
+	}
+	if c.P == nil || c.P.Rows() != c.Topology.M() || c.P.Cols() != c.Topology.M() {
+		return fmt.Errorf("%w: bad matrix", ErrConfig)
+	}
+	if c.Sensors < 1 {
+		return fmt.Errorf("%w: %d sensors", ErrConfig, c.Sensors)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("%w: steps %d", ErrConfig, c.Steps)
+	}
+	return nil
+}
+
+// FleetMetrics reports the union-coverage outcomes.
+type FleetMetrics struct {
+	// Sensors echoes the fleet size.
+	Sensors int
+	// Horizon is the common physical time span the metrics cover (the
+	// shortest sensor trajectory).
+	Horizon float64
+	// CoverageShare is the union coverage time fraction per PoI.
+	CoverageShare []float64
+	// DeltaC is Σ_i (share_i − Φ_i)² on the union shares — the fleet
+	// counterpart of Eq. 12 (normalized form).
+	DeltaC float64
+	// MeanGap and MaxGap are the mean and maximum uncovered interval per
+	// PoI on the merged timeline (physical time).
+	MeanGap []float64
+	MaxGap  []float64
+	// Gaps counts uncovered intervals per PoI.
+	Gaps []int
+}
+
+// interval is one absolute-time coverage window.
+type interval struct {
+	start, end float64
+}
+
+// SimulateFleet runs the fleet and measures union coverage.
+func SimulateFleet(cfg FleetConfig) (*FleetMetrics, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := checkStochasticRows(cfg.P); err != nil {
+		return nil, err
+	}
+	top := cfg.Topology
+	n := top.M()
+	master := rng.New(cfg.Seed)
+
+	// Unroll each sensor into per-PoI coverage windows.
+	windows := make([][]interval, n)
+	horizon := math.Inf(1)
+	for s := 0; s < cfg.Sensors; s++ {
+		src := master.Split()
+		start := 0
+		if cfg.Stagger {
+			start = s % n
+		}
+		elapsed := unrollWindows(top, cfg.P, src, cfg.Steps, start, windows)
+		if elapsed < horizon {
+			horizon = elapsed
+		}
+	}
+
+	met := &FleetMetrics{
+		Sensors:       cfg.Sensors,
+		Horizon:       horizon,
+		CoverageShare: make([]float64, n),
+		MeanGap:       make([]float64, n),
+		MaxGap:        make([]float64, n),
+		Gaps:          make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		covered, gaps := mergeAndMeasure(windows[i], horizon)
+		met.CoverageShare[i] = covered / horizon
+		var gapSum, gapMax float64
+		for _, g := range gaps {
+			gapSum += g
+			if g > gapMax {
+				gapMax = g
+			}
+		}
+		met.Gaps[i] = len(gaps)
+		if len(gaps) > 0 {
+			met.MeanGap[i] = gapSum / float64(len(gaps))
+		}
+		met.MaxGap[i] = gapMax
+		d := met.CoverageShare[i] - top.TargetAt(i)
+		met.DeltaC += d * d
+	}
+	return met, nil
+}
+
+// checkStochasticRows defers to the markov validation used by Run.
+func checkStochasticRows(p *mat.Matrix) error {
+	for i, s := range mat.RowSums(p) {
+		if math.Abs(s-1) > 1e-6 {
+			return fmt.Errorf("%w: row %d sums to %v", ErrConfig, i, s)
+		}
+	}
+	return nil
+}
+
+// unrollWindows walks one sensor and appends its absolute-time coverage
+// windows (per the topology's pass-event conventions) into windows.
+// It returns the sensor's total elapsed time.
+func unrollWindows(top *topology.Topology, p *mat.Matrix, src *rng.Source, steps, start int, windows [][]interval) float64 {
+	n := top.M()
+	cur := start
+	row := make([]float64, n)
+	var now float64
+	for step := 0; step < steps; step++ {
+		for j := 0; j < n; j++ {
+			row[j] = p.At(cur, j)
+		}
+		next := src.Categorical(row)
+		if next < 0 {
+			next = cur
+		}
+		if next == cur {
+			d := top.PoIAt(cur).Pause
+			windows[cur] = append(windows[cur], interval{now, now + d})
+			now += d
+		} else {
+			for _, e := range top.Passes(cur, next) {
+				windows[e.PoI] = append(windows[e.PoI], interval{now + e.Enter, now + e.Exit})
+			}
+			now += top.TravelTime(cur, next)
+		}
+		cur = next
+	}
+	return now
+}
+
+// mergeAndMeasure merges the (unsorted, possibly overlapping) windows,
+// clips them to [0, horizon], and returns total covered time plus the
+// uncovered gap lengths between merged windows (excluding the leading gap
+// before first coverage, which has no preceding departure, but including
+// interior gaps; the trailing partial gap is excluded as incomplete).
+func mergeAndMeasure(ws []interval, horizon float64) (covered float64, gaps []float64) {
+	if len(ws) == 0 {
+		return 0, nil
+	}
+	sorted := append([]interval(nil), ws...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].start < sorted[b].start })
+
+	var curStart, curEnd float64
+	started := false
+	var prevEnd float64
+	hasPrev := false
+	flush := func() {
+		if !started {
+			return
+		}
+		s, e := curStart, curEnd
+		if s < 0 {
+			s = 0
+		}
+		if e > horizon {
+			e = horizon
+		}
+		if e > s {
+			covered += e - s
+			if hasPrev && s > prevEnd {
+				gaps = append(gaps, s-prevEnd)
+			}
+			prevEnd = e
+			hasPrev = true
+		}
+	}
+	for _, w := range sorted {
+		if w.start >= horizon {
+			break
+		}
+		if !started {
+			curStart, curEnd = w.start, w.end
+			started = true
+			continue
+		}
+		if w.start <= curEnd {
+			if w.end > curEnd {
+				curEnd = w.end
+			}
+			continue
+		}
+		flush()
+		curStart, curEnd = w.start, w.end
+	}
+	flush()
+	return covered, gaps
+}

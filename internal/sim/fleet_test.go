@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFleetValidation(t *testing.T) {
+	top := topology.Topology2()
+	valid := FleetConfig{Topology: top, P: uniformP(3), Sensors: 2, Steps: 100}
+	cases := []struct {
+		name   string
+		mutate func(*FleetConfig)
+	}{
+		{"nil topology", func(c *FleetConfig) { c.Topology = nil }},
+		{"nil matrix", func(c *FleetConfig) { c.P = nil }},
+		{"wrong size", func(c *FleetConfig) { c.P = uniformP(4) }},
+		{"zero sensors", func(c *FleetConfig) { c.Sensors = 0 }},
+		{"zero steps", func(c *FleetConfig) { c.Steps = 0 }},
+		{"bad rows", func(c *FleetConfig) {
+			p := uniformP(3)
+			p.Set(0, 0, 0.9)
+			c.P = p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			if _, err := SimulateFleet(cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestMergeAndMeasure(t *testing.T) {
+	// Overlapping and touching windows merge; gaps measured between runs.
+	ws := []interval{
+		{1, 3}, {2, 4}, // merge to [1,4]
+		{6, 7},  // gap of 2 before it
+		{9, 12}, // gap of 2, clipped at horizon 10
+	}
+	covered, gaps := mergeAndMeasure(ws, 10)
+	if math.Abs(covered-(3+1+1)) > 1e-12 {
+		t.Errorf("covered = %v, want 5", covered)
+	}
+	if len(gaps) != 2 || math.Abs(gaps[0]-2) > 1e-12 || math.Abs(gaps[1]-2) > 1e-12 {
+		t.Errorf("gaps = %v, want [2 2]", gaps)
+	}
+	// Empty input.
+	if c, g := mergeAndMeasure(nil, 10); c != 0 || g != nil {
+		t.Errorf("empty: %v %v", c, g)
+	}
+	// Window entirely past the horizon.
+	if c, _ := mergeAndMeasure([]interval{{11, 12}}, 10); c != 0 {
+		t.Errorf("past-horizon covered = %v", c)
+	}
+}
+
+func TestFleetDeterministic(t *testing.T) {
+	top := topology.Topology1()
+	cfg := FleetConfig{Topology: top, P: uniformP(4), Sensors: 3, Steps: 5000, Seed: 7, Stagger: true}
+	a, err := SimulateFleet(cfg)
+	if err != nil {
+		t.Fatalf("SimulateFleet: %v", err)
+	}
+	b, err := SimulateFleet(cfg)
+	if err != nil {
+		t.Fatalf("SimulateFleet: %v", err)
+	}
+	if a.Horizon != b.Horizon || a.DeltaC != b.DeltaC {
+		t.Error("fleet simulation not deterministic")
+	}
+}
+
+// TestFleetSizeReducesGaps is the deployment claim: more sensors shrink
+// the union exposure gaps monotonically (to sampling noise) and raise
+// union coverage.
+func TestFleetSizeReducesGaps(t *testing.T) {
+	top := topology.Topology1()
+	worstGap := func(sensors int) (float64, float64) {
+		met, err := SimulateFleet(FleetConfig{
+			Topology: top, P: uniformP(4), Sensors: sensors,
+			Steps: 40000, Seed: 11, Stagger: true,
+		})
+		if err != nil {
+			t.Fatalf("SimulateFleet(%d): %v", sensors, err)
+		}
+		var worst, share float64
+		for i := range met.MeanGap {
+			if met.MeanGap[i] > worst {
+				worst = met.MeanGap[i]
+			}
+			share += met.CoverageShare[i]
+		}
+		return worst, share
+	}
+	gap1, share1 := worstGap(1)
+	gap2, share2 := worstGap(2)
+	gap4, share4 := worstGap(4)
+	if !(gap4 < gap2 && gap2 < gap1) {
+		t.Errorf("gaps not decreasing: K=1 %v, K=2 %v, K=4 %v", gap1, gap2, gap4)
+	}
+	if !(share4 > share2 && share2 > share1) {
+		t.Errorf("union coverage not increasing: %v, %v, %v", share1, share2, share4)
+	}
+	// Two independent sensors roughly halve the mean gap.
+	ratio := gap2 / gap1
+	if ratio < 0.3 || ratio > 0.8 {
+		t.Errorf("K=2 gap ratio %v, expected ≈ 0.5", ratio)
+	}
+}
+
+// TestFleetSingleMatchesUnionOfOne: a fleet of one sensor reports the
+// same union coverage share as the plain simulator's coverage share (both
+// count every in-range interval; conventions differ only in the origin
+// convention, which vanishes in the long run).
+func TestFleetSingleMatchesUnionOfOne(t *testing.T) {
+	top := topology.Topology3()
+	fleet, err := SimulateFleet(FleetConfig{
+		Topology: top, P: uniformP(4), Sensors: 1, Steps: 200000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("SimulateFleet: %v", err)
+	}
+	single, err := Run(Config{Topology: top, P: uniformP(4), Steps: 200000, Seed: 99})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range fleet.CoverageShare {
+		if math.Abs(fleet.CoverageShare[i]-single.CoverageShare[i]) > 0.01 {
+			t.Errorf("PoI %d: fleet %v vs single %v", i, fleet.CoverageShare[i], single.CoverageShare[i])
+		}
+	}
+}

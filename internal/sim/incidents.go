@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Incident modeling: the paper motivates the exposure objective by the
+// "delay in responding to an incident, say an accident that requires
+// rescue operations". This file makes that concrete: incidents occur at
+// each PoI as a Poisson process and are detected the next time the sensor
+// covers the PoI. Detection delay is the time from occurrence to the next
+// coverage.
+//
+// The simulation is statistically exact without storing an event
+// timeline: conditioned on the sensor's realized trajectory, the
+// uncovered intervals of PoI i are known; a Poisson(λ·L) count of
+// incidents falls in each uncovered interval of length L, each with an
+// independent Uniform(0, L) residual delay, and incidents during covered
+// time are detected immediately.
+
+// IncidentMetrics reports detection-delay statistics for one run.
+type IncidentMetrics struct {
+	// Rates echoes the per-PoI incident rates used.
+	Rates []float64
+	// Detected counts detected incidents per PoI (including immediate
+	// detections during covered time).
+	Detected []int64
+	// Undetected counts incidents still pending when the run ended.
+	Undetected []int64
+	// MeanDelay is the mean detection delay per PoI (zero-delay immediate
+	// detections included).
+	MeanDelay []float64
+	// MaxDelay is the largest observed delay per PoI.
+	MaxDelay []float64
+	// OverallMeanDelay averages across all detected incidents.
+	OverallMeanDelay float64
+
+	// Trajectory statistics enabling closed-form cross-checks: per PoI,
+	// the total uncovered time, the sum of squared uncovered-gap lengths,
+	// and the total covered time.
+	GapTime      []float64
+	GapSquared   []float64
+	CoveredTime  []float64
+	ElapsedTime  float64
+	GapsObserved []int
+}
+
+// RunIncidents simulates the walk of cfg and overlays Poisson incidents
+// with the given per-PoI rates (events per unit time). Exposure/coverage
+// timing uses the physical model with pass-through interruption — the
+// sensor detects whenever the PoI is actually within range.
+func RunIncidents(cfg Config, rates []float64) (*IncidentMetrics, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	top := cfg.Topology
+	n := top.M()
+	if len(rates) != n {
+		return nil, fmt.Errorf("%w: %d rates for %d PoIs", ErrConfig, len(rates), n)
+	}
+	for i, r := range rates {
+		if r < 0 || math.IsNaN(r) {
+			return nil, fmt.Errorf("%w: rate[%d] = %v", ErrConfig, i, r)
+		}
+	}
+	src := rng.New(cfg.Seed)
+	cur := cfg.Start
+	if cur == -1 {
+		cur = src.IntN(n)
+	}
+
+	met := &IncidentMetrics{
+		Rates:        append([]float64(nil), rates...),
+		Detected:     make([]int64, n),
+		Undetected:   make([]int64, n),
+		MeanDelay:    make([]float64, n),
+		MaxDelay:     make([]float64, n),
+		GapTime:      make([]float64, n),
+		GapSquared:   make([]float64, n),
+		CoveredTime:  make([]float64, n),
+		GapsObserved: make([]int, n),
+	}
+	delaySum := make([]float64, n)
+	lastExit := make([]float64, n) // absolute time coverage of i last ended
+	var now float64
+	row := make([]float64, n)
+
+	// window records one coverage interval of a PoI within the current
+	// transition, in transition-relative time.
+	type window struct {
+		poi         int
+		enter, exit float64
+	}
+	var windows []window
+
+	for step := 0; step < cfg.Steps; step++ {
+		for j := 0; j < n; j++ {
+			row[j] = cfg.P.At(cur, j)
+		}
+		next := src.Categorical(row)
+		if next < 0 {
+			return nil, fmt.Errorf("%w: zero row %d", ErrConfig, cur)
+		}
+		var duration float64
+		windows = windows[:0]
+		if next == cur {
+			duration = top.PoIAt(cur).Pause
+			windows = append(windows, window{poi: cur, enter: 0, exit: duration})
+		} else {
+			duration = top.MoveTime(cur, next) + top.PoIAt(next).Pause
+			for _, e := range top.Passes(cur, next) {
+				windows = append(windows, window{poi: e.PoI, enter: e.Enter, exit: e.Exit})
+			}
+		}
+
+		for _, w := range windows {
+			i := w.poi
+			gap := now + w.enter - lastExit[i]
+			if gap < 0 {
+				gap = 0
+			}
+			if gap > 0 && rates[i] > 0 {
+				k := src.Poisson(rates[i] * gap)
+				for e := int64(0); e < k; e++ {
+					d := src.Uniform(0, gap)
+					delaySum[i] += d
+					if d > met.MaxDelay[i] {
+						met.MaxDelay[i] = d
+					}
+				}
+				met.Detected[i] += k
+			}
+			met.GapTime[i] += gap
+			met.GapSquared[i] += gap * gap
+			if gap > 0 {
+				met.GapsObserved[i]++
+			}
+			// Immediate detections during the covered window.
+			covered := w.exit - w.enter
+			met.CoveredTime[i] += covered
+			if covered > 0 && rates[i] > 0 {
+				met.Detected[i] += src.Poisson(rates[i] * covered)
+			}
+			lastExit[i] = now + w.exit
+		}
+		now += duration
+		cur = next
+	}
+	met.ElapsedTime = now
+
+	// Trailing gaps: incidents after the last coverage remain undetected.
+	var totalDelay float64
+	var totalDetected int64
+	for i := 0; i < n; i++ {
+		if trailing := now - lastExit[i]; trailing > 0 && rates[i] > 0 {
+			met.Undetected[i] = src.Poisson(rates[i] * trailing)
+		}
+		if met.Detected[i] > 0 {
+			met.MeanDelay[i] = delaySum[i] / float64(met.Detected[i])
+		}
+		totalDelay += delaySum[i]
+		totalDetected += met.Detected[i]
+	}
+	if totalDetected > 0 {
+		met.OverallMeanDelay = totalDelay / float64(totalDetected)
+	}
+	return met, nil
+}
+
+// ExpectedMeanDelay returns, per PoI, the trajectory-conditional expected
+// mean detection delay implied by the realized gap structure:
+//
+//	E[delay] = (Σ L² / 2) / (Σ L + covered)
+//
+// where the L are the uncovered gap lengths. The Monte Carlo MeanDelay of
+// the same run converges to this value as the incident rate grows, which
+// the tests exploit.
+func (m *IncidentMetrics) ExpectedMeanDelay(i int) float64 {
+	denom := m.GapTime[i] + m.CoveredTime[i]
+	if denom == 0 {
+		return 0
+	}
+	return m.GapSquared[i] / 2 / denom
+}

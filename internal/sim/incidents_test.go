@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/topology"
+)
+
+func TestRunIncidentsValidation(t *testing.T) {
+	top := topology.Topology2()
+	cfg := Config{Topology: top, P: uniformP(3), Steps: 100, Seed: 1}
+	if _, err := RunIncidents(cfg, []float64{1, 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("wrong rate count err = %v", err)
+	}
+	if _, err := RunIncidents(cfg, []float64{1, -1, 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative rate err = %v", err)
+	}
+	bad := cfg
+	bad.Steps = 0
+	if _, err := RunIncidents(bad, []float64{1, 1, 1}); !errors.Is(err, ErrConfig) {
+		t.Errorf("bad config err = %v", err)
+	}
+}
+
+func TestRunIncidentsDeterministicAlternation(t *testing.T) {
+	// A 2-PoI forced alternation: the sensor bounces 0 ↔ 1. Each PoI's
+	// uncovered gap is the travel away, the pause at the other PoI, and
+	// the travel back: 1 + 1 + 1 = 3 time units (unit spacing, unit
+	// speed, unit pause); delays are Uniform(0, 3) → mean 1.5 among
+	// gap incidents.
+	top, err := topology.Line("pair", 2, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("Line: %v", err)
+	}
+	p, _ := mat.NewFromRows([][]float64{{0, 1}, {1, 0}})
+	met, err := RunIncidents(Config{Topology: top, P: p, Steps: 60000, Seed: 3}, []float64{5, 5})
+	if err != nil {
+		t.Fatalf("RunIncidents: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if met.Detected[i] == 0 {
+			t.Fatalf("PoI %d: no detections", i)
+		}
+		// Mix of gap incidents (mean delay 1.5 over gap 3) and immediate
+		// ones during the pause (1 of every 4 time units covered):
+		// expected mean = (3²/2)/(3+1) = 1.125.
+		want := met.ExpectedMeanDelay(i)
+		// The first gap (from t = 0 rather than from a departure) is
+		// shorter than the steady-state 3 units, so the expectation is a
+		// hair below 1.125 on a finite run.
+		if math.Abs(want-1.125) > 1e-3 {
+			t.Errorf("PoI %d: gap structure expectation %v, want 1.125", i, want)
+		}
+		if rel := math.Abs(met.MeanDelay[i]-want) / want; rel > 0.03 {
+			t.Errorf("PoI %d: measured mean delay %v, expectation %v", i, met.MeanDelay[i], want)
+		}
+		if met.MaxDelay[i] > 3.0001 {
+			t.Errorf("PoI %d: max delay %v exceeds the gap length", i, met.MaxDelay[i])
+		}
+	}
+}
+
+func TestRunIncidentsMatchesGapExpectation(t *testing.T) {
+	// On a random-walk schedule the measured mean delay must converge to
+	// the trajectory-conditional expectation.
+	top := topology.Topology3()
+	met, err := RunIncidents(Config{Topology: top, P: uniformP(4), Steps: 80000, Seed: 7},
+		[]float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatalf("RunIncidents: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		want := met.ExpectedMeanDelay(i)
+		if want == 0 {
+			t.Fatalf("PoI %d: no gap structure", i)
+		}
+		if rel := math.Abs(met.MeanDelay[i]-want) / want; rel > 0.05 {
+			t.Errorf("PoI %d: measured %v vs expectation %v", i, met.MeanDelay[i], want)
+		}
+	}
+}
+
+func TestRunIncidentsZeroRate(t *testing.T) {
+	top := topology.Topology2()
+	met, err := RunIncidents(Config{Topology: top, P: uniformP(3), Steps: 1000, Seed: 1},
+		[]float64{0, 0, 0})
+	if err != nil {
+		t.Fatalf("RunIncidents: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if met.Detected[i] != 0 || met.Undetected[i] != 0 {
+			t.Errorf("PoI %d: incidents with zero rate", i)
+		}
+	}
+	if met.ElapsedTime <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestRunIncidentsRateScaling(t *testing.T) {
+	// Doubling the rate roughly doubles the detections without changing
+	// the mean delay (delay depends on the trajectory, not the rate).
+	top := topology.Topology1()
+	cfg := Config{Topology: top, P: uniformP(4), Steps: 50000, Seed: 5}
+	lo, err := RunIncidents(cfg, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatalf("RunIncidents: %v", err)
+	}
+	hi, err := RunIncidents(cfg, []float64{2, 2, 2, 2})
+	if err != nil {
+		t.Fatalf("RunIncidents: %v", err)
+	}
+	var nLo, nHi int64
+	for i := 0; i < 4; i++ {
+		nLo += lo.Detected[i]
+		nHi += hi.Detected[i]
+	}
+	ratio := float64(nHi) / float64(nLo)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("detection ratio %v, want ~2", ratio)
+	}
+	if rel := math.Abs(lo.OverallMeanDelay-hi.OverallMeanDelay) / lo.OverallMeanDelay; rel > 0.05 {
+		t.Errorf("mean delay changed with rate: %v vs %v", lo.OverallMeanDelay, hi.OverallMeanDelay)
+	}
+}
+
+// TestIncidentDelayTracksExposure ties the incident model to the paper's
+// thesis: a schedule with lower mean exposure detects incidents sooner.
+func TestIncidentDelayTracksExposure(t *testing.T) {
+	top := topology.Topology1()
+	// Mobile schedule: uniform walk. Sluggish schedule: heavy self-loops.
+	mobile := uniformP(4)
+	sluggish := mat.New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				sluggish.Set(i, j, 0.91)
+			} else {
+				sluggish.Set(i, j, 0.03)
+			}
+		}
+	}
+	rates := []float64{1, 1, 1, 1}
+	fast, err := RunIncidents(Config{Topology: top, P: mobile, Steps: 60000, Seed: 9}, rates)
+	if err != nil {
+		t.Fatalf("RunIncidents mobile: %v", err)
+	}
+	slow, err := RunIncidents(Config{Topology: top, P: sluggish, Steps: 60000, Seed: 9}, rates)
+	if err != nil {
+		t.Fatalf("RunIncidents sluggish: %v", err)
+	}
+	if fast.OverallMeanDelay >= slow.OverallMeanDelay {
+		t.Errorf("mobile delay %v not below sluggish %v",
+			fast.OverallMeanDelay, slow.OverallMeanDelay)
+	}
+}

@@ -1,0 +1,438 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func uniformP(m int) *mat.Matrix {
+	p := mat.New(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			p.Set(i, j, 1/float64(m))
+		}
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	top := topology.Topology2()
+	valid := Config{Topology: top, P: uniformP(3), Steps: 10}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil topology", func(c *Config) { c.Topology = nil }},
+		{"nil matrix", func(c *Config) { c.P = nil }},
+		{"wrong size", func(c *Config) { c.P = uniformP(4) }},
+		{"zero steps", func(c *Config) { c.Steps = 0 }},
+		{"bad start", func(c *Config) { c.Start = 5 }},
+		{"not stochastic", func(c *Config) {
+			p := uniformP(3)
+			p.Set(0, 0, 0.9)
+			c.P = p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			if _, err := Run(cfg); !errors.Is(err, ErrConfig) {
+				t.Errorf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestTimeModelString(t *testing.T) {
+	if UnitStep.String() != "unit-step" || Physical.String() != "physical" ||
+		PhysicalInterrupted.String() != "physical-interrupted" {
+		t.Error("time model names")
+	}
+	if TimeModel(9).String() == "" {
+		t.Error("unknown model name empty")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	top := topology.Topology2()
+	cfg := Config{Topology: top, P: uniformP(3), Steps: 1000, Seed: 42}
+	m1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	m2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m1.TotalTime != m2.TotalTime || m1.EBar != m2.EBar || m1.DeltaC != m2.DeltaC {
+		t.Error("same seed produced different metrics")
+	}
+}
+
+func TestBookkeepingConsistency(t *testing.T) {
+	top := topology.Topology3()
+	met, err := Run(Config{Topology: top, P: uniformP(4), Steps: 5000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met.Steps != 5000 {
+		t.Errorf("Steps = %d", met.Steps)
+	}
+	// Visits sum to the number of transitions.
+	var visits int64
+	for _, v := range met.Visits {
+		visits += v
+	}
+	if visits != 5000 {
+		t.Errorf("total visits = %d, want 5000", visits)
+	}
+	// Coverage shares in (0,1), summing below 1 (disjoint PoIs).
+	var shareSum float64
+	for i, s := range met.CoverageShare {
+		if s <= 0 || s >= 1 {
+			t.Errorf("share[%d] = %v", i, s)
+		}
+		shareSum += s
+	}
+	if shareSum > 1+1e-9 {
+		t.Errorf("Σ share = %v > 1", shareSum)
+	}
+	// Coverage time cannot exceed elapsed time.
+	for i, c := range met.CoverageTime {
+		if c < 0 || c > met.TotalTime {
+			t.Errorf("coverage[%d] = %v of total %v", i, c, met.TotalTime)
+		}
+	}
+	// DeltaC matches its G decomposition.
+	var dc float64
+	for _, g := range met.G {
+		dc += g * g
+	}
+	if math.Abs(dc-met.DeltaC) > 1e-15 {
+		t.Errorf("DeltaC = %v, Σg² = %v", met.DeltaC, dc)
+	}
+}
+
+// TestVisitFrequenciesMatchStationary verifies the walk realizes the
+// chain's stationary distribution.
+func TestVisitFrequenciesMatchStationary(t *testing.T) {
+	top := topology.Topology1()
+	src := rng.New(7)
+	p := mat.New(4, 4)
+	row := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		src.DirichletRow(row, 2)
+		for j := range row {
+			row[j] = 0.8*row[j] + 0.05
+		}
+		p.SetRow(i, row)
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		t.Fatalf("markov.New: %v", err)
+	}
+	sol, err := chain.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	const steps = 400000
+	met, err := Run(Config{Topology: top, P: p, Steps: steps, Seed: 11})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		freq := float64(met.Visits[i]) / steps
+		if math.Abs(freq-sol.Pi[i]) > 0.01 {
+			t.Errorf("visit freq[%d] = %v, π = %v", i, freq, sol.Pi[i])
+		}
+	}
+}
+
+// TestCoverageShareConvergesToAnalytic verifies C_i(N)/T(N) → C̄_i (Eq. 2)
+// on a topology with pass-through coverage.
+func TestCoverageShareConvergesToAnalytic(t *testing.T) {
+	top := topology.Topology3()
+	p := uniformP(4)
+	chain, err := markov.New(p)
+	if err != nil {
+		t.Fatalf("markov.New: %v", err)
+	}
+	sol, err := chain.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Analytic C̄ per Eq. 2.
+	n := top.M()
+	var total float64
+	want := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			w := sol.Pi[j] * p.At(j, k)
+			total += w * top.TravelTime(j, k)
+			for i := 0; i < n; i++ {
+				want[i] += w * top.CoverTime(j, k, i)
+			}
+		}
+	}
+	for i := range want {
+		want[i] /= total
+	}
+	met, err := Run(Config{Topology: top, P: p, Steps: 400000, Seed: 13})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if math.Abs(met.CoverageShare[i]-want[i]) > 0.01 {
+			t.Errorf("share[%d] = %v, analytic %v", i, met.CoverageShare[i], want[i])
+		}
+	}
+}
+
+// TestUnitStepExposureMatchesAnalytic is the paper's §VI-D validation: the
+// unit-step mean exposure converges to Ē_i of Eq. 3.
+func TestUnitStepExposureMatchesAnalytic(t *testing.T) {
+	top := topology.Topology1()
+	src := rng.New(17)
+	p := mat.New(4, 4)
+	row := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		src.DirichletRow(row, 2)
+		for j := range row {
+			row[j] = 0.7*row[j] + 0.075
+		}
+		p.SetRow(i, row)
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		t.Fatalf("markov.New: %v", err)
+	}
+	sol, err := chain.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Analytic Ē_i = Σ_{j≠i} p_ij R_ji / (1 − p_ii) (Eq. 3).
+	n := 4
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				s += p.At(i, j) * sol.R.At(j, i)
+			}
+		}
+		want[i] = s / (1 - p.At(i, i))
+	}
+	met, err := Run(Config{Topology: top, P: p, Steps: 500000, Seed: 19, TimeModel: UnitStep})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if met.ExposureSegments[i] == 0 {
+			t.Fatalf("no exposure segments for PoI %d", i)
+		}
+		rel := math.Abs(met.MeanExposure[i]-want[i]) / want[i]
+		if rel > 0.03 {
+			t.Errorf("⟨E_%d⟩ = %v, analytic Ē = %v (rel %v)", i, met.MeanExposure[i], want[i], rel)
+		}
+	}
+}
+
+// TestPhysicalExposureCloseToAnalytic mirrors the paper's Fig. 8
+// observation: physical-time exposure is close to, but not exactly, the
+// unit-step analytic value.
+func TestPhysicalExposureCloseToAnalytic(t *testing.T) {
+	top := topology.Topology1()
+	p := uniformP(4)
+	unit, err := Run(Config{Topology: top, P: p, Steps: 300000, Seed: 23, TimeModel: UnitStep})
+	if err != nil {
+		t.Fatalf("Run unit: %v", err)
+	}
+	phys, err := Run(Config{Topology: top, P: p, Steps: 300000, Seed: 23, TimeModel: Physical})
+	if err != nil {
+		t.Fatalf("Run physical: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		ratio := phys.MeanExposure[i] / unit.MeanExposure[i]
+		// Transitions on topology 1 last between 1 (self) and 1+√2·... ≈
+		// 2.6 time units, so the physical exposure is a modest multiple of
+		// the step count.
+		if ratio < 1 || ratio > 3.5 {
+			t.Errorf("PoI %d: physical/unit exposure ratio %v outside [1, 3.5]", i, ratio)
+		}
+	}
+}
+
+// TestPhysicalInterruptedShortensExposure: pass-through sweeps close
+// segments early, so interrupted exposure ≤ uninterrupted physical
+// exposure on a topology with pass-throughs.
+func TestPhysicalInterruptedShortensExposure(t *testing.T) {
+	top := topology.Topology3() // line: many pass-throughs
+	p := uniformP(4)
+	phys, err := Run(Config{Topology: top, P: p, Steps: 200000, Seed: 29, TimeModel: Physical})
+	if err != nil {
+		t.Fatalf("Run physical: %v", err)
+	}
+	intr, err := Run(Config{Topology: top, P: p, Steps: 200000, Seed: 29, TimeModel: PhysicalInterrupted})
+	if err != nil {
+		t.Fatalf("Run interrupted: %v", err)
+	}
+	// Interior PoIs (1, 2) get swept often; their interrupted mean
+	// exposure must be strictly smaller.
+	for _, i := range []int{1, 2} {
+		if intr.MeanExposure[i] >= phys.MeanExposure[i] {
+			t.Errorf("PoI %d: interrupted %v >= physical %v",
+				i, intr.MeanExposure[i], phys.MeanExposure[i])
+		}
+	}
+	// Sweeps also create more (shorter) segments.
+	for _, i := range []int{1, 2} {
+		if intr.ExposureSegments[i] <= phys.ExposureSegments[i] {
+			t.Errorf("PoI %d: interrupted segments %d <= physical %d",
+				i, intr.ExposureSegments[i], phys.ExposureSegments[i])
+		}
+	}
+}
+
+func TestCollectSegments(t *testing.T) {
+	top := topology.Topology2()
+	met, err := Run(Config{
+		Topology: top, P: uniformP(3), Steps: 20000, Seed: 3,
+		CollectSegments: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met.Segments == nil {
+		t.Fatal("segments not collected")
+	}
+	for i := 0; i < 3; i++ {
+		if len(met.Segments[i]) != met.ExposureSegments[i] {
+			t.Fatalf("PoI %d: %d collected vs %d counted",
+				i, len(met.Segments[i]), met.ExposureSegments[i])
+		}
+		var sum float64
+		for _, s := range met.Segments[i] {
+			if s <= 0 {
+				t.Fatalf("PoI %d: non-positive segment %v", i, s)
+			}
+			sum += s
+		}
+		mean := sum / float64(len(met.Segments[i]))
+		if math.Abs(mean-met.MeanExposure[i]) > 1e-9 {
+			t.Errorf("PoI %d: segment mean %v vs reported %v", i, mean, met.MeanExposure[i])
+		}
+	}
+	// Default: no collection.
+	met2, err := Run(Config{Topology: top, P: uniformP(3), Steps: 100, Seed: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met2.Segments != nil {
+		t.Error("segments collected without the flag")
+	}
+}
+
+// TestSegmentVarianceMatchesMoments validates the closed-form exposure
+// variance (first-passage second moments) against the empirical segment
+// distribution — the simulation counterpart of core.ChainAnalysis.
+func TestSegmentVarianceMatchesMoments(t *testing.T) {
+	top := topology.Topology1()
+	src := rng.New(55)
+	p := mat.New(4, 4)
+	row := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		src.DirichletRow(row, 2)
+		for j := range row {
+			row[j] = 0.7*row[j] + 0.075
+		}
+		p.SetRow(i, row)
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		t.Fatalf("markov.New: %v", err)
+	}
+	sol, err := chain.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	moments, err := sol.Moments()
+	if err != nil {
+		t.Fatalf("Moments: %v", err)
+	}
+	met, err := Run(Config{
+		Topology: top, P: p, Steps: 400000, Seed: 77,
+		TimeModel: UnitStep, CollectSegments: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		// Analytic mixture variance of the exposure segment for PoI i.
+		denom := 1 - p.At(i, i)
+		var mean, second float64
+		for j := 0; j < 4; j++ {
+			if j == i {
+				continue
+			}
+			w := p.At(i, j) / denom
+			mean += w * moments.Mean.At(j, i)
+			second += w * moments.Second.At(j, i)
+		}
+		wantVar := second - mean*mean
+
+		var s, s2 float64
+		for _, v := range met.Segments[i] {
+			s += v
+			s2 += v * v
+		}
+		n := float64(len(met.Segments[i]))
+		gotMean := s / n
+		gotVar := s2/n - gotMean*gotMean
+		if rel := math.Abs(gotVar-wantVar) / wantVar; rel > 0.06 {
+			t.Errorf("PoI %d: empirical segment variance %v vs analytic %v (rel %v)",
+				i, gotVar, wantVar, rel)
+		}
+	}
+}
+
+func TestRandomStart(t *testing.T) {
+	top := topology.Topology2()
+	met, err := Run(Config{Topology: top, P: uniformP(3), Steps: 100, Seed: 5, Start: -1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met.TotalTime <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestRunMany(t *testing.T) {
+	top := topology.Topology2()
+	cfg := Config{Topology: top, P: uniformP(3), Steps: 1000, Seed: 9}
+	runs, err := RunMany(cfg, 5)
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	if len(runs) != 5 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	distinct := false
+	for i := 1; i < len(runs); i++ {
+		if runs[i].TotalTime != runs[0].TotalTime {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("replicated runs all identical; seeds not split")
+	}
+	if _, err := RunMany(cfg, 0); !errors.Is(err, ErrConfig) {
+		t.Errorf("err = %v, want ErrConfig", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: summaries with percentiles (Table III,
+// Figs. 6–8 error bars) and empirical CDFs (Fig. 2).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty indicates a statistic was requested over no data.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P25    float64
+	P75    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(data []float64) (Summary, error) {
+	if len(data) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric guard for near-constant samples
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: quantileSorted(sorted, 0.5),
+		P25:    quantileSorted(sorted, 0.25),
+		P75:    quantileSorted(sorted, 0.75),
+		StdDev: math.Sqrt(variance),
+	}, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample using linear
+// interpolation between order statistics.
+func Quantile(data []float64, q float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+// quantileSorted interpolates the q-quantile of pre-sorted data.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	// Value is a sample value.
+	Value float64
+	// Fraction is the fraction of samples ≤ Value.
+	Fraction float64
+}
+
+// CDF returns the empirical distribution function of the sample as a
+// sorted sequence of (value, fraction ≤ value) points.
+func CDF(data []float64) ([]CDFPoint, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of the sample.
+func Mean(data []float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, v := range data {
+		sum += v
+	}
+	return sum / float64(len(data)), nil
+}
+
+// Histogram bins the sample into `bins` equal-width buckets over
+// [min, max] and returns the per-bucket counts and the bucket edges
+// (len(edges) == bins+1).
+func Histogram(data []float64, bins int) (counts []int, edges []float64, err error) {
+	if len(data) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if bins <= 0 {
+		return nil, nil, fmt.Errorf("stats: %d bins", bins)
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1 // all identical; one wide bucket
+	}
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	width := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, v := range data {
+		idx := int((v - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	return counts, edges, nil
+}

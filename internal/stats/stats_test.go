@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s, err := Summarize([]float64{4, 1, 3, 2, 5})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Errorf("quartiles = %v/%v, want 2/4", s.P25, s.P75)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	if _, err := Summarize(data); err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Errorf("input mutated: %v", data)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(data, tc.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tc.q, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(data, 1.5); err == nil {
+		t.Error("out-of-range quantile should error")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts, err := CDF([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatalf("CDF: %v", err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Value != 1 || math.Abs(pts[0].Fraction-1.0/3) > 1e-12 {
+		t.Errorf("pts[0] = %+v", pts[0])
+	}
+	if pts[2].Value != 3 || pts[2].Fraction != 1 {
+		t.Errorf("pts[2] = %+v", pts[2])
+	}
+	if _, err := CDF(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(data []float64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		for i, v := range data {
+			if math.IsNaN(v) {
+				data[i] = 0
+			}
+		}
+		pts, err := CDF(data)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value < pts[i-1].Value || pts[i].Fraction < pts[i-1].Fraction {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Fraction == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if m != 2.5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges, err := Histogram([]float64{0, 0.1, 0.2, 0.9, 1.0}, 2)
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	if len(counts) != 2 || len(edges) != 3 {
+		t.Fatalf("shapes: %d counts, %d edges", len(counts), len(edges))
+	}
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("counts = %v, want [3 2]", counts)
+	}
+	if edges[0] != 0 || edges[2] != 1 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, _, err := Histogram([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("total binned = %d, want 3", total)
+	}
+	if _, _, err := Histogram(nil, 3); !errors.Is(err, ErrEmpty) {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins should error")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(data []float64) bool {
+		if len(data) == 0 {
+			return true
+		}
+		for i, v := range data {
+			// Keep magnitudes where sum-of-squares cannot overflow; the
+			// package targets experiment metrics, not astronomic values.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				data[i] = 0
+			} else {
+				data[i] = math.Mod(v, 1e9)
+			}
+		}
+		s, err := Summarize(data)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.P25 && s.P25 <= s.Median &&
+			s.Median <= s.P75 && s.P75 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Defaults shared by the four reconstructed paper topologies (Fig. 1).
+// Cells have unit side; each PoI sits at its cell center; the sensing
+// range is a quarter cell so straight-line paths through a cell cover its
+// PoI but diagonal paths through cell corners do not.
+const (
+	// DefaultRange is the sensing range r used by the paper topologies.
+	DefaultRange = 0.25
+	// DefaultSpeed is the travel speed.
+	DefaultSpeed = 1.0
+	// DefaultPause is the dwell time at each PoI per visit.
+	DefaultPause = 1.0
+)
+
+// Line builds a 1×n line of PoIs with unit spacing and the given target.
+func Line(name string, n int, target []float64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: line needs n >= 2, got %d", ErrInvalid, n)
+	}
+	pois := make([]PoI, n)
+	for i := range pois {
+		pois[i] = PoI{Pos: geom.Point{X: float64(i) + 0.5, Y: 0.5}, Pause: DefaultPause}
+	}
+	return New(Config{
+		Name:   name,
+		PoIs:   pois,
+		Target: target,
+		Range:  DefaultRange,
+		Speed:  DefaultSpeed,
+	})
+}
+
+// Grid builds a rows×cols grid of PoIs at unit-cell centers, numbered in
+// row-major order, with the given target.
+func Grid(name string, rows, cols int, target []float64) (*Topology, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("%w: grid %dx%d too small", ErrInvalid, rows, cols)
+	}
+	pois := make([]PoI, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pois = append(pois, PoI{
+				Pos:   geom.Point{X: float64(c) + 0.5, Y: float64(r) + 0.5},
+				Pause: DefaultPause,
+			})
+		}
+	}
+	return New(Config{
+		Name:   name,
+		PoIs:   pois,
+		Target: target,
+		Range:  DefaultRange,
+		Speed:  DefaultSpeed,
+	})
+}
+
+// Topology1 reconstructs the paper's Topology 1: a 2×2 grid of four PoIs
+// with a skewed target allocation. Diagonal paths clear the off-path PoIs,
+// so this topology has no pass-through coupling — the cleanest setting for
+// studying the optimizer itself (Fig. 2, Tables III/IV, Fig. 8).
+func Topology1() *Topology {
+	t, err := Grid("topology-1", 2, 2, []float64{0.10, 0.20, 0.30, 0.40})
+	if err != nil {
+		// The builders above are exercised with these exact constants in
+		// tests; failure here is a programming error.
+		panic(err)
+	}
+	return t
+}
+
+// Topology2 reconstructs Topology 2: a 1×3 line. Traveling 1→3 passes
+// through PoI 2, the smallest topology with pass-through coupling
+// (Figs. 5, 6).
+func Topology2() *Topology {
+	t, err := Line("topology-2", 3, []float64{0.45, 0.10, 0.45})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Topology3 reconstructs Topology 3: a 1×4 line with the target pinned by
+// Table I, Φ = (0.4, 0.1, 0.1, 0.4). The interior PoIs receive
+// pass-through coverage whenever the sensor crosses the line, which is why
+// the exposure-only optimum of Table I concentrates coverage there
+// (Tables I/II, Fig. 3).
+func Topology3() *Topology {
+	t, err := Line("topology-3", 4, []float64{0.40, 0.10, 0.10, 0.40})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Topology4 reconstructs Topology 4: a 3×3 grid of nine PoIs with mass
+// concentrated on the corners, the larger map of Fig. 7. Straight lines
+// between opposite corners and edges pass through the center cell.
+func Topology4() *Topology {
+	t, err := Grid("topology-4", 3, 3, []float64{
+		0.20, 0.04, 0.20,
+		0.04, 0.04, 0.04,
+		0.20, 0.04, 0.20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Paper returns the four reconstructed topologies indexed 1..4.
+func Paper(n int) (*Topology, error) {
+	switch n {
+	case 1:
+		return Topology1(), nil
+	case 2:
+		return Topology2(), nil
+	case 3:
+		return Topology3(), nil
+	case 4:
+		return Topology4(), nil
+	default:
+		return nil, fmt.Errorf("%w: paper topology %d (want 1..4)", ErrInvalid, n)
+	}
+}

@@ -1,0 +1,120 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// RandomConfig parameterizes Random.
+type RandomConfig struct {
+	// M is the number of PoIs (≥ 2).
+	M int
+	// Width and Height bound the placement area.
+	Width, Height float64
+	// Range is the sensing range (DefaultRange if zero).
+	Range float64
+	// Speed is the travel speed (DefaultSpeed if zero).
+	Speed float64
+	// MinPause and MaxPause bound the per-PoI dwell times
+	// (DefaultPause for both if zero).
+	MinPause, MaxPause float64
+	// SkewTarget, when true, draws the target allocation from a Dirichlet
+	// with small concentration (spiky targets); otherwise targets are
+	// near-uniform.
+	SkewTarget bool
+}
+
+// Random generates a valid random topology: PoIs are placed uniformly in
+// the area with pairwise separation strictly above 2r (rejection
+// sampling), pauses are uniform in [MinPause, MaxPause], and the target
+// allocation is a Dirichlet draw. It is the workload generator behind the
+// end-to-end property tests and robustness benchmarks.
+func Random(src *rng.Source, cfg RandomConfig) (*Topology, error) {
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("%w: M = %d", ErrInvalid, cfg.M)
+	}
+	if cfg.Range == 0 {
+		cfg.Range = DefaultRange
+	}
+	if cfg.Speed == 0 {
+		cfg.Speed = DefaultSpeed
+	}
+	if cfg.MinPause == 0 {
+		cfg.MinPause = DefaultPause
+	}
+	if cfg.MaxPause == 0 {
+		cfg.MaxPause = cfg.MinPause
+	}
+	if cfg.MaxPause < cfg.MinPause {
+		return nil, fmt.Errorf("%w: pause bounds [%v, %v]", ErrInvalid, cfg.MinPause, cfg.MaxPause)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("%w: area %vx%v", ErrInvalid, cfg.Width, cfg.Height)
+	}
+	// Feasibility heuristic: each PoI needs a disk of radius 2r to
+	// itself; refuse configurations that rejection sampling cannot
+	// plausibly satisfy.
+	sep := 2 * cfg.Range
+	if float64(cfg.M)*(sep*sep*4) > cfg.Width*cfg.Height {
+		return nil, fmt.Errorf("%w: %d PoIs with separation %v cannot fit %vx%v",
+			ErrInvalid, cfg.M, sep, cfg.Width, cfg.Height)
+	}
+
+	pois := make([]PoI, 0, cfg.M)
+	const maxAttempts = 100000
+	attempts := 0
+	for len(pois) < cfg.M {
+		if attempts++; attempts > maxAttempts {
+			return nil, fmt.Errorf("%w: placement did not converge", ErrInvalid)
+		}
+		cand := geom.Point{
+			X: src.Uniform(0, cfg.Width),
+			Y: src.Uniform(0, cfg.Height),
+		}
+		ok := true
+		for _, p := range pois {
+			if geom.Dist(p.Pos, cand) <= sep {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		pause := cfg.MinPause
+		if cfg.MaxPause > cfg.MinPause {
+			pause = src.Uniform(cfg.MinPause, cfg.MaxPause)
+		}
+		pois = append(pois, PoI{Pos: cand, Pause: pause})
+	}
+
+	target := make([]float64, cfg.M)
+	alpha := 5.0
+	if cfg.SkewTarget {
+		alpha = 0.5
+	}
+	src.DirichletRow(target, alpha)
+	// Keep every target strictly positive so coverage goals are
+	// meaningful, then renormalize.
+	var sum float64
+	floor := 0.01 / float64(cfg.M)
+	for i := range target {
+		if target[i] < floor {
+			target[i] = floor
+		}
+		sum += target[i]
+	}
+	for i := range target {
+		target[i] /= sum
+	}
+
+	return New(Config{
+		Name:   fmt.Sprintf("random-%d", cfg.M),
+		PoIs:   pois,
+		Target: target,
+		Range:  cfg.Range,
+		Speed:  cfg.Speed,
+	})
+}

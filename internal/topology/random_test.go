@@ -1,0 +1,131 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestRandomValidation(t *testing.T) {
+	src := rng.New(1)
+	cases := []RandomConfig{
+		{M: 1, Width: 5, Height: 5},
+		{M: 4, Width: 0, Height: 5},
+		{M: 4, Width: 5, Height: -1},
+		{M: 4, Width: 5, Height: 5, MinPause: 2, MaxPause: 1},
+		{M: 100, Width: 1, Height: 1, Range: 0.25}, // cannot fit
+	}
+	for i, cfg := range cases {
+		if _, err := Random(src, cfg); !errors.Is(err, ErrInvalid) {
+			t.Errorf("case %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+}
+
+func TestRandomProducesValidTopologies(t *testing.T) {
+	src := rng.New(2)
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + src.IntN(8)
+		top, err := Random(src, RandomConfig{
+			M: m, Width: 8, Height: 8,
+			MinPause: 0.5, MaxPause: 2,
+			SkewTarget: trial%2 == 0,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: Random: %v", trial, err)
+		}
+		if top.M() != m {
+			t.Fatalf("trial %d: M = %d, want %d", trial, top.M(), m)
+		}
+		// Separation constraint (also enforced by New, but assert the
+		// generator's own guarantee).
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				if d := geom.Dist(top.PoIAt(i).Pos, top.PoIAt(j).Pos); d <= 2*top.Range() {
+					t.Fatalf("trial %d: PoIs %d,%d at distance %v", trial, i, j, d)
+				}
+			}
+		}
+		var sum float64
+		for i := 0; i < m; i++ {
+			v := top.TargetAt(i)
+			if v <= 0 {
+				t.Fatalf("trial %d: target %d = %v", trial, i, v)
+			}
+			sum += v
+			p := top.PoIAt(i)
+			if p.Pause < 0.5 || p.Pause > 2 {
+				t.Fatalf("trial %d: pause %v outside bounds", trial, p.Pause)
+			}
+			if p.Pos.X < 0 || p.Pos.X > 8 || p.Pos.Y < 0 || p.Pos.Y > 8 {
+				t.Fatalf("trial %d: PoI outside area: %v", trial, p.Pos)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: targets sum to %v", trial, sum)
+		}
+	}
+}
+
+// TestRandomTopologyConventions applies the paper's timing-convention
+// invariants to random layouts: origin coverage zero, destination
+// coverage equals the pause, total coverage bounded by the transition
+// duration, and symmetric travel distances.
+func TestRandomTopologyConventions(t *testing.T) {
+	src := rng.New(808)
+	for trial := 0; trial < 30; trial++ {
+		top, err := Random(src, RandomConfig{
+			M: 3 + src.IntN(5), Width: 9, Height: 9,
+			MinPause: 0.2, MaxPause: 4,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: Random: %v", trial, err)
+		}
+		m := top.M()
+		for j := 0; j < m; j++ {
+			for k := 0; k < m; k++ {
+				if j != k {
+					if top.CoverTime(j, k, j) != 0 {
+						t.Fatalf("trial %d: origin covered", trial)
+					}
+					if math.Abs(top.CoverTime(j, k, k)-top.PoIAt(k).Pause) > 1e-12 {
+						t.Fatalf("trial %d: destination coverage != pause", trial)
+					}
+					if math.Abs(top.Distance(j, k)-top.Distance(k, j)) > 1e-12 {
+						t.Fatalf("trial %d: asymmetric distance", trial)
+					}
+				}
+				var sum float64
+				for i := 0; i < m; i++ {
+					sum += top.CoverTime(j, k, i)
+				}
+				if sum > top.TravelTime(j, k)+1e-9 {
+					t.Fatalf("trial %d: coverage %v exceeds duration %v", trial, sum, top.TravelTime(j, k))
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDeterministicForSeed(t *testing.T) {
+	cfg := RandomConfig{M: 5, Width: 6, Height: 6}
+	t1, err := Random(rng.New(9), cfg)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	t2, err := Random(rng.New(9), cfg)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if t1.PoIAt(i).Pos != t2.PoIAt(i).Pos {
+			t.Fatal("same seed produced different layouts")
+		}
+		if t1.TargetAt(i) != t2.TargetAt(i) {
+			t.Fatal("same seed produced different targets")
+		}
+	}
+}
