@@ -1,0 +1,31 @@
+GO ?= go
+BENCH_OUT ?= BENCH_run.json
+
+.PHONY: build test check race vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the PR gate: static analysis plus the full suite under the race
+# detector (RunManyParallel and the per-Optimizer workspace ownership rule
+# are only meaningfully exercised with -race on).
+check: vet race
+
+# bench runs the evaluation-pipeline benchmark suite and writes a JSON
+# snapshot of this machine's numbers to $(BENCH_OUT). Checked-in
+# BENCH_pr*.json files pair one such snapshot with the numbers captured
+# before that PR's change, in the same schema.
+bench:
+	./scripts/bench.sh $(BENCH_OUT)
+
+clean:
+	$(GO) clean ./...

@@ -221,29 +221,98 @@ func benchModel(b *testing.B) (*cost.Model, *mat.Matrix) {
 	return model, p
 }
 
+// benchModelSized builds a cost model on a random M-PoI topology, for the
+// scaling sub-benchmarks. M = 4 uses the paper's Topology 3 so the historic
+// single-size numbers stay comparable.
+func benchModelSized(b *testing.B, m int) (*cost.Model, *mat.Matrix) {
+	b.Helper()
+	if m == 4 {
+		return benchModel(b)
+	}
+	top, err := topology.Random(rng.New(uint64(m)), topology.RandomConfig{
+		M: m, Width: 40 * float64(m), Height: 40 * float64(m),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := cost.NewModel(top, cost.Uniform(m, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := descent.RandomInit(rng.New(1), m, 1e-7)
+	return model, p
+}
+
+// benchSizes are the PoI counts the evaluation-pipeline benches sweep.
+var benchSizes = []struct {
+	name string
+	m    int
+}{{"M4", 4}, {"M8", 8}, {"M16", 16}, {"M32", 32}}
+
 // BenchmarkEvaluate measures one closed-form cost evaluation
-// (π, Z, R solve plus the Eq. 9 terms) on a 4-PoI topology.
+// (π, Z, R solve plus the Eq. 9 terms) through a reused Workspace — the
+// path the descent hot loop takes. Steady state allocates nothing.
 func BenchmarkEvaluate(b *testing.B) {
-	model, p := benchModel(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := model.Evaluate(p); err != nil {
-			b.Fatal(err)
-		}
+	for _, size := range benchSizes {
+		model, p := benchModelSized(b, size.m)
+		ws := model.NewWorkspace()
+		b.Run(size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.EvaluateIn(ws, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateAlloc measures the convenience Evaluate path, which
+// builds a fresh Workspace per call — the pre-workspace baseline.
+func BenchmarkEvaluateAlloc(b *testing.B) {
+	for _, size := range benchSizes {
+		model, p := benchModelSized(b, size.m)
+		b.Run(size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := model.Evaluate(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkGradient measures the analytic Eq. 10 gradient (evaluation
-// plus the O(M³) tensor contractions).
+// plus the O(M³) tensor contractions) through a reused Workspace.
 func BenchmarkGradient(b *testing.B) {
-	model, p := benchModel(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := model.Gradient(p); err != nil {
-			b.Fatal(err)
-		}
+	for _, size := range benchSizes {
+		model, p := benchModelSized(b, size.m)
+		ws := model.NewWorkspace()
+		b.Run(size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := model.GradientIn(ws, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGradientAlloc measures the convenience Gradient path (fresh
+// Workspace per call), the pre-workspace baseline.
+func BenchmarkGradientAlloc(b *testing.B) {
+	for _, size := range benchSizes {
+		model, p := benchModelSized(b, size.m)
+		b.Run(size.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := model.Gradient(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -20,9 +20,10 @@ var ErrPlan = errors.New("coverage: invalid plan")
 // An Executor is deterministic for a fixed seed and is not safe for
 // concurrent use.
 type Executor struct {
-	p   [][]float64
-	cur int
-	src *rng.Source
+	p      [][]float64
+	cur    int
+	src    *rng.Source
+	faults uint64
 }
 
 // NewExecutor validates the plan's matrix and returns an Executor
@@ -74,16 +75,27 @@ func (e *Executor) Current() int { return e.cur }
 
 // Next draws the sensor's next PoI (possibly the current one, meaning
 // "stay for another pause") and advances the executor to it.
+//
+// A draw can only fail (Categorical returning -1) if the current row has
+// degenerated — all-zero weights, e.g. through memory corruption or an
+// out-of-band mutation after validation. The executor then stays put so a
+// deployed sensor keeps operating, but the event is counted rather than
+// swallowed: monitor Faults to detect a plan that has gone bad in the
+// field.
 func (e *Executor) Next() int {
 	next := e.src.Categorical(e.p[e.cur])
 	if next < 0 {
-		// Rows were validated stochastic, so this cannot occur; stay put
-		// as the safe degenerate behavior.
+		e.faults++
 		next = e.cur
 	}
 	e.cur = next
 	return next
 }
+
+// Faults reports how many Next calls failed to draw a successor (because
+// the current row had no positive weight) and fell back to staying put.
+// A nonzero count means the plan data was corrupted after validation.
+func (e *Executor) Faults() uint64 { return e.faults }
 
 // Walk returns the next n PoIs, advancing the executor.
 func (e *Executor) Walk(n int) []int {

@@ -101,6 +101,39 @@ func TestExecutorIsolatedFromPlanMutation(t *testing.T) {
 	}
 }
 
+func TestExecutorFaultsOnCorruptedRow(t *testing.T) {
+	plan, _ := testPlan(t)
+	e, err := NewExecutor(plan, 0, 9)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	if e.Faults() != 0 {
+		t.Fatalf("fresh executor reports %d faults", e.Faults())
+	}
+	// Deliberately corrupt the executor's own copy of the current row so
+	// every weight is zero: Categorical has no valid index to return.
+	for j := range e.p[0] {
+		e.p[0][j] = 0
+	}
+	const draws = 5
+	for i := 0; i < draws; i++ {
+		if next := e.Next(); next != 0 {
+			t.Fatalf("draw %d: moved to %d from a dead row, want stay at 0", i, next)
+		}
+	}
+	if e.Faults() != draws {
+		t.Errorf("Faults = %d, want %d", e.Faults(), draws)
+	}
+	// Healthy rows must not count faults: repair the row and keep walking.
+	e.p[0][1] = 1
+	for i := 0; i < 100; i++ {
+		e.Next()
+	}
+	if e.Faults() != draws {
+		t.Errorf("Faults grew to %d on healthy rows, want %d", e.Faults(), draws)
+	}
+}
+
 func TestPlanRoundTrip(t *testing.T) {
 	plan, _ := testPlan(t)
 	var buf bytes.Buffer

@@ -191,37 +191,47 @@ type Evaluation struct {
 
 // Evaluate computes the full cost breakdown at transition matrix p.
 // It returns markov.ErrNotErgodic if the chain has no limiting behavior.
+//
+// Each call builds a fresh result; hot loops should hold a Workspace and
+// call EvaluateIn, which reuses one set of buffers across calls and is
+// bit-for-bit identical.
 func (m *Model) Evaluate(p *mat.Matrix) (*Evaluation, error) {
-	chain, err := markov.New(p)
-	if err != nil {
-		return nil, err
-	}
-	sol, err := chain.Solve()
-	if err != nil {
-		return nil, err
-	}
-	return m.EvaluateSolved(sol)
+	return m.EvaluateIn(m.NewWorkspace(), p)
 }
 
 // EvaluateSolved computes the cost breakdown from an existing chain
 // solution, avoiding a re-solve when the caller already has one.
 func (m *Model) EvaluateSolved(sol *markov.Solution) (*Evaluation, error) {
 	n := m.top.M()
-	if len(sol.Pi) != n {
-		return nil, fmt.Errorf("%w: solution for %d states, topology has %d",
-			ErrWeights, len(sol.Pi), n)
-	}
 	ev := &Evaluation{
-		Sol:   sol,
 		G:     make([]float64, n),
 		CBar:  make([]float64, n),
 		EBarI: make([]float64, n),
+	}
+	if err := m.evaluateInto(ev, make([]float64, n), sol); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// evaluateInto fills ev (whose G/CBar/EBarI slices must be sized to the
+// topology) with the cost breakdown at sol, using coverNum as scratch. It
+// performs no allocations on the success path.
+func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Solution) error {
+	n := m.top.M()
+	if len(sol.Pi) != n {
+		return fmt.Errorf("%w: solution for %d states, topology has %d",
+			ErrWeights, len(sol.Pi), n)
+	}
+	g, cb, eb := ev.G, ev.CBar, ev.EBarI
+	*ev = Evaluation{Sol: sol, G: g, CBar: cb, EBarI: eb}
+	for i := 0; i < n; i++ {
+		g[i], cb[i], eb[i], coverNum[i] = 0, 0, 0, 0
 	}
 	p := sol.P
 
 	// Coverage: G_i = Σ_{j,k} π_j p_jk a^{(i)}_{jk}; C̄_i from Eq. 2.
 	var totalTime float64 // Σ π_j p_jk T_jk
-	coverNum := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for k := 0; k < n; k++ {
 			w := sol.Pi[j] * p.At(j, k)
@@ -248,7 +258,7 @@ func (m *Model) EvaluateSolved(sol *markov.Solution) (*Evaluation, error) {
 		if denom <= 0 {
 			// p_ii = 1 would make the chain reducible; Solve rejects that
 			// earlier, so this is purely defensive.
-			return nil, fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, i, i)
+			return fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, i, i)
 		}
 		var s float64
 		for j := 0; j < n; j++ {
@@ -285,7 +295,7 @@ func (m *Model) EvaluateSolved(sol *markov.Solution) (*Evaluation, error) {
 
 	ev.Objective = ev.CoverageTerm + ev.ExposureTerm + ev.EnergyTerm + ev.EntropyTerm
 	ev.U = ev.Objective + ev.Penalty
-	return ev, nil
+	return nil
 }
 
 // energy returns D = Σ_i π_i Σ_{j≠i} p_ij d_ij.

@@ -372,6 +372,123 @@ func TestGradientMatchesFiniteDifference(t *testing.T) {
 	}
 }
 
+// flooredErgodicP returns a random ergodic matrix with `floored` entries
+// per row pinned at exactly `floor`, the remainder renormalized onto the
+// row's largest entry. This reproduces the iterates descent maintains at
+// its MinProb floor (1e-7 by default), where the barrier is active and the
+// entropy term's log is steep.
+func flooredErgodicP(src *rng.Source, m, floored int, floor float64) *mat.Matrix {
+	p := randomErgodicP(src, m)
+	for i := 0; i < m; i++ {
+		// Pin the `floored` smallest entries of the row (excluding the
+		// largest, which absorbs the mass difference).
+		for f := 0; f < floored; f++ {
+			minJ, maxJ := 0, 0
+			for j := 1; j < m; j++ {
+				if p.At(i, j) < p.At(i, minJ) {
+					minJ = j
+				}
+				if p.At(i, j) > p.At(i, maxJ) {
+					maxJ = j
+				}
+			}
+			if minJ == maxJ || p.At(i, minJ) <= floor {
+				break
+			}
+			excess := p.At(i, minJ) - floor
+			p.Set(i, minJ, floor)
+			p.Add(i, maxJ, excess)
+		}
+	}
+	return p
+}
+
+// TestGradientAtMinProbFloorWithExtensions extends the finite-difference
+// check to the §VII energy and entropy terms at iterates sitting on the
+// descent MinProb floor (descent.DefaultMinProb = 1e-7; literal here to
+// avoid an import cycle). Both extensions are nonlinear in exactly the
+// entries the floor pins — entropy through p·ln p, the barrier through
+// ln p — so this is where an index slip in the §VII gradient terms would
+// hide from the interior-point test above. The step h must keep p ± h·v
+// strictly positive against entries of 1e-7, hence h = 1e-10 and a looser
+// tolerance matching the barrier's curvature at the floor.
+func TestGradientAtMinProbFloorWithExtensions(t *testing.T) {
+	const minProb = 1e-7 // descent.DefaultMinProb
+	cases := map[string]func(m int) Weights{
+		"energy": func(m int) Weights {
+			w := Uniform(m, 1, 1)
+			w.EnergyWeight = 2
+			w.EnergyTarget = 0.4
+			return w
+		},
+		"entropy": func(m int) Weights {
+			w := Uniform(m, 1, 1)
+			w.EntropyWeight = 0.7
+			return w
+		},
+		"energy+entropy": func(m int) Weights {
+			w := Uniform(m, 1, 1)
+			w.EnergyWeight = 1
+			w.EnergyTarget = 0.2
+			w.EntropyWeight = 0.3
+			return w
+		},
+	}
+	top := topology.Topology3()
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			m, err := NewModel(top, mk(top.M()))
+			if err != nil {
+				t.Fatalf("NewModel: %v", err)
+			}
+			src := rng.New(uint64(7000 + len(name)))
+			const h = 1e-10
+			for trial := 0; trial < 10; trial++ {
+				p := flooredErgodicP(src, top.M(), 2, minProb)
+				_, grad, err := m.Gradient(p)
+				if err != nil {
+					t.Fatalf("Gradient: %v", err)
+				}
+				for i := 0; i < top.M(); i++ {
+					for j := 0; j < top.M(); j++ {
+						if g := grad.At(i, j); math.IsNaN(g) || math.IsInf(g, 0) {
+							t.Fatalf("trial %d: grad[%d][%d] = %v at floor", trial, i, j, g)
+						}
+					}
+				}
+				v := zeroRowSumDirection(src, top.M())
+				mat.ScaleInPlace(0.01/(mat.MaxAbs(v)+1e-12), v)
+				analytic, err := DirectionalDerivative(grad, v)
+				if err != nil {
+					t.Fatalf("DirectionalDerivative: %v", err)
+				}
+				up := p.Clone()
+				if err := mat.AddInPlace(up, h, v); err != nil {
+					t.Fatal(err)
+				}
+				dn := p.Clone()
+				if err := mat.AddInPlace(dn, -h, v); err != nil {
+					t.Fatal(err)
+				}
+				evUp, err := m.Evaluate(up)
+				if err != nil {
+					t.Fatalf("Evaluate(+h): %v", err)
+				}
+				evDn, err := m.Evaluate(dn)
+				if err != nil {
+					t.Fatalf("Evaluate(-h): %v", err)
+				}
+				fd := (evUp.U - evDn.U) / (2 * h)
+				scale := 1 + math.Abs(fd)
+				if math.Abs(analytic-fd) > 1e-2*scale {
+					t.Fatalf("trial %d: analytic %v, FD %v (rel err %v)",
+						trial, analytic, fd, math.Abs(analytic-fd)/scale)
+				}
+			}
+		})
+	}
+}
+
 // TestGradientNonUniformWeights verifies the analytic gradient with
 // per-PoI weights that differ from one another (the paper evaluates only
 // uniform α_i, β_i, but the formulation and this implementation support

@@ -1,8 +1,10 @@
 package cost
 
 import (
+	"fmt"
 	"math"
 
+	"repro/internal/markov"
 	"repro/internal/mat"
 )
 
@@ -18,27 +20,31 @@ import (
 // Schweitzer's perturbation formulas, which the tensor contractions above
 // encode. Callers typically project the result with Project before
 // stepping so the iterate stays row-stochastic.
+//
+// Each call builds fresh results; hot loops should hold a Workspace and
+// call GradientIn, which reuses one set of buffers and is bit-for-bit
+// identical.
 func (m *Model) Gradient(p *mat.Matrix) (*Evaluation, *mat.Matrix, error) {
-	ev, err := m.Evaluate(p)
-	if err != nil {
-		return nil, nil, err
-	}
-	g, err := m.gradientFromEval(ev)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ev, g, nil
+	return m.GradientIn(m.NewWorkspace(), p)
 }
 
-// gradientFromEval assembles [D_P U] from a completed evaluation.
-func (m *Model) gradientFromEval(ev *Evaluation) (*mat.Matrix, error) {
+// gradientInto assembles [D_P U] from a completed evaluation into the
+// workspace's gradient buffer. It performs no allocations on the success
+// path.
+func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error) {
 	n := m.top.M()
 	sol := ev.Sol
 	p := sol.P
 
-	dUdPi := make([]float64, n)
-	dUdZ := mat.New(n, n)
-	dUdP := mat.New(n, n)
+	ws.ensureGradient()
+	dUdPi := ws.dUdPi
+	for i := range dUdPi {
+		dUdPi[i] = 0
+	}
+	dUdZ := ws.dUdZ
+	dUdP := ws.dUdP
+	dUdZ.Zero()
+	dUdP.Zero()
 
 	// --- Coverage term: ½ Σ_i α_i G_i². ---
 	for i := 0; i < n; i++ {
@@ -65,6 +71,14 @@ func (m *Model) gradientFromEval(ev *Evaluation) (*mat.Matrix, error) {
 			continue
 		}
 		denom := 1 - p.At(i, i)
+		if denom <= 0 {
+			// Same guard as Evaluate: a (numerically) absorbing row has no
+			// finite exposure derivative, and dividing through would send
+			// NaN/Inf into the line search. Normally unreachable because
+			// Evaluate rejects such chains first, but gradientInto must not
+			// trust that when handed a foreign Evaluation.
+			return nil, fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, i, i)
+		}
 		pi := sol.Pi[i]
 		dUdPi[i] -= e * ev.EBarI[i] / pi
 		dUdZ.Add(i, i, e/pi)
@@ -124,36 +138,37 @@ func (m *Model) gradientFromEval(ev *Evaluation) (*mat.Matrix, error) {
 
 	// --- Assemble Eq. 10 with O(M³) contractions. ---
 	// term1_kl = π_k (Z·dUdPi)_l.
-	q, err := mat.MulVec(sol.Z, dUdPi)
-	if err != nil {
+	if err := mat.MulVecTo(ws.q, sol.Z, dUdPi); err != nil {
 		return nil, err
 	}
 	// term2a = Zᵀ · dUdZ · Zᵀ.
-	zt := mat.Transpose(sol.Z)
-	tmp, err := mat.Mul(dUdZ, zt)
-	if err != nil {
+	if err := mat.TransposeTo(ws.zt, sol.Z); err != nil {
 		return nil, err
 	}
-	term2a, err := mat.Mul(zt, tmp)
-	if err != nil {
+	if err := mat.MulTo(ws.tmp, dUdZ, ws.zt); err != nil {
+		return nil, err
+	}
+	if err := mat.MulTo(ws.term2a, ws.zt, ws.tmp); err != nil {
 		return nil, err
 	}
 	// term2b_kl = π_k (Z²·colsums(dUdZ))_l.
-	colsum := make([]float64, n)
+	colsum := ws.colsum
+	for j := range colsum {
+		colsum[j] = 0
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			colsum[j] += dUdZ.At(i, j)
 		}
 	}
-	r, err := mat.MulVec(sol.Z2, colsum)
-	if err != nil {
+	if err := mat.MulVecTo(ws.r, sol.Z2, colsum); err != nil {
 		return nil, err
 	}
 
-	grad := mat.New(n, n)
+	grad := ws.grad
 	for k := 0; k < n; k++ {
 		for l := 0; l < n; l++ {
-			grad.Set(k, l, sol.Pi[k]*(q[l]-r[l])+term2a.At(k, l)+dUdP.At(k, l))
+			grad.Set(k, l, sol.Pi[k]*(ws.q[l]-ws.r[l])+ws.term2a.At(k, l)+dUdP.At(k, l))
 		}
 	}
 	return grad, nil
@@ -163,9 +178,17 @@ func (m *Model) gradientFromEval(ev *Evaluation) (*mat.Matrix, error) {
 // result sums to zero, making the negated result a feasible descent
 // direction within the stochastic-matrix polytope's affine hull.
 func Project(g *mat.Matrix) *mat.Matrix {
+	out := mat.New(g.Rows(), g.Cols())
+	ProjectTo(out, g)
+	return out
+}
+
+// ProjectTo applies Eq. 11 into the caller-owned dst, which must share
+// g's shape (dst == g is allowed: rows are rewritten after their mean is
+// taken).
+func ProjectTo(dst, g *mat.Matrix) {
 	n := g.Rows()
 	cols := g.Cols()
-	out := mat.New(n, cols)
 	for i := 0; i < n; i++ {
 		var sum float64
 		for j := 0; j < cols; j++ {
@@ -173,10 +196,9 @@ func Project(g *mat.Matrix) *mat.Matrix {
 		}
 		mean := sum / float64(cols)
 		for j := 0; j < cols; j++ {
-			out.Set(i, j, g.At(i, j)-mean)
+			dst.Set(i, j, g.At(i, j)-mean)
 		}
 	}
-	return out
 }
 
 // DirectionalDerivative returns ⟨[D_P U], V⟩, the rate of change of U

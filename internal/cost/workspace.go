@@ -1,0 +1,115 @@
+package cost
+
+import (
+	"repro/internal/markov"
+	"repro/internal/mat"
+)
+
+// Workspace owns every buffer one evaluation/gradient pass needs: the
+// Markov solver's π/Z/Z²/R storage, the Evaluation result slices, and the
+// scratch matrices of the Eq. 10 contractions. With a Workspace, a model's
+// EvaluateIn and GradientIn perform zero allocations in steady state —
+// the property the descent hot loop (dozens of evaluations per line
+// search) depends on.
+//
+// A Workspace is not safe for concurrent use: the Evaluation and gradient
+// returned by EvaluateIn/GradientIn alias its buffers and are overwritten
+// by the next call. Give each goroutine its own Workspace (descent gives
+// one to every Optimizer, so RunManyParallel workers never share);
+// Evaluation.Clone detaches a result that must survive longer.
+type Workspace struct {
+	n        int
+	solver   *markov.Solver
+	ev       Evaluation
+	coverNum []float64
+
+	// Gradient scratch, allocated on first GradientIn so evaluate-only
+	// workspaces stay small.
+	dUdPi  []float64
+	colsum []float64
+	q      []float64
+	r      []float64
+	dUdZ   *mat.Matrix
+	dUdP   *mat.Matrix
+	zt     *mat.Matrix
+	tmp    *mat.Matrix
+	term2a *mat.Matrix
+	grad   *mat.Matrix
+}
+
+// NewWorkspace returns a Workspace sized for the model's topology.
+func (m *Model) NewWorkspace() *Workspace {
+	n := m.top.M()
+	return &Workspace{
+		n:      n,
+		solver: markov.NewSolver(n),
+		ev: Evaluation{
+			G:     make([]float64, n),
+			CBar:  make([]float64, n),
+			EBarI: make([]float64, n),
+		},
+		coverNum: make([]float64, n),
+	}
+}
+
+// ensureGradient lazily allocates the gradient-side scratch.
+func (ws *Workspace) ensureGradient() {
+	if ws.grad != nil {
+		return
+	}
+	n := ws.n
+	ws.dUdPi = make([]float64, n)
+	ws.colsum = make([]float64, n)
+	ws.q = make([]float64, n)
+	ws.r = make([]float64, n)
+	ws.dUdZ = mat.New(n, n)
+	ws.dUdP = mat.New(n, n)
+	ws.zt = mat.New(n, n)
+	ws.tmp = mat.New(n, n)
+	ws.term2a = mat.New(n, n)
+	ws.grad = mat.New(n, n)
+}
+
+// EvaluateIn computes the full cost breakdown at p using the workspace's
+// buffers. The returned Evaluation (including its Sol) aliases the
+// workspace and is valid until the workspace's next use; Clone it to keep
+// it longer. Results are bit-for-bit identical to Evaluate.
+func (m *Model) EvaluateIn(ws *Workspace, p *mat.Matrix) (*Evaluation, error) {
+	sol, err := ws.solver.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.evaluateInto(&ws.ev, ws.coverNum, sol); err != nil {
+		return nil, err
+	}
+	return &ws.ev, nil
+}
+
+// GradientIn evaluates the cost and assembles the unprojected Eq. 10
+// gradient using the workspace's buffers. Both returned values alias the
+// workspace and are valid until its next use. Results are bit-for-bit
+// identical to Gradient.
+func (m *Model) GradientIn(ws *Workspace, p *mat.Matrix) (*Evaluation, *mat.Matrix, error) {
+	ev, err := m.EvaluateIn(ws, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := m.gradientInto(ws, ev)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, g, nil
+}
+
+// Clone returns a deep copy of the Evaluation, detached from any
+// workspace buffers backing it.
+func (ev *Evaluation) Clone() *Evaluation {
+	out := *ev
+	out.G = append([]float64(nil), ev.G...)
+	out.CBar = append([]float64(nil), ev.CBar...)
+	out.EBarI = append([]float64(nil), ev.EBarI...)
+	if ev.Sol != nil {
+		out.Sol = ev.Sol.Clone()
+	}
+	return &out
+}

@@ -1,0 +1,62 @@
+package descent
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// benchOptimizer builds an M-PoI model and an optimizer positioned at a
+// random iterate, with its projected steepest-descent direction, ready for
+// line-search probing.
+func benchOptimizer(b *testing.B, m int) (*Optimizer, *mat.Matrix, *mat.Matrix, float64) {
+	b.Helper()
+	top, err := topology.Random(rng.New(uint64(m)), topology.RandomConfig{
+		M: m, Width: 40 * float64(m), Height: 40 * float64(m),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := cost.NewModel(top, cost.Uniform(m, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt, err := New(model, Options{Variant: Adaptive, MaxIters: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := RandomInit(rng.New(1), m, DefaultMinProb)
+	ev, grad, err := model.GradientIn(opt.ws, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	curU := ev.U
+	dir := mat.New(m, m)
+	cost.ProjectTo(dir, grad)
+	mat.ScaleInPlace(-1, dir)
+	return opt, p, dir, curU
+}
+
+// BenchmarkLineSearchStep measures one full V3 line search (geometric
+// bracketing plus conservative trisection, a few dozen cost evaluations)
+// at the sizes the evaluation-pipeline benches sweep. This is the descent
+// hot loop's dominant cost, and with the shared Workspace it runs
+// allocation-free.
+func BenchmarkLineSearchStep(b *testing.B) {
+	for _, m := range []int{8, 16, 32} {
+		opt, p, dir, curU := benchOptimizer(b, m)
+		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				step, _, ok := opt.lineSearch(p, dir, curU)
+				if !ok && step != 0 {
+					b.Fatal("inconsistent line search result")
+				}
+			}
+		})
+	}
+}

@@ -213,10 +213,20 @@ type Result struct {
 }
 
 // Optimizer runs steepest descent for one cost model.
+//
+// Every Optimizer owns a private evaluation workspace and direction/
+// candidate buffers, so its hot loop allocates nothing in steady state
+// and concurrent optimizers (RunManyParallel workers) never share mutable
+// state — only the immutable Model.
 type Optimizer struct {
 	model *cost.Model
 	opts  Options
 	src   *rng.Source
+
+	ws    *cost.Workspace
+	dir   *mat.Matrix // projected (negated) descent direction
+	noisy *mat.Matrix // V4 perturbed gradient
+	cand  *mat.Matrix // line-search / acceptance candidate iterate
 }
 
 // New validates the options and builds an Optimizer.
@@ -225,10 +235,15 @@ func New(model *cost.Model, opts Options) (*Optimizer, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	n := model.Topology().M()
 	return &Optimizer{
 		model: model,
 		opts:  opts,
 		src:   rng.New(opts.Seed),
+		ws:    model.NewWorkspace(),
+		dir:   mat.New(n, n),
+		noisy: mat.New(n, n),
+		cand:  mat.New(n, n),
 	}, nil
 }
 
@@ -322,33 +337,33 @@ func (o *Optimizer) record(res *Result, rec IterRecord, p *mat.Matrix) {
 // runBasic is variant V1: a fixed-step projected gradient loop.
 func (o *Optimizer) runBasic() (*Result, error) {
 	p := o.initialMatrix()
-	ev, err := o.model.Evaluate(p)
+	ev, err := o.model.EvaluateIn(o.ws, p)
 	if err != nil {
 		return nil, fmt.Errorf("descent: evaluate initial point: %w", err)
 	}
-	res := &Result{P: p.Clone(), Eval: ev}
+	res := &Result{P: p.Clone(), Eval: ev.Clone()}
 	best := ev.U
 	stall := 0
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
-		_, grad, err := o.model.Gradient(p)
+		_, grad, err := o.model.GradientIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
-		dir := cost.Project(grad)
-		mat.ScaleInPlace(-1, dir)
+		cost.ProjectTo(o.dir, grad)
+		mat.ScaleInPlace(-1, o.dir)
 
 		// Clip the fixed step to the feasibility bound so the iterate
 		// never leaves the polytope interior.
 		step := o.opts.FixedStep
-		if bound := maxFeasibleStep(p, dir, o.opts.MinProb); bound < step {
+		if bound := maxFeasibleStep(p, o.dir, o.opts.MinProb); bound < step {
 			step = bound
 		}
 		if step > 0 {
-			if err := mat.AddInPlace(p, step, dir); err != nil {
+			if err := mat.AddInPlace(p, step, o.dir); err != nil {
 				return nil, err
 			}
 		}
-		ev, err = o.model.Evaluate(p)
+		ev, err = o.model.EvaluateIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
@@ -366,7 +381,7 @@ func (o *Optimizer) runBasic() (*Result, error) {
 			}
 			best = ev.U
 			res.P = p.Clone()
-			res.Eval = ev
+			res.Eval = ev.Clone()
 		} else {
 			stall++
 		}
@@ -382,40 +397,45 @@ func (o *Optimizer) runBasic() (*Result, error) {
 // local optimum.
 func (o *Optimizer) runAdaptive() (*Result, error) {
 	p := o.initialMatrix()
-	ev, err := o.model.Evaluate(p)
+	ev, err := o.model.EvaluateIn(o.ws, p)
 	if err != nil {
 		return nil, fmt.Errorf("descent: evaluate initial point: %w", err)
 	}
-	res := &Result{P: p.Clone(), Eval: ev}
+	res := &Result{P: p.Clone(), Eval: ev.Clone()}
+	// Scalar snapshot of the current iterate's evaluation: the workspace's
+	// Evaluation is overwritten by every line-search probe, so anything
+	// needed across a lineSearch call must be copied out first.
+	curU, curObj, curDC, curEB := ev.U, ev.Objective, ev.DeltaC, ev.EBar
 	stall := 0
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
-		_, grad, err := o.model.Gradient(p)
+		_, grad, err := o.model.GradientIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
-		dir := cost.Project(grad)
-		mat.ScaleInPlace(-1, dir)
+		cost.ProjectTo(o.dir, grad)
+		mat.ScaleInPlace(-1, o.dir)
 
-		step, _, ok := o.lineSearch(p, dir, ev.U)
+		step, _, ok := o.lineSearch(p, o.dir, curU)
 		res.Iters = iter
 		if !ok || step == 0 {
 			// Δt* = 0: the paper's criterion for a local optimum.
 			res.Converged = true
 			res.LocalOptimum = true
 			o.record(res, IterRecord{
-				Iter: iter, U: ev.U, Objective: ev.Objective,
-				DeltaC: ev.DeltaC, EBar: ev.EBar, Step: 0, Accepted: false,
+				Iter: iter, U: curU, Objective: curObj,
+				DeltaC: curDC, EBar: curEB, Step: 0, Accepted: false,
 			}, p)
 			break
 		}
-		prevU := ev.U
-		if err := mat.AddInPlace(p, step, dir); err != nil {
+		prevU := curU
+		if err := mat.AddInPlace(p, step, o.dir); err != nil {
 			return nil, err
 		}
-		ev, err = o.model.Evaluate(p)
+		ev, err = o.model.EvaluateIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
+		curU, curObj, curDC, curEB = ev.U, ev.Objective, ev.DeltaC, ev.EBar
 		res.Accepted++
 		o.record(res, IterRecord{
 			Iter: iter, U: ev.U, Objective: ev.Objective,
@@ -423,7 +443,7 @@ func (o *Optimizer) runAdaptive() (*Result, error) {
 		}, p)
 		if ev.U < res.Eval.U {
 			res.P = p.Clone()
-			res.Eval = ev
+			res.Eval = ev.Clone()
 		}
 		// "Within some tolerance level" (§V): many consecutive iterations
 		// of negligible relative improvement is a practical Δt* ≈ 0.
@@ -444,16 +464,18 @@ func (o *Optimizer) runAdaptive() (*Result, error) {
 // runPerturbed is V2+V3+V4: noisy descent with annealed acceptance.
 func (o *Optimizer) runPerturbed() (*Result, error) {
 	p := o.initialMatrix()
-	ev, err := o.model.Evaluate(p)
+	ev, err := o.model.EvaluateIn(o.ws, p)
 	if err != nil {
 		return nil, fmt.Errorf("descent: evaluate initial point: %w", err)
 	}
-	res := &Result{P: p.Clone(), Eval: ev}
+	res := &Result{P: p.Clone(), Eval: ev.Clone()}
 	bestU := ev.U
-	curU := ev.U
+	// Scalar snapshot of the last accepted evaluation (the workspace's
+	// Evaluation is reused by every probe and candidate evaluation).
+	curU, curObj, curDC, curEB := ev.U, ev.Objective, ev.DeltaC, ev.EBar
 	stall := 0
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
-		_, grad, err := o.model.Gradient(p)
+		_, grad, err := o.model.GradientIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
@@ -463,20 +485,22 @@ func (o *Optimizer) runPerturbed() (*Result, error) {
 		if scale == 0 {
 			scale = 1
 		}
-		noisy := grad.Clone()
-		for i := 0; i < noisy.Rows(); i++ {
-			for j := 0; j < noisy.Cols(); j++ {
-				noisy.Add(i, j, o.src.Norm(0, o.opts.NoiseStdDev*scale))
+		if err := o.noisy.CopyFrom(grad); err != nil {
+			return nil, err
+		}
+		for i := 0; i < o.noisy.Rows(); i++ {
+			for j := 0; j < o.noisy.Cols(); j++ {
+				o.noisy.Add(i, j, o.src.Norm(0, o.opts.NoiseStdDev*scale))
 			}
 		}
-		dir := cost.Project(noisy)
-		mat.ScaleInPlace(-1, dir)
+		cost.ProjectTo(o.dir, o.noisy)
+		mat.ScaleInPlace(-1, o.dir)
 
-		step, _, ok := o.lineSearch(p, dir, curU)
+		step, _, ok := o.lineSearch(p, o.dir, curU)
 		if !ok || step == 0 {
 			// Zero optimal step: take a uniform random step within bounds
 			// (the paper's escape move).
-			bound := maxFeasibleStep(p, dir, o.opts.MinProb)
+			bound := maxFeasibleStep(p, o.dir, o.opts.MinProb)
 			if bound <= 0 {
 				stall++
 				if stall >= o.opts.StallIters {
@@ -489,11 +513,14 @@ func (o *Optimizer) runPerturbed() (*Result, error) {
 			step = o.src.Uniform(0, bound)
 		}
 
-		cand := p.Clone()
-		if err := mat.AddInPlace(cand, step, dir); err != nil {
+		cand := o.cand
+		if err := cand.CopyFrom(p); err != nil {
 			return nil, err
 		}
-		candEv, err := o.model.Evaluate(cand)
+		if err := mat.AddInPlace(cand, step, o.dir); err != nil {
+			return nil, err
+		}
+		candEv, err := o.model.EvaluateIn(o.ws, cand)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
@@ -520,15 +547,16 @@ func (o *Optimizer) runPerturbed() (*Result, error) {
 		res.Iters = iter
 		if accepted {
 			res.Accepted++
-			p = cand
-			ev = candEv
-			curU = candEv.U
+			// Swap the iterate and candidate buffers instead of cloning;
+			// both stay owned by the optimizer.
+			p, o.cand = o.cand, p
+			curU, curObj, curDC, curEB = candEv.U, candEv.Objective, candEv.DeltaC, candEv.EBar
 		} else {
 			res.Rejected++
 		}
 		o.record(res, IterRecord{
-			Iter: iter, U: curU, Objective: ev.Objective,
-			DeltaC: ev.DeltaC, EBar: ev.EBar, Step: step, Accepted: accepted,
+			Iter: iter, U: curU, Objective: curObj,
+			DeltaC: curDC, EBar: curEB, Step: step, Accepted: accepted,
 		}, p)
 
 		if candEv.U < bestU-o.opts.Tolerance*math.Max(1, math.Abs(bestU)) {
@@ -539,7 +567,7 @@ func (o *Optimizer) runPerturbed() (*Result, error) {
 		if candEv.U < bestU {
 			bestU = candEv.U
 			res.P = cand.Clone()
-			res.Eval = candEv
+			res.Eval = candEv.Clone()
 		}
 		if stall >= o.opts.StallIters {
 			res.Converged = true
@@ -594,15 +622,7 @@ func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float
 		return 0, curU, false
 	}
 	phi := func(delta float64) float64 {
-		cand := p.Clone()
-		if err := mat.AddInPlace(cand, delta, dir); err != nil {
-			return math.Inf(1)
-		}
-		ev, err := o.model.Evaluate(cand)
-		if err != nil {
-			return math.Inf(1)
-		}
-		return ev.U
+		return o.phiEval(p, dir, delta)
 	}
 	// Any numerically meaningful improvement counts; convergence ("within
 	// some tolerance level", §V) is judged by the caller's stall counter,
@@ -656,6 +676,23 @@ func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float
 		}
 	}
 	return bestStep, bestU, true
+}
+
+// phiEval computes φ(δ) = U(P + δ·dir) into the optimizer's candidate
+// buffer and workspace, allocating nothing. Infeasible or non-ergodic
+// probes evaluate to +Inf.
+func (o *Optimizer) phiEval(p, dir *mat.Matrix, delta float64) float64 {
+	if err := o.cand.CopyFrom(p); err != nil {
+		return math.Inf(1)
+	}
+	if err := mat.AddInPlace(o.cand, delta, dir); err != nil {
+		return math.Inf(1)
+	}
+	ev, err := o.model.EvaluateIn(o.ws, o.cand)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return ev.U
 }
 
 // RunMany executes n independent runs with seeds split from opts.Seed and

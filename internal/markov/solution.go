@@ -1,8 +1,6 @@
 package markov
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/mat"
@@ -35,91 +33,12 @@ type Solution struct {
 // Solve computes the stationary distribution and the derived matrices.
 // It returns ErrNotErgodic for chains without a unique positive stationary
 // distribution (checked structurally before any linear algebra).
+//
+// Each call allocates a fresh result. Hot loops that solve many same-sized
+// chains should hold a Solver and call its Solve instead, which reuses one
+// set of buffers across calls.
 func (c *Chain) Solve() (*Solution, error) {
-	if !c.IsErgodic() {
-		return nil, fmt.Errorf("%w: irreducible=%v period=%d",
-			ErrNotErgodic, c.IsIrreducible(), c.Period())
-	}
-	n := c.M()
-	pi, err := stationary(c.p)
-	if err != nil {
-		return nil, err
-	}
-	w := mat.OuterOnesRow(pi, n)
-
-	// Z = (I - P + W)^{-1}.
-	imp, err := mat.SubM(mat.Identity(n), c.p)
-	if err != nil {
-		return nil, err
-	}
-	zin, err := mat.AddM(imp, w)
-	if err != nil {
-		return nil, err
-	}
-	z, err := mat.Inverse(zin)
-	if err != nil {
-		return nil, fmt.Errorf("markov: invert I-P+W: %w", err)
-	}
-	z2, err := mat.Mul(z, z)
-	if err != nil {
-		return nil, err
-	}
-
-	// R_ij = (δ_ij - z_ij + z_jj) / π_j.
-	r := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			d := 0.0
-			if i == j {
-				d = 1
-			}
-			r.Set(i, j, (d-z.At(i, j)+z.At(j, j))/pi[j])
-		}
-	}
-
-	return &Solution{
-		P:  c.p.Clone(),
-		Pi: pi,
-		W:  w,
-		Z:  z,
-		Z2: z2,
-		R:  r,
-	}, nil
-}
-
-// stationary solves π(I - P) = 0 with Σπ = 1 by replacing one equation of
-// the transposed homogeneous system with the normalization constraint.
-func stationary(p *mat.Matrix) ([]float64, error) {
-	n := p.Rows()
-	// A = (I - P)^T with the last row replaced by ones; b = e_n.
-	a := mat.New(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			v := -p.At(j, i)
-			if i == j {
-				v += 1
-			}
-			a.Set(i, j, v)
-		}
-	}
-	for j := 0; j < n; j++ {
-		a.Set(n-1, j, 1)
-	}
-	b := make([]float64, n)
-	b[n-1] = 1
-	pi, err := mat.SolveLinear(a, b)
-	if err != nil {
-		if errors.Is(err, mat.ErrSingular) {
-			return nil, fmt.Errorf("%w: stationary system singular", ErrNotErgodic)
-		}
-		return nil, err
-	}
-	for i, v := range pi {
-		if v <= 0 || math.IsNaN(v) {
-			return nil, fmt.Errorf("%w: π_%d = %v", ErrNotErgodic, i, v)
-		}
-	}
-	return pi, nil
+	return NewSolver(c.M()).Solve(c.p)
 }
 
 // StationaryPower estimates the stationary distribution by power

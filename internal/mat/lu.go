@@ -13,10 +13,26 @@ var ErrSingular = errors.New("mat: singular matrix")
 // LU holds an LU decomposition with partial pivoting, PA = LU, of a square
 // matrix. L has a unit diagonal and is stored in the strict lower triangle
 // of lu; U occupies the upper triangle including the diagonal.
+//
+// An LU built with NewLU owns all of its storage and can be refactored
+// repeatedly with Refactor without further allocation, which is what the
+// optimizer's evaluation workspace relies on.
 type LU struct {
 	lu    *Matrix
 	pivot []int
-	sign  float64 // +1 or -1 with the parity of the permutation
+	sign  float64   // +1 or -1 with the parity of the permutation
+	col   []float64 // per-column scratch for SolveTo/InverseTo
+}
+
+// NewLU returns an LU factorizer for n-by-n matrices with all buffers
+// preallocated. Call Refactor to load a matrix into it.
+func NewLU(n int) *LU {
+	return &LU{
+		lu:    New(n, n),
+		pivot: make([]int, n),
+		sign:  1,
+		col:   make([]float64, n),
+	}
 }
 
 // Factor computes the LU decomposition of a square matrix with partial
@@ -27,12 +43,23 @@ func Factor(a *Matrix) (*LU, error) {
 	if !a.IsSquare() {
 		return nil, fmt.Errorf("%w: LU of %dx%d", ErrDimension, a.rows, a.cols)
 	}
-	n := a.rows
-	f := &LU{
-		lu:    a.Clone(),
-		pivot: make([]int, n),
-		sign:  1,
+	f := NewLU(a.rows)
+	if err := f.Refactor(a); err != nil {
+		return nil, err
 	}
+	return f, nil
+}
+
+// Refactor recomputes the decomposition for a new matrix of the size the
+// LU was built for, reusing all internal storage. It performs no
+// allocations on the success path.
+func (f *LU) Refactor(a *Matrix) error {
+	n := f.lu.rows
+	if a.rows != n || a.cols != n {
+		return fmt.Errorf("%w: refactor %dx%d into LU of order %d", ErrDimension, a.rows, a.cols, n)
+	}
+	copy(f.lu.data, a.data)
+	f.sign = 1
 	d := f.lu.data
 	for i := range f.pivot {
 		f.pivot[i] = i
@@ -49,7 +76,7 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxAbs == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -70,22 +97,38 @@ func Factor(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // SolveVec solves A x = b for a single right-hand side.
 func (f *LU) SolveVec(b []float64) ([]float64, error) {
-	n := f.lu.rows
-	if len(b) != n {
-		return nil, fmt.Errorf("%w: solve with rhs of %d, want %d", ErrDimension, len(b), n)
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveVecTo(x, b); err != nil {
+		return nil, err
 	}
-	d := f.lu.data
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveVecTo solves A x = b into the caller-owned slice x, which must not
+// alias b (the permutation is applied while loading b).
+func (f *LU) SolveVecTo(x, b []float64) error {
+	n := f.lu.rows
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("%w: solve with rhs of %d into %d, want %d", ErrDimension, len(b), len(x), n)
+	}
 	// Apply the permutation while loading b.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.pivot[i]]
 	}
-	// Forward substitution with unit-diagonal L.
+	f.substitute(x)
+	return nil
+}
+
+// substitute runs forward substitution with unit-diagonal L and back
+// substitution with U, in place on an already-permuted right-hand side.
+func (f *LU) substitute(x []float64) {
+	n := f.lu.rows
+	d := f.lu.data
 	for i := 1; i < n; i++ {
 		s := x[i]
 		for j := 0; j < i; j++ {
@@ -93,7 +136,6 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 		}
 		x[i] = s
 	}
-	// Back substitution with U.
 	for i := n - 1; i >= 0; i-- {
 		s := x[i]
 		for j := i + 1; j < n; j++ {
@@ -101,30 +143,61 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 		}
 		x[i] = s / d[i*n+i]
 	}
-	return x, nil
 }
 
 // Solve solves A X = B column by column.
 func (f *LU) Solve(b *Matrix) (*Matrix, error) {
-	n := f.lu.rows
-	if b.rows != n {
-		return nil, fmt.Errorf("%w: solve with rhs %dx%d, want %d rows", ErrDimension, b.rows, b.cols, n)
-	}
-	out := New(n, b.cols)
-	col := make([]float64, n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.data[i*b.cols+j]
-		}
-		x, err := f.SolveVec(col)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			out.data[i*b.cols+j] = x[i]
-		}
+	out := New(f.lu.rows, b.cols)
+	if err := f.SolveTo(out, b); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SolveTo solves A X = B into the caller-owned dst, which must have B's
+// shape and must not alias B. No allocations occur on the success path.
+func (f *LU) SolveTo(dst, b *Matrix) error {
+	n := f.lu.rows
+	if b.rows != n {
+		return fmt.Errorf("%w: solve with rhs %dx%d, want %d rows", ErrDimension, b.rows, b.cols, n)
+	}
+	if dst.rows != b.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: solve into %dx%d, want %dx%d", ErrDimension, dst.rows, dst.cols, b.rows, b.cols)
+	}
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			f.col[i] = b.data[f.pivot[i]*b.cols+j]
+		}
+		f.substitute(f.col)
+		for i := 0; i < n; i++ {
+			dst.data[i*b.cols+j] = f.col[i]
+		}
+	}
+	return nil
+}
+
+// InverseTo writes A^{-1} into the caller-owned n-by-n dst without
+// allocating: it solves A X = I column by column against implicit unit
+// vectors.
+func (f *LU) InverseTo(dst *Matrix) error {
+	n := f.lu.rows
+	if dst.rows != n || dst.cols != n {
+		return fmt.Errorf("%w: inverse into %dx%d, want %dx%d", ErrDimension, dst.rows, dst.cols, n, n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if f.pivot[i] == j {
+				f.col[i] = 1
+			} else {
+				f.col[i] = 0
+			}
+		}
+		f.substitute(f.col)
+		for i := 0; i < n; i++ {
+			dst.data[i*n+j] = f.col[i]
+		}
+	}
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.

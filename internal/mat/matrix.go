@@ -166,6 +166,13 @@ func (m *Matrix) CopyFrom(src *Matrix) error {
 	return nil
 }
 
+// Zero sets every entry to zero.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // IsSquare reports whether the matrix has the same number of rows and
 // columns.
 func (m *Matrix) IsSquare() bool { return m.rows == m.cols }

@@ -58,15 +58,28 @@ func AddInPlace(a *Matrix, s float64, b *Matrix) error {
 
 // Mul returns the matrix product a*b.
 func Mul(a, b *Matrix) (*Matrix, error) {
-	if a.cols != b.rows {
-		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
-	}
 	out := New(a.rows, b.cols)
+	if err := MulTo(out, a, b); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulTo computes the matrix product a*b into the caller-owned dst, which
+// must not alias a or b. It performs no allocations on the success path.
+func MulTo(dst, a, b *Matrix) error {
+	if a.cols != b.rows {
+		return fmt.Errorf("%w: mul %dx%d by %dx%d", ErrDimension, a.rows, a.cols, b.rows, b.cols)
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		return fmt.Errorf("%w: mul into %dx%d, want %dx%d", ErrDimension, dst.rows, dst.cols, a.rows, b.cols)
+	}
+	dst.Zero()
 	// ikj loop order keeps the inner loop streaming over contiguous rows of
-	// b and out, which matters once M grows past cache lines.
+	// b and dst, which matters once M grows past cache lines.
 	for i := 0; i < a.rows; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*b.cols : (i+1)*b.cols]
+		orow := dst.data[i*b.cols : (i+1)*b.cols]
 		for k, aik := range arow {
 			if aik == 0 {
 				continue
@@ -77,35 +90,57 @@ func Mul(a, b *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Transpose returns the transpose of a.
 func Transpose(a *Matrix) *Matrix {
 	out := New(a.cols, a.rows)
+	_ = TransposeTo(out, a)
+	return out
+}
+
+// TransposeTo writes the transpose of a into the caller-owned dst, which
+// must not alias a.
+func TransposeTo(dst, a *Matrix) error {
+	if dst.rows != a.cols || dst.cols != a.rows {
+		return fmt.Errorf("%w: transpose %dx%d into %dx%d", ErrDimension, a.rows, a.cols, dst.rows, dst.cols)
+	}
 	for i := 0; i < a.rows; i++ {
 		for j := 0; j < a.cols; j++ {
-			out.data[j*a.rows+i] = a.data[i*a.cols+j]
+			dst.data[j*a.rows+i] = a.data[i*a.cols+j]
 		}
 	}
-	return out
+	return nil
 }
 
 // MulVec returns the matrix-vector product a*x.
 func MulVec(a *Matrix, x []float64) ([]float64, error) {
-	if a.cols != len(x) {
-		return nil, fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrDimension, a.rows, a.cols, len(x))
-	}
 	out := make([]float64, a.rows)
+	if err := MulVecTo(out, a, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTo computes the matrix-vector product a*x into the caller-owned
+// dst, which must not alias x.
+func MulVecTo(dst []float64, a *Matrix, x []float64) error {
+	if a.cols != len(x) {
+		return fmt.Errorf("%w: mulvec %dx%d by vector of %d", ErrDimension, a.rows, a.cols, len(x))
+	}
+	if len(dst) != a.rows {
+		return fmt.Errorf("%w: mulvec into vector of %d, want %d", ErrDimension, len(dst), a.rows)
+	}
 	for i := 0; i < a.rows; i++ {
 		row := a.data[i*a.cols : (i+1)*a.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out, nil
+	return nil
 }
 
 // VecMul returns the vector-matrix product x*a (x treated as a row vector).

@@ -184,6 +184,52 @@ func TestCategoricalDegenerate(t *testing.T) {
 	}
 }
 
+// TestCategoricalMinusOneOnlyWithoutSupport pins the contract that -1 is
+// reserved for weight vectors with no positive entry; any vector with at
+// least one positive weight always yields a valid in-support index.
+func TestCategoricalMinusOneOnlyWithoutSupport(t *testing.T) {
+	s := New(21)
+	for _, weights := range [][]float64{{}, {0, 0, 0}, {-1, 0, -2}} {
+		if idx := s.Categorical(weights); idx != -1 {
+			t.Errorf("Categorical(%v) = %d, want -1", weights, idx)
+		}
+	}
+	// A single positive weight among negatives/zeros must be drawn, never -1.
+	for i := 0; i < 1000; i++ {
+		if idx := s.Categorical([]float64{-1, 1e-300, 0, -2}); idx != 1 {
+			t.Fatalf("Categorical with lone support = %d, want 1", idx)
+		}
+	}
+}
+
+// TestCategoricalFallbackLastPositive pins the defensive fallback: when u
+// is never exhausted by the subtraction loop, Categorical returns the
+// index of the last positive weight — not the last index, and not -1.
+// Overflowing the weight total to +Inf reaches that path deterministically
+// (u = Float64()·Inf never goes negative), standing in for the roundoff
+// case where u survives the full sweep by a few ulps.
+func TestCategoricalFallbackLastPositive(t *testing.T) {
+	s := New(22)
+	for i := 0; i < 100; i++ {
+		if idx := s.Categorical([]float64{1e308, 1e308, 0, 0}); idx != 1 {
+			t.Fatalf("fallback draw %d = %d, want last positive index 1", i, idx)
+		}
+	}
+}
+
+// TestCategoricalNeverReturnsZeroWeightIndex pins that trailing
+// zero-weight entries are unreachable on every path, including the
+// fallback (which tracks the last *positive* index).
+func TestCategoricalNeverReturnsZeroWeightIndex(t *testing.T) {
+	s := New(23)
+	weights := []float64{0.3, 0.7, 0, 0}
+	for i := 0; i < 200000; i++ {
+		if idx := s.Categorical(weights); idx != 0 && idx != 1 {
+			t.Fatalf("draw %d: Categorical = %d, want 0 or 1", i, idx)
+		}
+	}
+}
+
 func TestStochasticRowSumsToOne(t *testing.T) {
 	s := New(10)
 	for trial := 0; trial < 200; trial++ {

@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench.sh — run the evaluation-pipeline benchmarks and emit a JSON
+# snapshot: {"cpu": ..., "benchmarks": [{"name", "ns_op", "b_op",
+# "allocs_op"}, ...]}. Output is deterministic in structure (benchmarks
+# appear in execution order) so snapshots diff cleanly.
+#
+# Usage: scripts/bench.sh [out.json]
+set -eu
+
+out=${1:-BENCH_run.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -benchmem -benchtime 300ms \
+	-bench 'BenchmarkEvaluate$|BenchmarkEvaluateAlloc$|BenchmarkGradient$|BenchmarkGradientAlloc$|BenchmarkChainSolve$|BenchmarkOptimizerIteration$' \
+	. >"$tmp"
+go test -run '^$' -benchmem -benchtime 300ms \
+	-bench 'BenchmarkLineSearchStep' ./internal/descent/ >>"$tmp"
+
+awk '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^goos:/ { goos = $2 }
+	/^goarch:/ { goarch = $2 }
+	/^Benchmark.*allocs\/op/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+		for (i = 2; i <= NF; i++) {
+			if ($(i) == "ns/op") ns = $(i - 1)
+			if ($(i) == "B/op") bytes = $(i - 1)
+			if ($(i) == "allocs/op") allocs = $(i - 1)
+		}
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+			name, ns, bytes, allocs
+	}
+	END {
+		printf "\n  ],\n"
+		printf "  \"cpu\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\"\n}\n", cpu, goos, goarch
+	}
+	BEGIN { printf "{\n  \"benchmarks\": [\n" }
+' "$tmp" >"$out"
+
+echo "wrote $out"
