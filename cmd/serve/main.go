@@ -1,0 +1,109 @@
+// Command serve runs the optimization job service: an HTTP/JSON API in
+// front of a bounded queue and worker pool that executes multi-restart
+// coverage optimizations as cancellable, checkpointable jobs.
+//
+// Usage:
+//
+//	serve -addr :8080 -workers 4 -checkpoint-dir ./jobs
+//
+// With a checkpoint directory, interrupted jobs survive a restart of the
+// server and resume from their last completed restart. See the README
+// for a curl walkthrough of the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until the listener fails or the
+// process receives SIGINT/SIGTERM. When ready is non-nil it receives the
+// bound address once the listener is up (used by tests to connect to a
+// ":0" server).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 2, "worker pool size")
+		queue   = fs.Int("queue", 16, "pending-job queue depth")
+		dir     = fs.String("checkpoint-dir", "", "job checkpoint directory (empty disables persistence)")
+		drain   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logDest := log.New(os.Stderr, "serve: ", log.LstdFlags)
+
+	mgr, err := jobs.New(jobs.Config{Workers: *workers, QueueDepth: *queue, Dir: *dir})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mgr.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logDest.Printf("listening on %s (%d workers, queue %d, checkpoints %q)",
+		ln.Addr(), *workers, *queue, *dir)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-errc:
+		// Listener died on its own; still drain the pool so in-flight
+		// jobs checkpoint.
+		shutdownErr := shutdownAll(srv, mgr, *drain)
+		return errors.Join(err, shutdownErr)
+	case <-ctx.Done():
+		logDest.Printf("signal received, draining")
+		if err := shutdownAll(srv, mgr, *drain); err != nil {
+			return err
+		}
+		<-errc // Serve returns http.ErrServerClosed after Shutdown
+		logDest.Printf("drained cleanly")
+		return nil
+	}
+}
+
+// shutdownAll closes the HTTP server, then drains the worker pool so
+// every in-flight job checkpoints and parks as paused.
+func shutdownAll(srv *http.Server, mgr *jobs.Manager, budget time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	httpErr := srv.Shutdown(ctx)
+	if httpErr != nil {
+		// Pending responses did not finish in time; close hard so the
+		// pool drain below is not starved of budget.
+		srv.Close()
+	}
+	if err := mgr.Shutdown(ctx); err != nil {
+		return errors.Join(httpErr, err)
+	}
+	return httpErr
+}

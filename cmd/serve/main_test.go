@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/coverage"
+	"repro/internal/jobs"
+)
+
+// TestServeLifecycle boots the real server on an ephemeral port, runs a
+// job through the HTTP API, then delivers SIGTERM and verifies the
+// graceful drain returns cleanly with checkpoints on disk.
+func TestServeLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-queue", "4",
+			"-checkpoint-dir", dir,
+			"-drain-timeout", "10s",
+		}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	scn, err := coverage.LineScenario("serve-test", 3, []float64{0.3, 0.3, 0.4})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	body, err := json.Marshal(jobs.Spec{
+		Scenario:   scn,
+		Objectives: coverage.Objectives{Alpha: 1, Beta: 1e-3},
+		Options:    coverage.Options{MaxIters: 400, Seed: 21},
+		Restarts:   2,
+	})
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err = http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var created jobs.View
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		resp, err := http.Get(base + "/jobs/" + created.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var v jobs.View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		resp.Body.Close()
+		if v.State == jobs.StateDone {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+
+	// The finished job is checkpointed as a loadable triple.
+	if _, err := os.Stat(filepath.Join(dir, created.ID+".job.json")); err != nil {
+		t.Errorf("job checkpoint missing: %v", err)
+	}
+	if _, err := coverage.LoadPlan(filepath.Join(dir, created.ID+".plan.json")); err != nil {
+		t.Errorf("plan checkpoint unreadable: %v", err)
+	}
+	if _, err := coverage.LoadScenario(filepath.Join(dir, created.ID+".scenario.json")); err != nil {
+		t.Errorf("scenario checkpoint unreadable: %v", err)
+	}
+}

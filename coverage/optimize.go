@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/descent"
 	"repro/internal/markov"
 	"repro/internal/mat"
+	"repro/internal/rng"
 )
 
 // ErrObjectives indicates an invalid objective configuration.
@@ -18,27 +20,27 @@ var ErrObjectives = errors.New("coverage: invalid objectives")
 // uniform per-PoI weights, plus the §VII extensions).
 type Objectives struct {
 	// Alpha weights the coverage-time deviation ΔC.
-	Alpha float64
+	Alpha float64 `json:"alpha"`
 	// Beta weights the squared aggregate exposure Ē².
-	Beta float64
+	Beta float64 `json:"beta"`
 	// PerPoIAlpha, when non-nil, overrides Alpha with one weight per PoI
 	// (α_i in Eq. 9) — e.g. to care about coverage fidelity only at
 	// specific sites.
-	PerPoIAlpha []float64
+	PerPoIAlpha []float64 `json:"perPoiAlpha,omitempty"`
 	// PerPoIBeta, when non-nil, overrides Beta with one weight per PoI
 	// (β_i in Eq. 9) — e.g. to bound exposure only where incidents are
 	// costly.
-	PerPoIBeta []float64
+	PerPoIBeta []float64 `json:"perPoiBeta,omitempty"`
 	// EnergyWeight, when positive, adds ½·w·(D − EnergyTarget)² on the
 	// mean travel distance per transition.
-	EnergyWeight float64
+	EnergyWeight float64 `json:"energyWeight,omitempty"`
 	// EnergyTarget is the prescribed mean movement γ.
-	EnergyTarget float64
+	EnergyTarget float64 `json:"energyTarget,omitempty"`
 	// EntropyWeight, when positive, rewards schedule unpredictability by
 	// subtracting λ·H from the cost.
-	EntropyWeight float64
+	EntropyWeight float64 `json:"entropyWeight,omitempty"`
 	// Epsilon overrides the barrier width of Eq. 9 (default 1e-4).
-	Epsilon float64
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // Algorithm selects the optimization variant (§V).
@@ -56,26 +58,54 @@ const (
 	AdaptiveDescent
 )
 
+// DefaultProgressEvery is the sampling cadence (in optimizer iterations)
+// for Options.OnProgress when Options.ProgressEvery is zero.
+const DefaultProgressEvery = 25
+
+// Progress is one sampled snapshot of a running optimization, delivered
+// through Options.OnProgress.
+type Progress struct {
+	// Restart is the zero-based restart index within a multi-start search
+	// (always 0 for a single Optimize call).
+	Restart int `json:"restart"`
+	// Iteration is the 1-based optimizer iteration within the restart.
+	Iteration int `json:"iteration"`
+	// Cost is the penalized cost U_ε after the iteration.
+	Cost float64 `json:"cost"`
+	// DeltaC and EBar are the paper's two metrics at the iterate.
+	DeltaC float64 `json:"deltaC"`
+	EBar   float64 `json:"eBar"`
+}
+
 // Options tunes the optimizer run. The zero value is a sensible default
 // (perturbed descent, automatic budget).
 type Options struct {
 	// Algorithm selects the descent variant.
-	Algorithm Algorithm
+	Algorithm Algorithm `json:"algorithm"`
 	// MaxIters bounds the iteration count (default 2000).
-	MaxIters int
+	MaxIters int `json:"maxIters,omitempty"`
 	// Seed makes the run reproducible.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// FixedStep is the Δt for BasicDescent (default 1e-6).
-	FixedStep float64
+	FixedStep float64 `json:"fixedStep,omitempty"`
 	// NoiseStdDev is the V4 perturbation scale (default 0.1).
-	NoiseStdDev float64
+	NoiseStdDev float64 `json:"noiseStdDev,omitempty"`
 	// RecordTrace attaches the per-iteration history to the Plan.
-	RecordTrace bool
+	RecordTrace bool `json:"recordTrace,omitempty"`
 	// InitialMatrix warm-starts the search from a given transition matrix
 	// instead of the variant's default initialization. On larger PoI sets
 	// (≥ 9) seeding with MetropolisBaseline typically reaches far better
 	// optima than a random start.
-	InitialMatrix [][]float64
+	InitialMatrix [][]float64 `json:"initialMatrix,omitempty"`
+	// OnProgress, when non-nil, receives a sampled Progress every
+	// ProgressEvery iterations (plus the first iteration of each restart).
+	// It is invoked synchronously from the optimizing goroutine and must
+	// not block; the job service uses it for live progress reporting. It
+	// is never serialized.
+	OnProgress func(Progress) `json:"-"`
+	// ProgressEvery is the OnProgress sampling cadence in iterations
+	// (default DefaultProgressEvery).
+	ProgressEvery int `json:"progressEvery,omitempty"`
 }
 
 // TracePoint is one optimizer iteration in a Plan's history.
@@ -180,30 +210,80 @@ func planner(scn Scenario, obj Objectives) (*core.Planner, error) {
 	return p, nil
 }
 
+// descentOptions lowers the public Options to the internal form,
+// including the restart-tagged progress callback.
+func (o Options) descentOptions(restart int) (descent.Options, error) {
+	var initial *mat.Matrix
+	if o.InitialMatrix != nil {
+		var err error
+		initial, err = mat.NewFromRows(o.InitialMatrix)
+		if err != nil {
+			return descent.Options{}, fmt.Errorf("coverage: initial matrix: %w", err)
+		}
+	}
+	d := descent.Options{
+		Variant:     o.variant(),
+		MaxIters:    o.MaxIters,
+		Seed:        o.Seed,
+		FixedStep:   o.FixedStep,
+		NoiseStdDev: o.NoiseStdDev,
+		RecordTrace: o.RecordTrace,
+		InitialP:    initial,
+	}
+	if o.OnProgress != nil {
+		every := o.ProgressEvery
+		if every <= 0 {
+			every = DefaultProgressEvery
+		}
+		onProgress := o.OnProgress
+		d.OnIteration = func(rec descent.IterRecord, _ *mat.Matrix) {
+			if rec.Iter == 1 || rec.Iter%every == 0 {
+				onProgress(Progress{
+					Restart:   restart,
+					Iteration: rec.Iter,
+					Cost:      rec.U,
+					DeltaC:    rec.DeltaC,
+					EBar:      rec.EBar,
+				})
+			}
+		}
+	}
+	return d, nil
+}
+
+// Validate checks a scenario/objectives pair without running an
+// optimization — the cheap admission check the job service performs
+// before queueing work.
+func Validate(scn Scenario, obj Objectives) error {
+	_, err := planner(scn, obj)
+	return err
+}
+
 // Optimize computes the transition matrix minimizing the weighted
 // objectives on the scenario.
 func Optimize(scn Scenario, obj Objectives, opts Options) (*Plan, error) {
+	return OptimizeContext(context.Background(), scn, obj, opts)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: the context
+// is checked between optimizer iterations, so for an uncancelled context
+// the result is bit-for-bit identical to Optimize. On cancellation it
+// returns the best plan found so far (nil when no iteration completed)
+// together with an error wrapping ctx.Err().
+func OptimizeContext(ctx context.Context, scn Scenario, obj Objectives, opts Options) (*Plan, error) {
 	eng, err := planner(scn, obj)
 	if err != nil {
 		return nil, err
 	}
-	var initial *mat.Matrix
-	if opts.InitialMatrix != nil {
-		initial, err = mat.NewFromRows(opts.InitialMatrix)
-		if err != nil {
-			return nil, fmt.Errorf("coverage: initial matrix: %w", err)
-		}
-	}
-	res, err := eng.Optimize(descent.Options{
-		Variant:     opts.variant(),
-		MaxIters:    opts.MaxIters,
-		Seed:        opts.Seed,
-		FixedStep:   opts.FixedStep,
-		NoiseStdDev: opts.NoiseStdDev,
-		RecordTrace: opts.RecordTrace,
-		InitialP:    initial,
-	})
+	dopts, err := opts.descentOptions(0)
 	if err != nil {
+		return nil, err
+	}
+	res, err := eng.OptimizeContext(ctx, dopts)
+	if err != nil {
+		if res != nil {
+			return planFromResult(res), fmt.Errorf("coverage: %w", err)
+		}
 		return nil, fmt.Errorf("coverage: %w", err)
 	}
 	return planFromResult(res), nil
@@ -246,6 +326,32 @@ func planFromResult(res *descent.Result) *Plan {
 // top of the perturbed variant's own noise; the returned plan is
 // deterministic for a fixed Options.Seed.
 func OptimizeBest(scn Scenario, obj Objectives, opts Options, restarts int) (*Plan, error) {
+	return OptimizeBestContext(context.Background(), scn, obj, opts, restarts)
+}
+
+// SplitSeeds derives the per-restart seeds a multi-start search with the
+// given master seed uses, in restart order. It is exported so callers
+// that drive restarts one at a time (e.g. to checkpoint between them, as
+// the job service does) reproduce OptimizeBest bit-for-bit: running
+// Optimize with SplitSeeds(seed, n)[r] equals restart r of
+// OptimizeBest with Seed = seed.
+func SplitSeeds(seed uint64, restarts int) []uint64 {
+	master := rng.New(seed)
+	seeds := make([]uint64, restarts)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+	return seeds
+}
+
+// OptimizeBestContext is OptimizeBest with cooperative cancellation.
+// Restarts run sequentially; the context is checked between iterations
+// and between restarts. On cancellation it returns the best plan across
+// every restart that made progress — including the interrupted one's
+// best-so-far iterate — together with an error wrapping ctx.Err(); the
+// plan is nil when nothing completed. Uncancelled runs are bit-for-bit
+// identical to OptimizeBest.
+func OptimizeBestContext(ctx context.Context, scn Scenario, obj Objectives, opts Options, restarts int) (*Plan, error) {
 	if restarts <= 0 {
 		return nil, fmt.Errorf("%w: %d restarts", ErrObjectives, restarts)
 	}
@@ -253,29 +359,27 @@ func OptimizeBest(scn Scenario, obj Objectives, opts Options, restarts int) (*Pl
 	if err != nil {
 		return nil, err
 	}
-	var initial *mat.Matrix
-	if opts.InitialMatrix != nil {
-		initial, err = mat.NewFromRows(opts.InitialMatrix)
+	seeds := SplitSeeds(opts.Seed, restarts)
+	var best *descent.Result
+	for r := 0; r < restarts; r++ {
+		runOpts := opts
+		runOpts.Seed = seeds[r]
+		dopts, err := runOpts.descentOptions(r)
 		if err != nil {
-			return nil, fmt.Errorf("coverage: initial matrix: %w", err)
+			return nil, err
 		}
-	}
-	results, err := eng.OptimizeMany(descent.Options{
-		Variant:     opts.variant(),
-		MaxIters:    opts.MaxIters,
-		Seed:        opts.Seed,
-		FixedStep:   opts.FixedStep,
-		NoiseStdDev: opts.NoiseStdDev,
-		RecordTrace: opts.RecordTrace,
-		InitialP:    initial,
-	}, restarts)
-	if err != nil {
-		return nil, fmt.Errorf("coverage: %w", err)
-	}
-	best := results[0]
-	for _, r := range results[1:] {
-		if r.Eval.U < best.Eval.U {
-			best = r
+		res, err := eng.OptimizeContext(ctx, dopts)
+		if res != nil && (best == nil || res.Eval.U < best.Eval.U) {
+			best = res
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				if best == nil {
+					return nil, fmt.Errorf("coverage: %w", err)
+				}
+				return planFromResult(best), fmt.Errorf("coverage: %w", err)
+			}
+			return nil, fmt.Errorf("coverage: %w", err)
 		}
 	}
 	return planFromResult(best), nil

@@ -5,11 +5,113 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
 // ErrPersist indicates a malformed plan or scenario file.
 var ErrPersist = errors.New("coverage: persist")
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// validateScenario rejects scenarios that would pass the topology build
+// only by accident of floating-point comparison semantics (NaN compares
+// false against every threshold) or that are structurally empty, then
+// runs the full topology validation.
+func validateScenario(scn Scenario) error {
+	if len(scn.Target) == 0 {
+		return fmt.Errorf("%w: scenario has no target allocation", ErrPersist)
+	}
+	for i, v := range scn.Target {
+		if !finite(v) {
+			return fmt.Errorf("%w: target[%d] = %v", ErrPersist, i, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("%w: negative target[%d] = %v", ErrPersist, i, v)
+		}
+	}
+	if !finite(scn.Range) || !finite(scn.Speed) {
+		return fmt.Errorf("%w: non-finite range %v or speed %v", ErrPersist, scn.Range, scn.Speed)
+	}
+	for i, p := range scn.PoIs {
+		if !finite(p.X) || !finite(p.Y) || !finite(p.Pause) {
+			return fmt.Errorf("%w: PoI %d has non-finite coordinates or pause", ErrPersist, i)
+		}
+	}
+	for i, o := range scn.Obstacles {
+		if !finite(o.MinX) || !finite(o.MinY) || !finite(o.MaxX) || !finite(o.MaxY) {
+			return fmt.Errorf("%w: obstacle %d has non-finite bounds", ErrPersist, i)
+		}
+	}
+	if _, err := scn.build(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validatePlan checks every field of a plan, not just the transition
+// matrix: vector lengths must match the matrix dimension and all numbers
+// must be finite, so a corrupted file is rejected at load rather than
+// poisoning downstream arithmetic.
+func validatePlan(plan *Plan) error {
+	if err := validateMatrix(plan.TransitionMatrix); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	n := len(plan.TransitionMatrix)
+	vectors := []struct {
+		name string
+		v    []float64
+	}{
+		{"stationary", plan.Stationary},
+		{"coverageShare", plan.CoverageShare},
+		{"meanExposureSteps", plan.MeanExposure},
+	}
+	for _, vec := range vectors {
+		if vec.v == nil {
+			continue
+		}
+		if len(vec.v) != n {
+			return fmt.Errorf("%w: %s has %d entries for a %d-PoI plan",
+				ErrPersist, vec.name, len(vec.v), n)
+		}
+		for i, v := range vec.v {
+			if !finite(v) || v < 0 {
+				return fmt.Errorf("%w: %s[%d] = %v", ErrPersist, vec.name, i, v)
+			}
+		}
+	}
+	scalars := []struct {
+		name string
+		v    float64
+	}{
+		{"deltaC", plan.DeltaC},
+		{"eBar", plan.EBar},
+		{"cost", plan.Cost},
+		{"energy", plan.Energy},
+		{"entropyNats", plan.Entropy},
+	}
+	for _, s := range scalars {
+		if !finite(s.v) {
+			return fmt.Errorf("%w: %s = %v", ErrPersist, s.name, s.v)
+		}
+	}
+	if plan.DeltaC < 0 || plan.EBar < 0 || plan.Energy < 0 {
+		return fmt.Errorf("%w: negative metric (deltaC %v, eBar %v, energy %v)",
+			ErrPersist, plan.DeltaC, plan.EBar, plan.Energy)
+	}
+	if plan.Iterations < 0 {
+		return fmt.Errorf("%w: negative iteration count %d", ErrPersist, plan.Iterations)
+	}
+	for i, rec := range plan.Trace {
+		if !finite(rec.Cost) || !finite(rec.DeltaC) || !finite(rec.EBar) {
+			return fmt.Errorf("%w: trace[%d] has non-finite values", ErrPersist, i)
+		}
+	}
+	return nil
+}
 
 // fileVersion is the on-disk format version; bump on incompatible
 // changes.
@@ -34,8 +136,8 @@ func WritePlan(w io.Writer, plan *Plan) error {
 	if plan == nil {
 		return fmt.Errorf("%w: nil plan", ErrPersist)
 	}
-	if err := validateMatrix(plan.TransitionMatrix); err != nil {
-		return fmt.Errorf("%w: %v", ErrPersist, err)
+	if err := validatePlan(plan); err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -54,8 +156,8 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	if env.Version != fileVersion || env.Kind != "plan" || env.Plan == nil {
 		return nil, fmt.Errorf("%w: not a version-%d plan file", ErrPersist, fileVersion)
 	}
-	if err := validateMatrix(env.Plan.TransitionMatrix); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	if err := validatePlan(env.Plan); err != nil {
+		return nil, err
 	}
 	return env.Plan, nil
 }
@@ -85,8 +187,7 @@ func LoadPlan(path string) (*Plan, error) {
 
 // WriteScenario serializes a scenario as versioned JSON.
 func WriteScenario(w io.Writer, scn Scenario) error {
-	// Validate by building the internal topology.
-	if _, err := scn.build(); err != nil {
+	if err := validateScenario(scn); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(w)
@@ -106,7 +207,7 @@ func ReadScenario(r io.Reader) (Scenario, error) {
 	if env.Version != fileVersion || env.Kind != "scenario" || env.Scenario == nil {
 		return Scenario{}, fmt.Errorf("%w: not a version-%d scenario file", ErrPersist, fileVersion)
 	}
-	if _, err := env.Scenario.build(); err != nil {
+	if err := validateScenario(*env.Scenario); err != nil {
 		return Scenario{}, err
 	}
 	return *env.Scenario, nil

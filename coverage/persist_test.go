@@ -1,0 +1,199 @@
+package coverage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// goodPlan returns a small valid plan for mutation in the tests below.
+func goodPlan() *Plan {
+	return &Plan{
+		TransitionMatrix: [][]float64{{0.2, 0.8}, {0.6, 0.4}},
+		Stationary:       []float64{0.429, 0.571},
+		CoverageShare:    []float64{0.5, 0.5},
+		MeanExposure:     []float64{2.0, 1.8},
+		DeltaC:           0.01,
+		EBar:             1.9,
+		Cost:             0.05,
+		Energy:           0.4,
+		Entropy:          0.6,
+		Iterations:       10,
+	}
+}
+
+func goodScenario(t *testing.T) Scenario {
+	t.Helper()
+	scn, err := LineScenario("persist-test", 3, []float64{0.3, 0.3, 0.4})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	return scn
+}
+
+// TestFullPlanRoundTripValidated: a fully-populated valid plan survives
+// the strengthened validation on both the write and read side.
+func TestFullPlanRoundTripValidated(t *testing.T) {
+	plan := goodPlan()
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		t.Fatalf("WritePlan: %v", err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatalf("ReadPlan: %v", err)
+	}
+	if got.Cost != plan.Cost || got.DeltaC != plan.DeltaC {
+		t.Errorf("round trip changed metrics: %+v", got)
+	}
+}
+
+// TestWritePlanRejectsMalformed: every corrupted field must be rejected
+// at write time, not serialized for a later reader to trip over.
+func TestWritePlanRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"nan matrix entry", func(p *Plan) { p.TransitionMatrix[0][0] = math.NaN() }},
+		{"negative matrix entry", func(p *Plan) { p.TransitionMatrix[0][0] = -0.1 }},
+		{"row sum off", func(p *Plan) { p.TransitionMatrix[1] = []float64{0.9, 0.9} }},
+		{"ragged matrix", func(p *Plan) { p.TransitionMatrix[1] = []float64{1} }},
+		{"empty matrix", func(p *Plan) { p.TransitionMatrix = nil }},
+		{"nan stationary", func(p *Plan) { p.Stationary[0] = math.NaN() }},
+		{"inf stationary", func(p *Plan) { p.Stationary[0] = math.Inf(1) }},
+		{"negative stationary", func(p *Plan) { p.Stationary[0] = -0.1 }},
+		{"stationary length", func(p *Plan) { p.Stationary = []float64{1} }},
+		{"coverage length", func(p *Plan) { p.CoverageShare = []float64{0.2, 0.3, 0.5} }},
+		{"nan exposure", func(p *Plan) { p.MeanExposure[1] = math.NaN() }},
+		{"nan deltaC", func(p *Plan) { p.DeltaC = math.NaN() }},
+		{"inf cost", func(p *Plan) { p.Cost = math.Inf(1) }},
+		{"negative eBar", func(p *Plan) { p.EBar = -1 }},
+		{"negative energy", func(p *Plan) { p.Energy = -0.5 }},
+		{"negative iterations", func(p *Plan) { p.Iterations = -1 }},
+		{"nan trace", func(p *Plan) { p.Trace = []TracePoint{{Iteration: 1, Cost: math.NaN()}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := goodPlan()
+			tc.mutate(plan)
+			if err := WritePlan(io.Discard, plan); !errors.Is(err, ErrPersist) {
+				t.Errorf("err = %v, want ErrPersist", err)
+			}
+		})
+	}
+}
+
+// TestReadPlanRejectsMalformed: corrupted JSON documents must fail to
+// load instead of being returned as plans.
+func TestReadPlanRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", `{{`},
+		{"wrong kind", `{"version":1,"kind":"scenario","plan":{"transitionMatrix":[[1]]}}`},
+		{"wrong version", `{"version":99,"kind":"plan","plan":{"transitionMatrix":[[1]]}}`},
+		{"missing plan", `{"version":1,"kind":"plan"}`},
+		{"empty matrix", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[]}}`},
+		{"ragged matrix", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[1]]}}`},
+		{"row sum off", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[0.9,0.9]]}}`},
+		{"negative entry", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[1.5,-0.5],[0.5,0.5]]}}`},
+		{"stationary length", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[0.5,0.5]],"stationary":[1]}}`},
+		{"negative stationary", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[0.5,0.5]],"stationary":[1.5,-0.5]}}`},
+		{"negative eBar", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[0.5,0.5]],"eBar":-2}}`},
+		{"negative iterations", `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[0.5,0.5]],"iterations":-3}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadPlan(strings.NewReader(tc.json)); !errors.Is(err, ErrPersist) {
+				t.Errorf("err = %v, want ErrPersist", err)
+			}
+		})
+	}
+}
+
+// TestWriteScenarioRejectsMalformed: non-finite geometry and degenerate
+// targets must be rejected before serialization.
+func TestWriteScenarioRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"nan target", func(s *Scenario) { s.Target[0] = math.NaN() }},
+		{"inf target", func(s *Scenario) { s.Target[0] = math.Inf(1) }},
+		{"negative target", func(s *Scenario) { s.Target = []float64{1.3, -0.1, -0.2} }},
+		{"zero-length target", func(s *Scenario) { s.Target = nil }},
+		{"target sum off", func(s *Scenario) { s.Target = []float64{0.5, 0.5, 0.5} }},
+		{"target length mismatch", func(s *Scenario) { s.Target = []float64{0.5, 0.5} }},
+		{"nan poi position", func(s *Scenario) { s.PoIs[0].X = math.NaN() }},
+		{"inf poi position", func(s *Scenario) { s.PoIs[1].Y = math.Inf(-1) }},
+		{"nan pause", func(s *Scenario) { s.PoIs[0].Pause = math.NaN() }},
+		{"negative pause", func(s *Scenario) { s.PoIs[0].Pause = -1 }},
+		{"nan range", func(s *Scenario) { s.Range = math.NaN() }},
+		{"inf speed", func(s *Scenario) { s.Speed = math.Inf(1) }},
+		{"nan obstacle", func(s *Scenario) {
+			s.Obstacles = []Obstacle{{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			scn := goodScenario(t)
+			tc.mutate(&scn)
+			err := WriteScenario(io.Discard, scn)
+			if err == nil {
+				t.Fatal("malformed scenario serialized without error")
+			}
+			if !errors.Is(err, ErrPersist) && !errors.Is(err, ErrScenario) {
+				t.Errorf("err = %v, want ErrPersist or ErrScenario", err)
+			}
+		})
+	}
+}
+
+// TestReadScenarioRejectsMalformed mirrors the write-side table for
+// hand-edited or corrupted scenario files.
+func TestReadScenarioRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", `]`},
+		{"wrong kind", `{"version":1,"kind":"plan","scenario":{}}`},
+		{"missing scenario", `{"version":1,"kind":"scenario"}`},
+		{"zero-length target", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0},{"x":1,"y":0}],"target":[]}}`},
+		{"negative target", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0},{"x":1,"y":0}],"target":[1.5,-0.5]}}`},
+		{"target length mismatch", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0},{"x":1,"y":0}],"target":[1]}}`},
+		{"target sum off", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0},{"x":1,"y":0}],"target":[0.9,0.9]}}`},
+		{"one poi", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0}],"target":[1]}}`},
+		{"pois too close", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0},{"x":0.1,"y":0}],"target":[0.5,0.5]}}`},
+		{"negative pause", `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0,"pause":-2},{"x":1,"y":0}],"target":[0.5,0.5]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadScenario(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatal("malformed scenario loaded without error")
+			}
+			if !errors.Is(err, ErrPersist) && !errors.Is(err, ErrScenario) {
+				t.Errorf("err = %v, want ErrPersist or ErrScenario", err)
+			}
+		})
+	}
+}
+
+// TestReadPlanAcceptsMinimal: a plan holding only the matrix (the
+// documented minimum) still loads; optional vectors may be absent.
+func TestReadPlanAcceptsMinimal(t *testing.T) {
+	minimal := `{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[0.5,0.5]]}}`
+	plan, err := ReadPlan(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatalf("ReadPlan: %v", err)
+	}
+	if plan.Stationary != nil {
+		t.Errorf("stationary = %v, want nil", plan.Stationary)
+	}
+}

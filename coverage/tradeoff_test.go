@@ -92,6 +92,71 @@ func TestParetoFilter(t *testing.T) {
 	}
 }
 
+// TestTradeoffCurveReproducible: the per-point seed derivation must make
+// the whole sweep deterministic for a fixed Optimize.Seed.
+func TestTradeoffCurveReproducible(t *testing.T) {
+	scn, err := PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	opts := TradeoffOptions{
+		Betas:    []float64{1e-2, 1e-4},
+		Optimize: Options{MaxIters: 100, Seed: 9},
+	}
+	a, err := TradeoffCurve(scn, opts)
+	if err != nil {
+		t.Fatalf("TradeoffCurve: %v", err)
+	}
+	b, err := TradeoffCurve(scn, opts)
+	if err != nil {
+		t.Fatalf("TradeoffCurve: %v", err)
+	}
+	for i := range a {
+		if a[i].DeltaC != b[i].DeltaC || a[i].EBar != b[i].EBar || a[i].Energy != b[i].Energy {
+			t.Errorf("point %d differs between identical sweeps: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Distinct betas must get distinct derived seeds — check the two
+	// points did not collapse onto one another.
+	if a[0].DeltaC == a[1].DeltaC && a[0].EBar == a[1].EBar {
+		t.Error("distinct betas produced identical points (seed derivation suspect)")
+	}
+}
+
+// TestTradeoffCurveDefaultAlpha: a zero Alpha defaults to 1 and is
+// reported on every point.
+func TestTradeoffCurveDefaultAlpha(t *testing.T) {
+	scn, err := PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	pts, err := TradeoffCurve(scn, TradeoffOptions{
+		Betas:    []float64{1e-3},
+		Optimize: Options{MaxIters: 40, Seed: 3},
+	})
+	if err != nil {
+		t.Fatalf("TradeoffCurve: %v", err)
+	}
+	if pts[0].Alpha != 1 {
+		t.Errorf("alpha = %v, want default 1", pts[0].Alpha)
+	}
+	if pts[0].Energy < 0 {
+		t.Errorf("energy = %v, want >= 0", pts[0].Energy)
+	}
+}
+
+// TestParetoFilterDuplicates: exactly equal points do not dominate each
+// other, so duplicates all survive.
+func TestParetoFilterDuplicates(t *testing.T) {
+	pts := []TradeoffPoint{
+		{DeltaC: 0.3, EBar: 4},
+		{DeltaC: 0.3, EBar: 4},
+	}
+	if kept := ParetoFilter(pts); len(kept) != 2 {
+		t.Errorf("kept %d of 2 identical points, want both", len(kept))
+	}
+}
+
 func TestParetoFilterAllIncomparable(t *testing.T) {
 	pts := []TradeoffPoint{
 		{DeltaC: 0.1, EBar: 10},

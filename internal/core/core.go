@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -57,12 +58,24 @@ func (p *Planner) Model() *cost.Model { return p.model }
 // Optimize runs the configured steepest-descent search and returns the
 // best schedule found.
 func (p *Planner) Optimize(opts descent.Options) (*descent.Result, error) {
+	return p.OptimizeContext(context.Background(), opts)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation. On
+// cancellation it returns the best-so-far result (nil when no iteration
+// completed) together with an error wrapping ctx.Err().
+func (p *Planner) OptimizeContext(ctx context.Context, opts descent.Options) (*descent.Result, error) {
 	opt, err := descent.New(p.model, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	res, err := opt.Run()
+	res, err := opt.RunContext(ctx)
 	if err != nil {
+		if res != nil {
+			// Cancelled mid-run: pass the partial result through so the
+			// caller can keep the best-so-far schedule.
+			return res, fmt.Errorf("core: optimize: %w", err)
+		}
 		return nil, fmt.Errorf("core: optimize: %w", err)
 	}
 	return res, nil
@@ -70,10 +83,17 @@ func (p *Planner) Optimize(opts descent.Options) (*descent.Result, error) {
 
 // OptimizeMany runs n independent searches with split seeds.
 func (p *Planner) OptimizeMany(opts descent.Options, n int) ([]*descent.Result, error) {
+	return p.OptimizeManyContext(context.Background(), opts, n)
+}
+
+// OptimizeManyContext is OptimizeMany with cooperative cancellation; the
+// cancellation contract follows descent.RunManyParallelContext (partial
+// result slice plus an error wrapping ctx.Err()).
+func (p *Planner) OptimizeManyContext(ctx context.Context, opts descent.Options, n int) ([]*descent.Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: %d runs", ErrPlanner, n)
 	}
-	return descent.RunMany(p.model, opts, n)
+	return descent.RunManyContext(ctx, p.model, opts, n)
 }
 
 // Evaluate computes the closed-form cost breakdown of a transition

@@ -19,6 +19,7 @@
 package descent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -312,16 +313,36 @@ func (o *Optimizer) initialMatrix() *mat.Matrix {
 // Run executes the configured optimization and returns the best solution
 // found.
 func (o *Optimizer) Run() (*Result, error) {
+	return o.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation. The context is checked
+// between iterations only, so an uncancelled run performs exactly the same
+// floating-point operations in the same order as Run (the golden traces
+// pin this). When the context is cancelled mid-run, RunContext stops
+// promptly and returns the best-so-far Result together with an error
+// wrapping ctx.Err(); a context already cancelled on entry yields a nil
+// Result.
+func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, cancelErr(err, 0)
+	}
 	switch o.opts.Variant {
 	case Basic:
-		return o.runBasic()
+		return o.runBasic(ctx)
 	case Adaptive:
-		return o.runAdaptive()
+		return o.runAdaptive(ctx)
 	case Perturbed:
-		return o.runPerturbed()
+		return o.runPerturbed(ctx)
 	default:
 		return nil, fmt.Errorf("%w: unknown variant", ErrOptions)
 	}
+}
+
+// cancelErr wraps a context error so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) keep working for callers.
+func cancelErr(err error, iters int) error {
+	return fmt.Errorf("descent: cancelled after %d iterations: %w", iters, err)
 }
 
 // record appends a trace record and fires the iteration callback.
@@ -335,7 +356,7 @@ func (o *Optimizer) record(res *Result, rec IterRecord, p *mat.Matrix) {
 }
 
 // runBasic is variant V1: a fixed-step projected gradient loop.
-func (o *Optimizer) runBasic() (*Result, error) {
+func (o *Optimizer) runBasic(ctx context.Context) (*Result, error) {
 	p := o.initialMatrix()
 	ev, err := o.model.EvaluateIn(o.ws, p)
 	if err != nil {
@@ -345,6 +366,9 @@ func (o *Optimizer) runBasic() (*Result, error) {
 	best := ev.U
 	stall := 0
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, cancelErr(err, res.Iters)
+		}
 		_, grad, err := o.model.GradientIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
@@ -395,7 +419,7 @@ func (o *Optimizer) runBasic() (*Result, error) {
 
 // runAdaptive is V2+V3: line-searched descent that stops at the first
 // local optimum.
-func (o *Optimizer) runAdaptive() (*Result, error) {
+func (o *Optimizer) runAdaptive(ctx context.Context) (*Result, error) {
 	p := o.initialMatrix()
 	ev, err := o.model.EvaluateIn(o.ws, p)
 	if err != nil {
@@ -408,6 +432,9 @@ func (o *Optimizer) runAdaptive() (*Result, error) {
 	curU, curObj, curDC, curEB := ev.U, ev.Objective, ev.DeltaC, ev.EBar
 	stall := 0
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, cancelErr(err, res.Iters)
+		}
 		_, grad, err := o.model.GradientIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
@@ -462,7 +489,7 @@ func (o *Optimizer) runAdaptive() (*Result, error) {
 }
 
 // runPerturbed is V2+V3+V4: noisy descent with annealed acceptance.
-func (o *Optimizer) runPerturbed() (*Result, error) {
+func (o *Optimizer) runPerturbed(ctx context.Context) (*Result, error) {
 	p := o.initialMatrix()
 	ev, err := o.model.EvaluateIn(o.ws, p)
 	if err != nil {
@@ -475,6 +502,9 @@ func (o *Optimizer) runPerturbed() (*Result, error) {
 	curU, curObj, curDC, curEB := ev.U, ev.Objective, ev.DeltaC, ev.EBar
 	stall := 0
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, cancelErr(err, res.Iters)
+		}
 		_, grad, err := o.model.GradientIn(o.ws, p)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
@@ -699,7 +729,13 @@ func (o *Optimizer) phiEval(p, dir *mat.Matrix, delta float64) float64 {
 // returns all results; the experiment harness uses it for the CDFs of
 // Fig. 2 and the statistics of Table III.
 func RunMany(model *cost.Model, opts Options, n int) ([]*Result, error) {
-	return RunManyParallel(model, opts, n, 1)
+	return RunManyParallelContext(context.Background(), model, opts, n, 1)
+}
+
+// RunManyContext is RunMany with cooperative cancellation; see
+// RunManyParallelContext for the cancellation contract.
+func RunManyContext(ctx context.Context, model *cost.Model, opts Options, n int) ([]*Result, error) {
+	return RunManyParallelContext(ctx, model, opts, n, 1)
 }
 
 // RunManyParallel is RunMany with up to `workers` runs in flight at once.
@@ -708,6 +744,17 @@ func RunMany(model *cost.Model, opts Options, n int) ([]*Result, error) {
 // their run's index. The cost model is shared across workers, which is
 // safe because Model is immutable after construction.
 func RunManyParallel(model *cost.Model, opts Options, n, workers int) ([]*Result, error) {
+	return RunManyParallelContext(context.Background(), model, opts, n, workers)
+}
+
+// RunManyParallelContext is RunManyParallel with cooperative
+// cancellation. When the context is cancelled mid-sweep, in-flight runs
+// stop at their next iteration boundary and the call returns the result
+// slice — holding a best-so-far Result for every run that made progress
+// and nil for runs that never started — together with an error wrapping
+// ctx.Err(). For an uncancelled context the results are bit-for-bit
+// identical to RunManyParallel.
+func RunManyParallelContext(ctx context.Context, model *cost.Model, opts Options, n, workers int) ([]*Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: %d runs", ErrOptions, n)
 	}
@@ -727,7 +774,7 @@ func RunManyParallel(model *cost.Model, opts Options, n, workers int) ([]*Result
 	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = runOne(model, opts, seeds[i])
+			out[i], errs[i] = runOne(ctx, model, opts, seeds[i])
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -737,7 +784,7 @@ func RunManyParallel(model *cost.Model, opts Options, n, workers int) ([]*Result
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					out[i], errs[i] = runOne(model, opts, seeds[i])
+					out[i], errs[i] = runOne(ctx, model, opts, seeds[i])
 				}
 			}()
 		}
@@ -748,20 +795,23 @@ func RunManyParallel(model *cost.Model, opts Options, n, workers int) ([]*Result
 		wg.Wait()
 	}
 	for i, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, ctx.Err()) {
 			return nil, fmt.Errorf("descent: run %d: %w", i, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, cancelErr(err, 0)
 	}
 	return out, nil
 }
 
 // runOne executes a single seeded run.
-func runOne(model *cost.Model, opts Options, seed uint64) (*Result, error) {
+func runOne(ctx context.Context, model *cost.Model, opts Options, seed uint64) (*Result, error) {
 	runOpts := opts
 	runOpts.Seed = seed
 	opt, err := New(model, runOpts)
 	if err != nil {
 		return nil, err
 	}
-	return opt.Run()
+	return opt.RunContext(ctx)
 }

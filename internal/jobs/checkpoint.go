@@ -1,0 +1,241 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/coverage"
+)
+
+// checkpointVersion is the on-disk job-metadata format version.
+const checkpointVersion = 1
+
+// Checkpoint file layout, one triple per job under Config.Dir:
+//
+//	<id>.job.json       job metadata + objectives + options (this file)
+//	<id>.scenario.json  the Scenario, via coverage.SaveScenario
+//	<id>.plan.json      best plan so far, via coverage.SavePlan (optional)
+//
+// The scenario and plan files reuse the coverage/persist envelopes, so
+// they are loadable by every existing tool (e.g. `coverage-opt -scenario`
+// or LoadPlan) as well as by the resume path.
+type jobEnvelope struct {
+	Version int      `json:"version"`
+	Kind    string   `json:"kind"`
+	Job     *jobMeta `json:"job"`
+}
+
+// jobMeta is the serializable slice of a job record. The scenario and
+// plan live in their own files.
+type jobMeta struct {
+	ID           string              `json:"id"`
+	State        State               `json:"state"`
+	Objectives   coverage.Objectives `json:"objectives"`
+	Options      coverage.Options    `json:"options"`
+	Restarts     int                 `json:"restarts"`
+	RestartsDone int                 `json:"restartsDone"`
+	Created      time.Time           `json:"created"`
+	Started      time.Time           `json:"started"`
+	Finished     time.Time           `json:"finished"`
+	Error        string              `json:"error,omitempty"`
+}
+
+// jobPath returns the metadata path for a job ID.
+func (m *Manager) jobPath(id string) string {
+	return filepath.Join(m.cfg.Dir, id+".job.json")
+}
+
+func (m *Manager) scenarioPath(id string) string {
+	return filepath.Join(m.cfg.Dir, id+".scenario.json")
+}
+
+func (m *Manager) planPath(id string) string {
+	return filepath.Join(m.cfg.Dir, id+".plan.json")
+}
+
+// persist checkpoints a job to disk: metadata always, the scenario only
+// on first write, the plan whenever one exists. Failures are recorded on
+// the job rather than crashing the worker — an unwritable checkpoint
+// directory must not take the service down.
+func (m *Manager) persist(j *job, withScenario bool) {
+	if m.cfg.Dir == "" {
+		return
+	}
+	m.mu.Lock()
+	meta := &jobMeta{
+		ID:           j.id,
+		State:        j.state,
+		Objectives:   j.spec.Objectives,
+		Options:      j.spec.Options,
+		Restarts:     j.spec.Restarts,
+		RestartsDone: j.restartsDone,
+		Created:      j.created,
+		Started:      j.started,
+		Finished:     j.finished,
+		Error:        j.errMsg,
+	}
+	scn := j.spec.Scenario
+	plan := j.plan
+	m.mu.Unlock()
+
+	if err := m.writeCheckpoint(meta, scn, plan, withScenario); err != nil {
+		m.mu.Lock()
+		if j.errMsg == "" {
+			j.errMsg = fmt.Sprintf("checkpoint: %v", err)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// writeCheckpoint writes the triple atomically enough for crash safety:
+// each file lands via a temp-file rename, and the metadata (which names
+// the authoritative state) goes last.
+func (m *Manager) writeCheckpoint(meta *jobMeta, scn coverage.Scenario, plan *coverage.Plan, withScenario bool) error {
+	if withScenario {
+		tmp := m.scenarioPath(meta.ID) + ".tmp"
+		if err := coverage.SaveScenario(tmp, scn); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, m.scenarioPath(meta.ID)); err != nil {
+			return err
+		}
+	}
+	if plan != nil {
+		tmp := m.planPath(meta.ID) + ".tmp"
+		if err := coverage.SavePlan(tmp, plan); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, m.planPath(meta.ID)); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(jobEnvelope{
+		Version: checkpointVersion,
+		Kind:    "job",
+		Job:     meta,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := m.jobPath(meta.ID) + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, m.jobPath(meta.ID))
+}
+
+// loadCheckpoints scans the checkpoint directory, rebuilds the job table,
+// and returns the jobs that need re-queueing (queued, paused, or running
+// at the time the previous process stopped), ordered by ID. Terminal
+// jobs are loaded so their results stay queryable across restarts.
+func (m *Manager) loadCheckpoints() ([]*job, error) {
+	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
+	}
+	var resume []*job
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job.json") {
+			continue
+		}
+		j, err := m.loadJob(filepath.Join(m.cfg.Dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: checkpoint %s: %w", e.Name(), err)
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		if n := seqFromID(j.id); n > m.seq {
+			m.seq = n
+		}
+		if !j.state.Terminal() {
+			resume = append(resume, j)
+		}
+	}
+	sortByID(resume)
+	// Keep List ordering stable across restarts too.
+	m.sortOrder()
+	return resume, nil
+}
+
+// sortOrder re-sorts the List order by job sequence number.
+func (m *Manager) sortOrder() {
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		js = append(js, m.jobs[id])
+	}
+	sortByID(js)
+	m.order = m.order[:0]
+	for _, j := range js {
+		m.order = append(m.order, j.id)
+	}
+}
+
+// loadJob reads one checkpoint triple back into a job record.
+func (m *Manager) loadJob(metaPath string) (*job, error) {
+	blob, err := os.ReadFile(metaPath)
+	if err != nil {
+		return nil, err
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, err
+	}
+	if env.Version != checkpointVersion || env.Kind != "job" || env.Job == nil {
+		return nil, fmt.Errorf("not a version-%d job file", checkpointVersion)
+	}
+	meta := env.Job
+	if meta.ID == "" || !meta.State.valid() {
+		return nil, fmt.Errorf("malformed job metadata (id %q, state %q)", meta.ID, meta.State)
+	}
+	scn, err := coverage.LoadScenario(m.scenarioPath(meta.ID))
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		id: meta.ID,
+		spec: Spec{
+			Scenario:   scn,
+			Objectives: meta.Objectives,
+			Options:    meta.Options,
+			Restarts:   meta.Restarts,
+		},
+		state:        meta.State,
+		created:      meta.Created,
+		started:      meta.Started,
+		finished:     meta.Finished,
+		errMsg:       meta.Error,
+		restartsDone: meta.RestartsDone,
+		prog: Progress{
+			Restarts:     meta.Restarts,
+			RestartsDone: meta.RestartsDone,
+		},
+	}
+	// A job caught mid-flight by a hard kill says "running"; it resumes
+	// from its last completed restart like a paused one.
+	if j.state == StateRunning {
+		j.state = StatePaused
+	}
+	// No plan checkpoint yet is fine for queued or just-started jobs;
+	// LoadPlan flattens the underlying error, so probe existence first.
+	if _, statErr := os.Stat(m.planPath(meta.ID)); statErr == nil {
+		plan, err := coverage.LoadPlan(m.planPath(meta.ID))
+		if err != nil {
+			return nil, err
+		}
+		j.plan = plan
+		c := plan.Cost
+		j.prog.BestCost = &c
+	} else if !errors.Is(statErr, fs.ErrNotExist) {
+		return nil, statErr
+	}
+	return j, nil
+}

@@ -1,0 +1,557 @@
+// Package jobs is the optimization job service: it owns long-running
+// multi-restart coverage optimizations as queued, cancellable,
+// checkpointable jobs instead of one-shot CLI invocations.
+//
+// A Manager holds a bounded FIFO queue and a fixed worker pool. Each job
+// runs the restarts of an OptimizeBest-style search one at a time (seeds
+// split with coverage.SplitSeeds, so an uninterrupted job reproduces
+// coverage.OptimizeBest bit-for-bit), checkpoints after every completed
+// restart through the coverage/persist JSON helpers, and samples live
+// progress from the descent trace via coverage.Options.OnProgress. A
+// Manager restarted on the same checkpoint directory re-queues every
+// interrupted job and resumes it from its last completed restart.
+//
+// Lifecycle:
+//
+//	queued ──▶ running ──▶ done
+//	   │          │  ├───▶ failed
+//	   │          │  └───▶ cancelled   (DELETE /jobs/{id})
+//	   │          └──────▶ paused      (graceful shutdown; re-queued on restart)
+//	   └─────────────────▶ cancelled   (cancel before a worker picks it up)
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/coverage"
+)
+
+// Service errors, mapped onto HTTP statuses by the API layer.
+var (
+	// ErrNotFound reports an unknown job ID.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrQueueFull reports that the bounded queue rejected a submission.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrTerminal reports an operation on a job that already finished.
+	ErrTerminal = errors.New("jobs: job already finished")
+	// ErrShuttingDown reports a submission during shutdown.
+	ErrShuttingDown = errors.New("jobs: manager shutting down")
+	// ErrNoPlan reports a plan request for a job with no plan yet.
+	ErrNoPlan = errors.New("jobs: no plan available yet")
+	// ErrSpec reports an invalid job specification.
+	ErrSpec = errors.New("jobs: invalid spec")
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StatePaused    State = "paused"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// valid reports whether s is one of the lifecycle states (used when
+// loading checkpoints written by other processes).
+func (s State) valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StatePaused, StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Spec is everything needed to run one optimization job.
+type Spec struct {
+	// Scenario is the coverage problem to optimize.
+	Scenario coverage.Scenario `json:"scenario"`
+	// Objectives weights the optimization criteria.
+	Objectives coverage.Objectives `json:"objectives"`
+	// Options tunes each restart; Options.Seed is the master seed the
+	// per-restart seeds are split from. OnProgress is owned by the
+	// manager and ignored if set.
+	Options coverage.Options `json:"options"`
+	// Restarts is the multi-start count (default 1).
+	Restarts int `json:"restarts"`
+}
+
+// Progress is a live snapshot of a job's position in its search.
+type Progress struct {
+	// Restarts is the job's total restart budget.
+	Restarts int `json:"restarts"`
+	// RestartsDone counts fully completed restarts.
+	RestartsDone int `json:"restartsDone"`
+	// Restart is the restart currently running (meaningful while the job
+	// is running).
+	Restart int `json:"restart"`
+	// Iteration is the latest sampled optimizer iteration within that
+	// restart.
+	Iteration int `json:"iteration"`
+	// Cost is the penalized cost at the latest sample.
+	Cost float64 `json:"cost"`
+	// BestCost is the best cost over all completed work, when any.
+	BestCost *float64 `json:"bestCost,omitempty"`
+}
+
+// View is an immutable snapshot of a job, safe to hold and serialize
+// while the job keeps running.
+type View struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Scenario string     `json:"scenario"`
+	Restarts int        `json:"restarts"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Progress Progress   `json:"progress"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// job is the mutable record; every field is guarded by Manager.mu except
+// spec and id, which are immutable after Submit.
+type job struct {
+	id   string
+	spec Spec
+
+	state        State
+	created      time.Time
+	started      time.Time
+	finished     time.Time
+	prog         Progress
+	errMsg       string
+	plan         *coverage.Plan // best-so-far, or final when done
+	restartsDone int
+	cancel       context.CancelFunc // non-nil while running
+	userCancel   bool
+}
+
+// view snapshots the job; callers must hold Manager.mu.
+func (j *job) view() View {
+	v := View{
+		ID:       j.id,
+		State:    j.state,
+		Scenario: j.spec.Scenario.Name,
+		Restarts: j.spec.Restarts,
+		Created:  j.created,
+		Progress: j.prog,
+		Error:    j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Config tunes a Manager. The zero value is usable: two workers, a
+// 16-deep queue, and no persistence.
+type Config struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 16).
+	QueueDepth int
+	// Dir is the checkpoint directory; empty disables persistence (jobs
+	// are lost on process exit).
+	Dir string
+}
+
+// Manager owns the queue, the worker pool and the job table.
+type Manager struct {
+	cfg  Config
+	ctx  context.Context // pool context; cancelled by Shutdown
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order for List
+	queue  chan *job
+	seq    int
+	closed bool
+}
+
+// New builds a Manager, resumes any checkpointed jobs found in cfg.Dir,
+// and starts the worker pool.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:  cfg,
+		ctx:  ctx,
+		stop: stop,
+		jobs: make(map[string]*job),
+	}
+	var resumed []*job
+	if cfg.Dir != "" {
+		var err error
+		resumed, err = m.loadCheckpoints()
+		if err != nil {
+			stop()
+			return nil, err
+		}
+	}
+	// Size the queue so every resumable job fits alongside the configured
+	// headroom; otherwise New could deadlock re-queueing a large backlog.
+	m.queue = make(chan *job, cfg.QueueDepth+len(resumed))
+	for _, j := range resumed {
+		j.state = StateQueued
+		m.queue <- j
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Submit validates the spec and enqueues a new job.
+func (m *Manager) Submit(spec Spec) (View, error) {
+	if spec.Restarts == 0 {
+		spec.Restarts = 1
+	}
+	if spec.Restarts < 0 {
+		return View{}, fmt.Errorf("%w: %d restarts", ErrSpec, spec.Restarts)
+	}
+	if err := coverage.Validate(spec.Scenario, spec.Objectives); err != nil {
+		return View{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	// The progress callback is owned by the worker; drop anything the
+	// caller smuggled in.
+	spec.Options.OnProgress = nil
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return View{}, ErrShuttingDown
+	}
+	if len(m.queue) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return View{}, ErrQueueFull
+	}
+	m.seq++
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		prog:    Progress{Restarts: spec.Restarts},
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.queue <- j
+	v := j.view()
+	m.mu.Unlock()
+
+	m.persist(j, true)
+	return v, nil
+}
+
+// Get returns a snapshot of one job.
+func (m *Manager) Get(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return j.view(), nil
+}
+
+// List returns snapshots of every job in submission order (resumed jobs
+// first, ordered by ID).
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]View, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view())
+	}
+	return out
+}
+
+// Plan returns the job's best plan so far — the final plan once done,
+// the best-so-far checkpoint for a running, paused or cancelled job.
+func (m *Manager) Plan(id string) (*coverage.Plan, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.plan == nil {
+		return nil, ErrNoPlan
+	}
+	return j.plan, nil
+}
+
+// Cancel stops a queued or running job. Cancelling a running job signals
+// its context; the worker then records the best-so-far plan and marks the
+// job cancelled.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNotFound
+	}
+	switch j.state {
+	case StateQueued, StatePaused:
+		j.state = StateCancelled
+		j.userCancel = true
+		j.finished = time.Now()
+		m.mu.Unlock()
+		m.persist(j, false)
+		return nil
+	case StateRunning:
+		j.userCancel = true
+		cancel := j.cancel
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return nil
+	default:
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.state)
+	}
+}
+
+// Stats summarizes the manager for health checks.
+type Stats struct {
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queueDepth"`
+	QueueLen   int           `json:"queueLen"`
+	Jobs       map[State]int `json:"jobs"`
+}
+
+// Stat returns current counts by state plus queue occupancy.
+func (m *Manager) Stat() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Workers:    m.cfg.Workers,
+		QueueDepth: m.cfg.QueueDepth,
+		QueueLen:   len(m.queue),
+		Jobs:       make(map[State]int),
+	}
+	for _, j := range m.jobs {
+		s.Jobs[j.state]++
+	}
+	return s
+}
+
+// Shutdown stops accepting submissions, cancels every running job so it
+// checkpoints and parks as paused, and waits (bounded by ctx) for the
+// worker pool to drain. After Shutdown returns nil, no manager goroutine
+// is left running.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown: %w", ctx.Err())
+	}
+}
+
+// worker pulls jobs off the queue until the pool context is cancelled.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job: restarts run sequentially with OptimizeBest's
+// seed split, the best plan is checkpointed after every completed
+// restart, and cancellation is classified as user cancel (terminal) or
+// shutdown (paused, resumable).
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued || m.ctx.Err() != nil {
+		// Cancelled while queued, or the pool is draining: leave the
+		// checkpointed state as-is.
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.ctx)
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	spec := j.spec
+	start := j.restartsDone
+	best := j.plan
+	m.mu.Unlock()
+	defer cancel()
+
+	// best holds the winner over *completed* restarts only. The paused
+	// checkpoint must exclude in-flight partial work: resuming re-runs the
+	// interrupted restart in full, and a partial plan that ties the full
+	// rerun on cost would otherwise survive the strict-< comparison with a
+	// different matrix than an uninterrupted OptimizeBest produces.
+	seeds := coverage.SplitSeeds(spec.Options.Seed, spec.Restarts)
+	for r := start; r < spec.Restarts; r++ {
+		if ctx.Err() != nil {
+			break
+		}
+		runOpts := spec.Options
+		runOpts.Seed = seeds[r]
+		restart := r
+		runOpts.OnProgress = func(p coverage.Progress) {
+			m.noteProgress(j, restart, p)
+		}
+		plan, err := coverage.OptimizeContext(ctx, spec.Scenario, spec.Objectives, runOpts)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Interrupted mid-restart; plan is that run's best-so-far.
+				m.settleInterrupted(j, best, plan)
+				return
+			}
+			m.finish(j, StateFailed, best, err.Error())
+			return
+		}
+		// Strict < preserves OptimizeBest's first-wins tie-breaking.
+		if plan != nil && (best == nil || plan.Cost < best.Cost) {
+			best = plan
+		}
+		m.completeRestart(j, r+1, best)
+	}
+	if ctx.Err() != nil {
+		m.settleInterrupted(j, best, nil)
+		return
+	}
+	m.finish(j, StateDone, best, "")
+}
+
+// settleInterrupted routes a context-cancelled job: a user cancel is
+// terminal and keeps the freshest work (including the interrupted
+// restart's partial plan), while a shutdown parks the job as paused with
+// only completed-restart results so the resume reproduces an
+// uninterrupted run bit-for-bit.
+func (m *Manager) settleInterrupted(j *job, best, partial *coverage.Plan) {
+	m.mu.Lock()
+	user := j.userCancel
+	m.mu.Unlock()
+	if user {
+		if partial != nil && (best == nil || partial.Cost < best.Cost) {
+			best = partial
+		}
+		m.finish(j, StateCancelled, best, "")
+		return
+	}
+	m.pause(j, best)
+}
+
+// noteProgress records a sampled descent-trace point.
+func (m *Manager) noteProgress(j *job, restart int, p coverage.Progress) {
+	m.mu.Lock()
+	j.prog.Restart = restart
+	j.prog.Iteration = p.Iteration
+	j.prog.Cost = p.Cost
+	m.mu.Unlock()
+}
+
+// completeRestart advances the job's checkpointable progress and writes
+// the periodic checkpoint.
+func (m *Manager) completeRestart(j *job, done int, best *coverage.Plan) {
+	m.mu.Lock()
+	j.restartsDone = done
+	j.plan = best
+	j.prog.RestartsDone = done
+	if best != nil {
+		c := best.Cost
+		j.prog.BestCost = &c
+	}
+	m.mu.Unlock()
+	m.persist(j, false)
+}
+
+// finish moves the job to a terminal state and checkpoints it.
+func (m *Manager) finish(j *job, state State, best *coverage.Plan, errMsg string) {
+	m.mu.Lock()
+	j.state = state
+	j.finished = time.Now()
+	j.plan = best
+	j.errMsg = errMsg
+	j.cancel = nil
+	if best != nil {
+		c := best.Cost
+		j.prog.BestCost = &c
+	}
+	m.mu.Unlock()
+	m.persist(j, false)
+}
+
+// pause parks an interrupted job so a restarted manager resumes it from
+// its last completed restart.
+func (m *Manager) pause(j *job, best *coverage.Plan) {
+	m.mu.Lock()
+	j.state = StatePaused
+	j.plan = best
+	j.cancel = nil
+	if best != nil {
+		c := best.Cost
+		j.prog.BestCost = &c
+	}
+	m.mu.Unlock()
+	m.persist(j, false)
+}
+
+// seqFromID recovers the numeric suffix of a job ID so a resumed manager
+// keeps allocating fresh IDs.
+func seqFromID(id string) int {
+	i := strings.LastIndexByte(id, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// sortByID orders jobs by their numeric suffix (submission order).
+func sortByID(js []*job) {
+	sort.Slice(js, func(a, b int) bool {
+		return seqFromID(js[a].id) < seqFromID(js[b].id)
+	})
+}

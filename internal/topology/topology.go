@@ -101,23 +101,29 @@ func New(cfg Config) (*Topology, error) {
 	}
 	var sum float64
 	for i, v := range cfg.Target {
-		if v < 0 {
-			return nil, fmt.Errorf("%w: negative target Φ_%d = %v", ErrInvalid, i, v)
+		// NaN compares false against every threshold, so check it
+		// explicitly rather than letting it slip through to the sum test.
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("%w: invalid target Φ_%d = %v", ErrInvalid, i, v)
 		}
 		sum += v
 	}
-	if math.Abs(sum-1) > 1e-9 {
+	if !(math.Abs(sum-1) <= 1e-9) {
 		return nil, fmt.Errorf("%w: targets sum to %v, want 1", ErrInvalid, sum)
 	}
-	if cfg.Range <= 0 {
-		return nil, fmt.Errorf("%w: sensing range %v must be positive", ErrInvalid, cfg.Range)
+	if !(cfg.Range > 0) || math.IsInf(cfg.Range, 0) {
+		return nil, fmt.Errorf("%w: sensing range %v must be positive and finite", ErrInvalid, cfg.Range)
 	}
-	if cfg.Speed <= 0 {
-		return nil, fmt.Errorf("%w: speed %v must be positive", ErrInvalid, cfg.Speed)
+	if !(cfg.Speed > 0) || math.IsInf(cfg.Speed, 0) {
+		return nil, fmt.Errorf("%w: speed %v must be positive and finite", ErrInvalid, cfg.Speed)
 	}
 	for i, p := range cfg.PoIs {
-		if p.Pause <= 0 {
-			return nil, fmt.Errorf("%w: PoI %d pause %v must be positive", ErrInvalid, i, p.Pause)
+		if !(p.Pause > 0) || math.IsInf(p.Pause, 0) {
+			return nil, fmt.Errorf("%w: PoI %d pause %v must be positive and finite", ErrInvalid, i, p.Pause)
+		}
+		if math.IsNaN(p.Pos.X) || math.IsInf(p.Pos.X, 0) ||
+			math.IsNaN(p.Pos.Y) || math.IsInf(p.Pos.Y, 0) {
+			return nil, fmt.Errorf("%w: PoI %d has non-finite position", ErrInvalid, i)
 		}
 	}
 	// Disjointness: the paper requires that no two PoIs can be covered at

@@ -4,10 +4,16 @@
 # "allocs_op"}, ...]}. Output is deterministic in structure (benchmarks
 # appear in execution order) so snapshots diff cleanly.
 #
-# Usage: scripts/bench.sh [out.json]
+# A second argument names a prior snapshot to diff against (defaulting to
+# the newest checked-in BENCH_pr*.json). A missing prior snapshot is
+# tolerated: the run still writes its own snapshot and just skips the
+# comparison — fresh clones and new machines have nothing to diff yet.
+#
+# Usage: scripts/bench.sh [out.json [prev.json]]
 set -eu
 
 out=${1:-BENCH_run.json}
+prev=${2:-}
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -41,3 +47,45 @@ awk '
 ' "$tmp" >"$out"
 
 echo "wrote $out"
+
+# Pick the newest checked-in snapshot when none was named explicitly.
+if [ -z "$prev" ]; then
+	for f in BENCH_pr*.json; do
+		[ -e "$f" ] && prev=$f
+	done
+fi
+if [ -z "$prev" ] || [ ! -r "$prev" ]; then
+	echo "no prior BENCH_*.json snapshot found; skipping comparison"
+	exit 0
+fi
+
+echo "comparing against $prev"
+# Flatten each snapshot's benchmark lines to "name ns b allocs" and join
+# on name. Snapshots are small, so a nested read is fine.
+awk -v prevfile="$prev" '
+	function flatten(line,   m) {
+		if (match(line, /"name": *"[^"]*"/)) {
+			m = substr(line, RSTART, RLENGTH); gsub(/"name": *"|"/, "", m); name = m
+			match(line, /"ns_op": *[0-9.eE+-]+/)
+			m = substr(line, RSTART, RLENGTH); gsub(/"ns_op": */, "", m); ns = m
+			match(line, /"allocs_op": *[0-9]+/)
+			m = substr(line, RSTART, RLENGTH); gsub(/"allocs_op": */, "", m); al = m
+			return 1
+		}
+		return 0
+	}
+	BEGIN {
+		while ((getline line < prevfile) > 0)
+			if (flatten(line)) { pns[name] = ns; pal[name] = al }
+		close(prevfile)
+		printf "%-40s %12s %12s %8s\n", "benchmark", "prev ns/op", "now ns/op", "allocs"
+	}
+	{
+		if (flatten($0)) {
+			if (name in pns)
+				printf "%-40s %12s %12s %4s->%s\n", name, pns[name], ns, pal[name], al
+			else
+				printf "%-40s %12s %12s %8s (new)\n", name, "-", ns, al
+		}
+	}
+' "$out"
