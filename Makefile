@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_run.json
 
-.PHONY: build test check race vet bench clean
+.PHONY: build test check race vet bench bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ check: vet race
 # BENCH_pr*.json files pair one such snapshot with the numbers captured
 # before that PR's change, in the same schema.
 bench:
+	./scripts/bench.sh $(BENCH_OUT) none
+
+# bench-compare additionally prints a prev-vs-now table against the
+# newest checked-in BENCH_pr*.json (its "after" numbers).
+bench-compare:
 	./scripts/bench.sh $(BENCH_OUT)
 
 clean:

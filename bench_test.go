@@ -247,7 +247,7 @@ func benchModelSized(b *testing.B, m int) (*cost.Model, *mat.Matrix) {
 var benchSizes = []struct {
 	name string
 	m    int
-}{{"M4", 4}, {"M8", 8}, {"M16", 16}, {"M32", 32}}
+}{{"M4", 4}, {"M8", 8}, {"M16", 16}, {"M32", 32}, {"M64", 64}, {"M128", 128}}
 
 // BenchmarkEvaluate measures one closed-form cost evaluation
 // (π, Z, R solve plus the Eq. 9 terms) through a reused Workspace — the

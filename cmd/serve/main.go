@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,18 +42,25 @@ func main() {
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		workers = fs.Int("workers", 2, "worker pool size")
-		queue   = fs.Int("queue", 16, "pending-job queue depth")
-		dir     = fs.String("checkpoint-dir", "", "job checkpoint directory (empty disables persistence)")
-		drain   = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 2, "worker pool size")
+		queue      = fs.Int("queue", 16, "pending-job queue depth")
+		jobWorkers = fs.Int("max-job-workers", 1, "cap on each job's descent parallelism (options.workers); 0 = uncapped")
+		profile    = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+		dir        = fs.String("checkpoint-dir", "", "job checkpoint directory (empty disables persistence)")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logDest := log.New(os.Stderr, "serve: ", log.LstdFlags)
 
-	mgr, err := jobs.New(jobs.Config{Workers: *workers, QueueDepth: *queue, Dir: *dir})
+	mgr, err := jobs.New(jobs.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		MaxJobWorkers: *jobWorkers,
+		Dir:           *dir,
+	})
 	if err != nil {
 		return err
 	}
@@ -61,7 +69,18 @@ func run(args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: mgr.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", mgr.Handler())
+	if *profile {
+		// The default-mux registrations in net/http/pprof don't apply to
+		// this private mux; wire the handlers explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

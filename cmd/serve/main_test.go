@@ -77,6 +77,7 @@ func TestServeLifecycle(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(30 * time.Second)
+	var final jobs.View
 	for {
 		if time.Now().After(deadline) {
 			t.Fatal("job never finished")
@@ -91,9 +92,24 @@ func TestServeLifecycle(t *testing.T) {
 		}
 		resp.Body.Close()
 		if v.State == jobs.StateDone {
+			final = v
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	if final.WallClockSec <= 0 || final.ItersPerSec <= 0 {
+		t.Errorf("done view missing throughput metrics: wallClockSec=%v itersPerSec=%v",
+			final.WallClockSec, final.ItersPerSec)
+	}
+
+	// The pprof handlers are opt-in and were not requested.
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof probe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof = %d, want 404", resp.StatusCode)
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -117,5 +133,53 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if _, err := coverage.LoadScenario(filepath.Join(dir, created.ID+".scenario.json")); err != nil {
 		t.Errorf("scenario checkpoint unreadable: %v", err)
+	}
+}
+
+// TestServePprofFlag boots the server with -pprof and verifies the
+// profiling endpoints are mounted next to the API.
+func TestServePprofFlag(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-pprof",
+			"-drain-timeout", "10s",
+		}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/healthz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
 	}
 }

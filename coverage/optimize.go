@@ -106,6 +106,11 @@ type Options struct {
 	// ProgressEvery is the OnProgress sampling cadence in iterations
 	// (default DefaultProgressEvery).
 	ProgressEvery int `json:"progressEvery,omitempty"`
+	// Workers is the number of OS-level workers one optimizer iteration may
+	// occupy (gradient assembly and line-search probes are partitioned
+	// across them). Results are bit-for-bit identical for every value.
+	// Zero selects GOMAXPROCS; one forces the serial path.
+	Workers int `json:"workers,omitempty"`
 }
 
 // TracePoint is one optimizer iteration in a Plan's history.
@@ -229,6 +234,7 @@ func (o Options) descentOptions(restart int) (descent.Options, error) {
 		NoiseStdDev: o.NoiseStdDev,
 		RecordTrace: o.RecordTrace,
 		InitialP:    initial,
+		Workers:     o.Workers,
 	}
 	if o.OnProgress != nil {
 		every := o.ProgressEvery

@@ -93,9 +93,12 @@ func (w *Weights) validate(m int) error {
 type Model struct {
 	top *topology.Topology
 	w   Weights
-	// a[i][j*m+k] = T_{jk,i} − Φ_i·T_jk, the per-PoI coverage discrepancy
-	// coefficients, precomputed once.
-	a [][]float64
+	// at[(j*m+k)*m+i] = T_{jk,i} − Φ_i·T_jk, the per-PoI coverage
+	// discrepancy coefficients, precomputed once. The layout is
+	// transition-major with the PoI index i contiguous, so the O(M³)
+	// coverage loops in evaluateInto and gradientRows stream the
+	// innermost dimension instead of striding by M².
+	at []float64
 	// travelRow[j*m+k] = T_jk for the denominator of C̄.
 	travel []float64
 }
@@ -118,7 +121,7 @@ func NewModel(top *topology.Topology, w Weights) (*Model, error) {
 	mod := &Model{
 		top:    top,
 		w:      w,
-		a:      make([][]float64, m),
+		at:     make([]float64, m*m*m),
 		travel: make([]float64, m*m),
 	}
 	for j := 0; j < m; j++ {
@@ -126,12 +129,15 @@ func NewModel(top *topology.Topology, w Weights) (*Model, error) {
 			mod.travel[j*m+k] = top.TravelTime(j, k)
 		}
 	}
+	// Each entry is computed with the same expression regardless of
+	// layout, so the table holds the same doubles as the historic i-major
+	// one — reading at[(j*m+k)*m+i] where the old code read a[i][j*m+k]
+	// cannot move any bits.
 	for i := 0; i < m; i++ {
-		mod.a[i] = make([]float64, m*m)
 		phi := top.TargetAt(i)
 		for j := 0; j < m; j++ {
 			for k := 0; k < m; k++ {
-				mod.a[i][j*m+k] = top.CoverTime(j, k, i) - phi*top.TravelTime(j, k)
+				mod.at[(j*m+k)*m+i] = top.CoverTime(j, k, i) - phi*top.TravelTime(j, k)
 			}
 		}
 	}
@@ -231,17 +237,25 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 	p := sol.P
 
 	// Coverage: G_i = Σ_{j,k} π_j p_jk a^{(i)}_{jk}; C̄_i from Eq. 2.
+	// The inner loop streams the i-contiguous rows of the coverage tables
+	// (same per-(j,k) visit order and per-slot fold as the historic
+	// accessor-based loop, so the sums carry identical bits).
 	var totalTime float64 // Σ π_j p_jk T_jk
+	pd := p.Data()
 	for j := 0; j < n; j++ {
+		pij := sol.Pi[j]
+		prow := pd[j*n : (j+1)*n]
 		for k := 0; k < n; k++ {
-			w := sol.Pi[j] * p.At(j, k)
+			w := pij * prow[k]
 			if w == 0 {
 				continue
 			}
 			totalTime += w * m.travel[j*n+k]
+			crow := m.top.CoverRow(j, k)
+			arow := m.at[(j*n+k)*n : (j*n+k+1)*n]
 			for i := 0; i < n; i++ {
-				coverNum[i] += w * m.top.CoverTime(j, k, i)
-				ev.G[i] += w * m.a[i][j*n+k]
+				coverNum[i] += w * crow[i]
+				g[i] += w * arow[i]
 			}
 		}
 	}
@@ -253,8 +267,10 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 
 	// Exposure: Ē_i = Σ_{j≠i} p_ij R_ji / (1 − p_ii) (Eq. 3).
 	var sumE2 float64
+	rd := sol.R.Data()
 	for i := 0; i < n; i++ {
-		denom := 1 - p.At(i, i)
+		prow := pd[i*n : (i+1)*n]
+		denom := 1 - prow[i]
 		if denom <= 0 {
 			// p_ii = 1 would make the chain reducible; Solve rejects that
 			// earlier, so this is purely defensive.
@@ -265,7 +281,7 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 			if j == i {
 				continue
 			}
-			s += p.At(i, j) * sol.R.At(j, i)
+			s += prow[j] * rd[j*n+i]
 		}
 		ev.EBarI[i] = s / denom
 		ev.ExposureTerm += 0.5 * m.w.Beta[i] * ev.EBarI[i] * ev.EBarI[i]
@@ -274,10 +290,8 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 	ev.EBar = math.Sqrt(sumE2)
 
 	// Barrier penalty (Eq. 9).
-	for j := 0; j < n; j++ {
-		for k := 0; k < n; k++ {
-			ev.Penalty += barrier(p.At(j, k), m.w.Epsilon)
-		}
+	for _, v := range pd {
+		ev.Penalty += barrier(v, m.w.Epsilon)
 	}
 
 	// §VII extensions.

@@ -28,75 +28,271 @@ func (m *Model) Gradient(p *mat.Matrix) (*Evaluation, *mat.Matrix, error) {
 	return m.GradientIn(m.NewWorkspace(), p)
 }
 
+// minParallelRows is the matrix order below which the gradient assembly
+// and its contractions stay on the direct single-span path even when the
+// workspace has a multi-worker pool: the fork/join handshake costs more
+// than the whole pass for tiny systems. The cutover does not affect
+// results — both paths produce identical bits.
+const minParallelRows = 8
+
+// gradTask adapts the fused per-row gradient pass to the par.Task
+// interface. It lives inside the Workspace so dispatching it converts a
+// long-lived pointer to an interface without allocating.
+type gradTask struct {
+	m  *Model
+	ws *Workspace
+	ev *Evaluation
+}
+
+func (t *gradTask) Run(w, lo, hi int) {
+	t.m.gradientRows(t.ws, t.ev, w, lo, hi)
+}
+
+// mulTask row-partitions a matrix product across the pool. Dimensions are
+// validated once before dispatch, so Run can ignore the error return.
+type mulTask struct {
+	dst, a, b *mat.Matrix
+}
+
+func (t *mulTask) Run(w, lo, hi int) {
+	_ = mat.MulToRows(t.dst, t.a, t.b, lo, hi)
+}
+
 // gradientInto assembles [D_P U] from a completed evaluation into the
 // workspace's gradient buffer. It performs no allocations on the success
 // path.
+//
+// The partial-derivative phases are row-partitioned: each worker owns rows
+// [lo, hi) of dUdP and dUdPi and (through the exposure term's structure)
+// columns [lo, hi) of dUdZ, so no two workers touch the same float64 slot
+// and every slot receives its additions in exactly the serial order. That
+// owner-computes split — rather than per-worker shards merged at the end —
+// is what keeps the parallel gradient bit-for-bit identical to the serial
+// one: merging shards would reassociate floating-point sums.
 func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error) {
 	n := m.top.M()
 	sol := ev.Sol
-	p := sol.P
 
 	ws.ensureGradient()
+	width := ws.pool.Workers()
+	if n < minParallelRows {
+		width = 1
+	}
+	ws.ensureWorkerScratch(width)
+
 	dUdPi := ws.dUdPi
 	for i := range dUdPi {
 		dUdPi[i] = 0
 	}
-	dUdZ := ws.dUdZ
-	dUdP := ws.dUdP
-	dUdZ.Zero()
-	dUdP.Zero()
+	ws.dUdZ.Zero()
+	ws.dUdP.Zero()
 
-	// --- Coverage term: ½ Σ_i α_i G_i². ---
+	// Shared precompute: the coverage coefficients c_i = α_i G_i are read
+	// by every worker (each row j folds over all i), so they are built once
+	// up front rather than per worker.
+	carr := ws.carr
+	ws.anyCover = false
 	for i := 0; i < n; i++ {
 		c := m.w.Alpha[i] * ev.G[i]
-		if c == 0 {
-			continue
+		carr[i] = c
+		if c != 0 {
+			ws.anyCover = true
 		}
-		ai := m.a[i]
-		for j := 0; j < n; j++ {
-			var rowDot float64 // Σ_k p_jk a^{(i)}_{jk}
-			for k := 0; k < n; k++ {
-				a := ai[j*n+k]
-				rowDot += p.At(j, k) * a
-				dUdP.Add(j, k, c*sol.Pi[j]*a)
+	}
+	for w := 0; w < width; w++ {
+		ws.errIdx[w] = -1
+	}
+
+	ws.gtask.m = m
+	ws.gtask.ws = ws
+	ws.gtask.ev = ev
+	if width == 1 {
+		ws.gtask.Run(0, 0, n)
+	} else {
+		ws.pool.Run(n, &ws.gtask)
+	}
+
+	// An absorbing row aborts a worker mid-span. The smallest recorded
+	// index is the first row the serial loop would have rejected, so the
+	// error is identical either way.
+	errAt := -1
+	for w := 0; w < width; w++ {
+		if i := ws.errIdx[w]; i >= 0 && (errAt < 0 || i < errAt) {
+			errAt = i
+		}
+	}
+	if errAt >= 0 {
+		// Same guard as Evaluate: a (numerically) absorbing row has no
+		// finite exposure derivative, and dividing through would send
+		// NaN/Inf into the line search. Normally unreachable because
+		// Evaluate rejects such chains first, but gradientInto must not
+		// trust that when handed a foreign Evaluation.
+		return nil, fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, errAt, errAt)
+	}
+
+	// --- Assemble Eq. 10 with O(M³) contractions. ---
+	// term1_kl = π_k (Z·dUdPi)_l.
+	if err := mat.MulVecTo(ws.q, sol.Z, dUdPi); err != nil {
+		return nil, err
+	}
+	// term2a = Zᵀ · dUdZ · Zᵀ. The two products dominate the assembly cost
+	// and row-partition cleanly (row i of a product depends only on row i
+	// of its left factor), so they run on the pool.
+	if err := mat.TransposeTo(ws.zt, sol.Z); err != nil {
+		return nil, err
+	}
+	if err := ws.mulRows(ws.tmp, ws.dUdZ, ws.zt, width); err != nil {
+		return nil, err
+	}
+	if err := ws.mulRows(ws.term2a, ws.zt, ws.tmp, width); err != nil {
+		return nil, err
+	}
+	// term2b_kl = π_k (Z²·colsums(dUdZ))_l.
+	colsum := ws.colsum
+	for j := range colsum {
+		colsum[j] = 0
+	}
+	dzd := ws.dUdZ.Data()
+	for i := 0; i < n; i++ {
+		row := dzd[i*n : (i+1)*n]
+		for j, v := range row {
+			colsum[j] += v
+		}
+	}
+	if err := mat.MulVecTo(ws.r, sol.Z2, colsum); err != nil {
+		return nil, err
+	}
+
+	gd := ws.grad.Data()
+	t2d := ws.term2a.Data()
+	dpd := ws.dUdP.Data()
+	q, r := ws.q, ws.r
+	for k := 0; k < n; k++ {
+		pik := sol.Pi[k]
+		grow := gd[k*n : (k+1)*n]
+		t2row := t2d[k*n : (k+1)*n]
+		dprow := dpd[k*n : (k+1)*n]
+		for l := range grow {
+			grow[l] = pik*(q[l]-r[l]) + t2row[l] + dprow[l]
+		}
+	}
+	return ws.grad, nil
+}
+
+// mulRows runs dst = a·b, on the pool when it is wide enough to pay off.
+func (ws *Workspace) mulRows(dst, a, b *mat.Matrix, width int) error {
+	if width <= 1 {
+		return mat.MulTo(dst, a, b)
+	}
+	// Validate dimensions once with an empty span so the per-span calls
+	// inside the workers cannot fail.
+	if err := mat.MulToRows(dst, a, b, 0, 0); err != nil {
+		return err
+	}
+	ws.mtask.dst, ws.mtask.a, ws.mtask.b = dst, a, b
+	ws.pool.Run(a.Rows(), &ws.mtask)
+	return nil
+}
+
+// gradientRows accumulates every partial-derivative term owned by rows
+// [lo, hi): rows of dUdP and dUdPi, plus columns [lo, hi) of dUdZ (the
+// exposure term writes column i while processing row i). w names the
+// worker's scratch slot.
+//
+// Bit-for-bit discipline: each dUdP/dUdPi/dUdZ slot must see exactly the
+// additions of the serial i-outer loops, in the same order, with the same
+// expression shapes. The coverage term is the delicate one — the serial
+// loop is i-outer (over objectives) with rows inside, while this pass is
+// row-outer — but per slot the accumulation still folds over ascending i,
+// so the reordering changes which slots are interleaved, never the order
+// within a slot. The zero-coefficient skip (c_i = 0) is preserved exactly:
+// adding 0.0 is not a bitwise no-op (−0.0 + 0.0 = +0.0).
+func (m *Model) gradientRows(ws *Workspace, ev *Evaluation, w, lo, hi int) {
+	n := m.top.M()
+	sol := ev.Sol
+	pd := sol.P.Data()
+	dpd := ws.dUdP.Data()
+	dUdPi := ws.dUdPi
+	carr := ws.carr
+
+	// --- Coverage term: ½ Σ_i α_i G_i². ---
+	if ws.anyCover {
+		rowAcc := ws.rowAcc[w]
+		cpj := ws.cpj[w]
+		for j := lo; j < hi; j++ {
+			pij := sol.Pi[j]
+			prow := pd[j*n : (j+1)*n]
+			dprow := dpd[j*n : (j+1)*n]
+			for i := 0; i < n; i++ {
+				rowAcc[i] = 0
+				cpj[i] = carr[i] * pij // (c·π_j), the serial c*sol.Pi[j]
 			}
-			dUdPi[j] += c * rowDot
+			for k := 0; k < n; k++ {
+				pjk := prow[k]
+				arow := m.at[(j*n+k)*n : (j*n+k+1)*n]
+				var s float64 // the dUdP_jk fold over ascending i
+				for i := 0; i < n; i++ {
+					if carr[i] == 0 {
+						continue
+					}
+					a := arow[i]
+					s += cpj[i] * a
+					rowAcc[i] += pjk * a // rowDot_i folds over ascending k
+				}
+				dprow[k] = s
+			}
+			var acc float64
+			for i := 0; i < n; i++ {
+				if carr[i] == 0 {
+					continue
+				}
+				acc += carr[i] * rowAcc[i]
+			}
+			dUdPi[j] = acc
 		}
 	}
 
 	// --- Exposure term: ½ Σ_i β_i Ē_i². ---
-	for i := 0; i < n; i++ {
+	// Row i contributes to row i of dUdP, entry i of dUdPi, and column i of
+	// dUdZ — all owned by this span, so no other worker races these writes.
+	dzd := ws.dUdZ.Data()
+	zd := sol.Z.Data()
+	for i := lo; i < hi; i++ {
 		e := m.w.Beta[i] * ev.EBarI[i]
 		if e == 0 {
 			continue
 		}
-		denom := 1 - p.At(i, i)
+		prow := pd[i*n : (i+1)*n]
+		denom := 1 - prow[i]
 		if denom <= 0 {
-			// Same guard as Evaluate: a (numerically) absorbing row has no
-			// finite exposure derivative, and dividing through would send
-			// NaN/Inf into the line search. Normally unreachable because
-			// Evaluate rejects such chains first, but gradientInto must not
-			// trust that when handed a foreign Evaluation.
-			return nil, fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, i, i)
+			ws.errIdx[w] = i
+			return
 		}
-		pi := sol.Pi[i]
-		dUdPi[i] -= e * ev.EBarI[i] / pi
-		dUdZ.Add(i, i, e/pi)
+		pii := sol.Pi[i]
+		dUdPi[i] -= e * ev.EBarI[i] / pii
+		dzd[i*n+i] += e / pii
+		zii := zd[i*n+i]
+		pidenom := pii * denom
+		dprow := dpd[i*n : (i+1)*n]
+		ne := -e
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			dUdZ.Add(j, i, -e*p.At(i, j)/(pi*denom))
-			dUdP.Add(i, j, e*(sol.Z.At(i, i)-sol.Z.At(j, i))/(pi*denom))
+			dzd[j*n+i] += ne * prow[j] / pidenom
+			dprow[j] += e * (zii - zd[j*n+i]) / pidenom
 		}
-		dUdP.Add(i, i, e*ev.EBarI[i]/denom)
+		dprow[i] += e * ev.EBarI[i] / denom
 	}
 
 	// --- Barrier penalty. ---
-	for j := 0; j < n; j++ {
+	eps := m.w.Epsilon
+	for j := lo; j < hi; j++ {
+		prow := pd[j*n : (j+1)*n]
+		dprow := dpd[j*n : (j+1)*n]
 		for k := 0; k < n; k++ {
-			if g := barrierDeriv(p.At(j, k), m.w.Epsilon); g != 0 {
-				dUdP.Add(j, k, g)
+			if g := barrierDeriv(prow[k], eps); g != 0 {
+				dprow[k] += g
 			}
 		}
 	}
@@ -104,15 +300,19 @@ func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error)
 	// --- Energy extension: ½ w (D − γ)². ---
 	if m.w.EnergyWeight > 0 {
 		c := m.w.EnergyWeight * (ev.Energy - m.w.EnergyTarget)
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
+			prow := pd[i*n : (i+1)*n]
+			dprow := dpd[i*n : (i+1)*n]
+			drow := m.top.DistanceRow(i)
+			cpi := c * sol.Pi[i]
 			var rowDist float64
 			for j := 0; j < n; j++ {
 				if j == i {
 					continue
 				}
-				d := m.top.Distance(i, j)
-				rowDist += p.At(i, j) * d
-				dUdP.Add(i, j, c*sol.Pi[i]*d)
+				d := drow[j]
+				rowDist += prow[j] * d
+				dprow[j] += cpi * d
 			}
 			dUdPi[i] += c * rowDist
 		}
@@ -121,57 +321,23 @@ func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error)
 	// --- Entropy extension: −λ H. ---
 	if m.w.EntropyWeight > 0 {
 		lam := m.w.EntropyWeight
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
+			prow := pd[i*n : (i+1)*n]
+			dprow := dpd[i*n : (i+1)*n]
+			lpi := lam * sol.Pi[i]
 			var rowEnt float64 // Σ_j p_ij ln p_ij
 			for j := 0; j < n; j++ {
-				pij := p.At(i, j)
+				pij := prow[j]
 				if pij <= 0 {
 					continue
 				}
 				lp := math.Log(pij)
 				rowEnt += pij * lp
-				dUdP.Add(i, j, lam*sol.Pi[i]*(lp+1))
+				dprow[j] += lpi * (lp + 1)
 			}
 			dUdPi[i] += lam * rowEnt
 		}
 	}
-
-	// --- Assemble Eq. 10 with O(M³) contractions. ---
-	// term1_kl = π_k (Z·dUdPi)_l.
-	if err := mat.MulVecTo(ws.q, sol.Z, dUdPi); err != nil {
-		return nil, err
-	}
-	// term2a = Zᵀ · dUdZ · Zᵀ.
-	if err := mat.TransposeTo(ws.zt, sol.Z); err != nil {
-		return nil, err
-	}
-	if err := mat.MulTo(ws.tmp, dUdZ, ws.zt); err != nil {
-		return nil, err
-	}
-	if err := mat.MulTo(ws.term2a, ws.zt, ws.tmp); err != nil {
-		return nil, err
-	}
-	// term2b_kl = π_k (Z²·colsums(dUdZ))_l.
-	colsum := ws.colsum
-	for j := range colsum {
-		colsum[j] = 0
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			colsum[j] += dUdZ.At(i, j)
-		}
-	}
-	if err := mat.MulVecTo(ws.r, sol.Z2, colsum); err != nil {
-		return nil, err
-	}
-
-	grad := ws.grad
-	for k := 0; k < n; k++ {
-		for l := 0; l < n; l++ {
-			grad.Set(k, l, sol.Pi[k]*(ws.q[l]-ws.r[l])+ws.term2a.At(k, l)+dUdP.At(k, l))
-		}
-	}
-	return grad, nil
 }
 
 // Project applies Eq. 11: it subtracts each row's mean so every row of the
@@ -189,14 +355,18 @@ func Project(g *mat.Matrix) *mat.Matrix {
 func ProjectTo(dst, g *mat.Matrix) {
 	n := g.Rows()
 	cols := g.Cols()
+	gd := g.Data()
+	dd := dst.Data()
 	for i := 0; i < n; i++ {
+		grow := gd[i*cols : (i+1)*cols]
 		var sum float64
-		for j := 0; j < cols; j++ {
-			sum += g.At(i, j)
+		for _, v := range grow {
+			sum += v
 		}
 		mean := sum / float64(cols)
-		for j := 0; j < cols; j++ {
-			dst.Set(i, j, g.At(i, j)-mean)
+		drow := dd[i*cols : (i+1)*cols]
+		for j, v := range grow {
+			drow[j] = v - mean
 		}
 	}
 }

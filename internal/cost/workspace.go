@@ -3,6 +3,7 @@ package cost
 import (
 	"repro/internal/markov"
 	"repro/internal/mat"
+	"repro/internal/par"
 )
 
 // Workspace owns every buffer one evaluation/gradient pass needs: the
@@ -23,18 +24,32 @@ type Workspace struct {
 	ev       Evaluation
 	coverNum []float64
 
+	// pool, when set, row-partitions the gradient phases and the Eq. 10
+	// matrix products across its workers. Results are bit-for-bit
+	// identical with any pool width, including none.
+	pool *par.Pool
+
 	// Gradient scratch, allocated on first GradientIn so evaluate-only
 	// workspaces stay small.
 	dUdPi  []float64
 	colsum []float64
 	q      []float64
 	r      []float64
+	carr   []float64 // coverage coefficients c_i = α_i G_i
 	dUdZ   *mat.Matrix
 	dUdP   *mat.Matrix
 	zt     *mat.Matrix
 	tmp    *mat.Matrix
 	term2a *mat.Matrix
 	grad   *mat.Matrix
+
+	// Per-worker gradient scratch, sized to the pool width on first use.
+	anyCover bool
+	errIdx   []int
+	rowAcc   [][]float64
+	cpj      [][]float64
+	gtask    gradTask
+	mtask    mulTask
 }
 
 // NewWorkspace returns a Workspace sized for the model's topology.
@@ -52,6 +67,13 @@ func (m *Model) NewWorkspace() *Workspace {
 	}
 }
 
+// SetPool attaches a worker pool for the gradient assembly. A nil pool
+// (the default) keeps the whole pass on the calling goroutine. The
+// workspace does not own the pool; the caller stops it.
+func (ws *Workspace) SetPool(p *par.Pool) {
+	ws.pool = p
+}
+
 // ensureGradient lazily allocates the gradient-side scratch.
 func (ws *Workspace) ensureGradient() {
 	if ws.grad != nil {
@@ -62,12 +84,28 @@ func (ws *Workspace) ensureGradient() {
 	ws.colsum = make([]float64, n)
 	ws.q = make([]float64, n)
 	ws.r = make([]float64, n)
+	ws.carr = make([]float64, n)
 	ws.dUdZ = mat.New(n, n)
 	ws.dUdP = mat.New(n, n)
 	ws.zt = mat.New(n, n)
 	ws.tmp = mat.New(n, n)
 	ws.term2a = mat.New(n, n)
 	ws.grad = mat.New(n, n)
+}
+
+// ensureWorkerScratch sizes the per-worker slots for the given pool
+// width. Widths only ever grow, so steady-state calls allocate nothing.
+func (ws *Workspace) ensureWorkerScratch(width int) {
+	if len(ws.errIdx) >= width {
+		return
+	}
+	ws.errIdx = make([]int, width)
+	ws.rowAcc = make([][]float64, width)
+	ws.cpj = make([][]float64, width)
+	for w := 0; w < width; w++ {
+		ws.rowAcc[w] = make([]float64, ws.n)
+		ws.cpj[w] = make([]float64, ws.n)
+	}
 }
 
 // EvaluateIn computes the full cost breakdown at p using the workspace's
@@ -99,6 +137,19 @@ func (m *Model) GradientIn(ws *Workspace, p *mat.Matrix) (*Evaluation, *mat.Matr
 		return nil, nil, err
 	}
 	return ev, g, nil
+}
+
+// GradientSolvedIn assembles the Eq. 10 gradient from an evaluation the
+// workspace already holds: ev must be the value returned by this
+// workspace's most recent EvaluateIn (or GradientIn), with no workspace
+// use in between. It skips the O(M³) Markov re-solve that GradientIn
+// would repeat — the descent loops use it to reuse the accepted
+// line-search probe's solution for the next iteration's gradient. The
+// result is bit-for-bit identical to calling GradientIn at the same
+// matrix, because EvaluateIn is deterministic: re-solving would rebuild
+// exactly the doubles ev already holds.
+func (m *Model) GradientSolvedIn(ws *Workspace, ev *Evaluation) (*mat.Matrix, error) {
+	return m.gradientInto(ws, ev)
 }
 
 // Clone returns a deep copy of the Evaluation, detached from any

@@ -47,7 +47,7 @@ func benchOptimizer(b *testing.B, m int) (*Optimizer, *mat.Matrix, *mat.Matrix, 
 // hot loop's dominant cost, and with the shared Workspace it runs
 // allocation-free.
 func BenchmarkLineSearchStep(b *testing.B) {
-	for _, m := range []int{8, 16, 32} {
+	for _, m := range []int{8, 16, 32, 64} {
 		opt, p, dir, curU := benchOptimizer(b, m)
 		b.Run(fmt.Sprintf("M%d", m), func(b *testing.B) {
 			b.ReportAllocs()

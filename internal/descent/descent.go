@@ -23,10 +23,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -118,6 +120,13 @@ type Options struct {
 	StallIters int
 	// Tolerance is the relative improvement threshold for stall counting.
 	Tolerance float64
+	// Workers is the number of OS-level workers one iteration may occupy:
+	// the gradient assembly, its O(M³) contractions, and the line-search
+	// probes are row- or probe-partitioned across them. Results are
+	// bit-for-bit identical for every value — parallelism here changes
+	// scheduling, never arithmetic order. Zero selects GOMAXPROCS; one
+	// forces the exact serial code path (no pool, no extra goroutines).
+	Workers int
 	// RecordTrace captures one IterRecord per iteration in the result.
 	RecordTrace bool
 	// OnIteration, when non-nil, is invoked after every iteration with the
@@ -152,6 +161,9 @@ func (o Options) withDefaults() Options {
 	if o.Tolerance == 0 {
 		o.Tolerance = DefaultTolerance
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -168,6 +180,9 @@ func (o Options) validate() error {
 	}
 	if o.MinProb >= 0.5 {
 		return fmt.Errorf("%w: MinProb %v too large", ErrOptions, o.MinProb)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d", ErrOptions, o.Workers)
 	}
 	return nil
 }
@@ -228,6 +243,17 @@ type Optimizer struct {
 	dir   *mat.Matrix // projected (negated) descent direction
 	noisy *mat.Matrix // V4 perturbed gradient
 	cand  *mat.Matrix // line-search / acceptance candidate iterate
+
+	// Parallel machinery, nil/empty when Workers <= 1. Each pool worker
+	// owns a private evaluation workspace and candidate buffer so probe
+	// batches share nothing mutable; probeDelta/probeU are the batched
+	// line search's step grid and results.
+	pool       *par.Pool
+	probeWS    []*cost.Workspace
+	probeCand  []*mat.Matrix
+	probeDelta []float64
+	probeU     []float64
+	ptask      probeTask
 }
 
 // New validates the options and builds an Optimizer.
@@ -237,7 +263,7 @@ func New(model *cost.Model, opts Options) (*Optimizer, error) {
 	}
 	opts = opts.withDefaults()
 	n := model.Topology().M()
-	return &Optimizer{
+	o := &Optimizer{
 		model: model,
 		opts:  opts,
 		src:   rng.New(opts.Seed),
@@ -245,7 +271,21 @@ func New(model *cost.Model, opts Options) (*Optimizer, error) {
 		dir:   mat.New(n, n),
 		noisy: mat.New(n, n),
 		cand:  mat.New(n, n),
-	}, nil
+	}
+	if w := opts.Workers; w > 1 {
+		o.pool = par.New(w)
+		o.ws.SetPool(o.pool)
+		o.probeWS = make([]*cost.Workspace, w)
+		o.probeCand = make([]*mat.Matrix, w)
+		for i := 0; i < w; i++ {
+			o.probeWS[i] = model.NewWorkspace()
+			o.probeCand[i] = mat.New(n, n)
+		}
+		o.probeDelta = make([]float64, 0, lsMaxProbes)
+		o.probeU = make([]float64, lsMaxProbes)
+		o.ptask.o = o
+	}
+	return o, nil
 }
 
 // UniformInit returns the V1 initialization p_ij = 1/M.
@@ -327,6 +367,9 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, cancelErr(err, 0)
 	}
+	// The pool starts lazily on first use; stopping it on exit means idle
+	// optimizers hold no goroutines between runs.
+	defer o.pool.Stop()
 	switch o.opts.Variant {
 	case Basic:
 		return o.runBasic(ctx)
@@ -369,7 +412,10 @@ func (o *Optimizer) runBasic(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return res, cancelErr(err, res.Iters)
 		}
-		_, grad, err := o.model.GradientIn(o.ws, p)
+		// ev is the workspace's evaluation at the current p (initial
+		// evaluate, then the post-step evaluate of every iteration), so the
+		// gradient can reuse its Markov solution instead of re-solving.
+		grad, err := o.model.GradientSolvedIn(o.ws, ev)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
@@ -435,7 +481,12 @@ func (o *Optimizer) runAdaptive(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return res, cancelErr(err, res.Iters)
 		}
-		_, grad, err := o.model.GradientIn(o.ws, p)
+		// The workspace holds the evaluation at the current p on every path
+		// into the loop top (initial evaluate, then the accepted-step
+		// evaluate below — line-search probes clobber it in between, but the
+		// post-step EvaluateIn always runs last), so the gradient reuses
+		// that Markov solution instead of re-solving the chain.
+		grad, err := o.model.GradientSolvedIn(o.ws, ev)
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
@@ -501,11 +552,25 @@ func (o *Optimizer) runPerturbed(ctx context.Context) (*Result, error) {
 	// Evaluation is reused by every probe and candidate evaluation).
 	curU, curObj, curDC, curEB := ev.U, ev.Objective, ev.DeltaC, ev.EBar
 	stall := 0
+	// evAtP tracks whether the workspace's evaluation (and its Markov
+	// solution) is current for p: true after the initial evaluate and after
+	// an accepted candidate (the p/cand swap makes the candidate's
+	// evaluation the iterate's), false once line-search probes or a
+	// rejected candidate have clobbered the workspace. When true, the
+	// gradient skips the O(M³) chain re-solve; either way the bits are
+	// identical because re-solving the same p reproduces the same solution.
+	evAtP := true
 	for iter := 1; iter <= o.opts.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, cancelErr(err, res.Iters)
 		}
-		_, grad, err := o.model.GradientIn(o.ws, p)
+		var grad *mat.Matrix
+		var err error
+		if evAtP {
+			grad, err = o.model.GradientSolvedIn(o.ws, ev)
+		} else {
+			ev, grad, err = o.model.GradientIn(o.ws, p)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("descent: iteration %d: %w", iter, err)
 		}
@@ -527,6 +592,7 @@ func (o *Optimizer) runPerturbed(ctx context.Context) (*Result, error) {
 		mat.ScaleInPlace(-1, o.dir)
 
 		step, _, ok := o.lineSearch(p, o.dir, curU)
+		evAtP = false // probe evaluations may have clobbered the workspace
 		if !ok || step == 0 {
 			// Zero optimal step: take a uniform random step within bounds
 			// (the paper's escape move).
@@ -578,8 +644,12 @@ func (o *Optimizer) runPerturbed(ctx context.Context) (*Result, error) {
 		if accepted {
 			res.Accepted++
 			// Swap the iterate and candidate buffers instead of cloning;
-			// both stay owned by the optimizer.
+			// both stay owned by the optimizer. The workspace's evaluation
+			// was computed at the candidate, which is now p — the next
+			// iteration's gradient reuses its Markov solution.
 			p, o.cand = o.cand, p
+			ev = candEv
+			evAtP = true
 			curU, curObj, curDC, curEB = candEv.U, candEv.Objective, candEv.DeltaC, candEv.EBar
 		} else {
 			res.Rejected++
@@ -612,23 +682,21 @@ func (o *Optimizer) runPerturbed(ctx context.Context) (*Result, error) {
 // projection, so only the box constraints bind.
 func maxFeasibleStep(p, dir *mat.Matrix, floor float64) float64 {
 	bound := math.Inf(1)
-	n := p.Rows()
-	for i := 0; i < n; i++ {
-		for j := 0; j < p.Cols(); j++ {
-			v := dir.At(i, j)
-			if v == 0 {
-				continue
-			}
-			cur := p.At(i, j)
-			var room float64
-			if v > 0 {
-				room = (1 - floor - cur) / v
-			} else {
-				room = (floor - cur) / v
-			}
-			if room < bound {
-				bound = room
-			}
+	pd := p.Data()
+	dd := dir.Data()
+	for i, v := range dd {
+		if v == 0 {
+			continue
+		}
+		cur := pd[i]
+		var room float64
+		if v > 0 {
+			room = (1 - floor - cur) / v
+		} else {
+			room = (floor - cur) / v
+		}
+		if room < bound {
+			bound = room
 		}
 	}
 	if math.IsInf(bound, 1) || bound < 0 {
@@ -651,22 +719,24 @@ func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float
 	if bound <= 0 {
 		return 0, curU, false
 	}
-	phi := func(delta float64) float64 {
-		return o.phiEval(p, dir, delta)
-	}
 	// Any numerically meaningful improvement counts; convergence ("within
 	// some tolerance level", §V) is judged by the caller's stall counter,
 	// not here, so the search is not cut off prematurely.
 	target := curU - 1e-15*math.Max(1, math.Abs(curU))
+	if o.pool.Workers() > 1 {
+		return o.lineSearchBatched(p, dir, curU, bound, target)
+	}
+	phi := func(delta float64) float64 {
+		return o.phiEval(p, dir, delta)
+	}
 
 	// Phase 1: geometric scan δ_k = bound / 4^k. The scan stops once the
 	// incumbent has been left behind by two scales (φ is locally unimodal
 	// in log δ near the minimizer) or the steps become physically
 	// meaningless.
-	const shrink = 4.0
 	bestStep, bestU := 0.0, curU
 	worseStreak := 0
-	for k, delta := 0, bound; k < 48 && delta > 1e-18*bound; k, delta = k+1, delta/shrink {
+	for k, delta := 0, bound; k < lsMaxProbes && delta > 1e-18*bound; k, delta = k+1, delta/lsShrink {
 		u := phi(delta)
 		if u < bestU {
 			bestStep, bestU = delta, u
@@ -684,8 +754,8 @@ func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float
 
 	// Phase 2: conservative trisection within one geometric scale on each
 	// side of the phase-1 incumbent.
-	lo := bestStep / shrink
-	hi := math.Min(bound, bestStep*shrink)
+	lo := bestStep / lsShrink
+	hi := math.Min(bound, bestStep*lsShrink)
 	tol := o.opts.LineSearchTol * (hi - lo)
 	for hi-lo > tol {
 		m1 := lo + (hi-lo)/3
@@ -708,17 +778,121 @@ func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float
 	return bestStep, bestU, true
 }
 
+// Line-search shape constants, shared by the serial and batched paths so
+// both walk the identical step grid.
+const (
+	// lsShrink is the geometric scan's scale factor.
+	lsShrink = 4.0
+	// lsMaxProbes caps the phase-1 grid (and sizes the probe buffers).
+	lsMaxProbes = 48
+)
+
+// lineSearchBatched is the line search with probe evaluations fanned out
+// across the pool. φ(δ) is a pure function of δ — every probe builds its
+// candidate in a worker-private buffer and evaluates it in a worker-private
+// workspace — so evaluating a batch ahead of the serial decision point
+// changes no values. The selection logic below then replays the serial
+// scan in grid order over the batch results (including the two-scale
+// worse-streak cutoff, which just discards any probes past the serial
+// break), so the chosen step, cost, and ok flag are bit-for-bit the
+// serial ones.
+func (o *Optimizer) lineSearchBatched(p, dir *mat.Matrix, curU, bound, target float64) (float64, float64, bool) {
+	deltas := o.probeDelta[:0]
+	for k, delta := 0, bound; k < lsMaxProbes && delta > 1e-18*bound; k, delta = k+1, delta/lsShrink {
+		deltas = append(deltas, delta)
+	}
+	width := o.pool.Workers()
+	bestStep, bestU := 0.0, curU
+	worseStreak := 0
+scan:
+	for start := 0; start < len(deltas); start += width {
+		end := min(start+width, len(deltas))
+		o.evalProbes(p, dir, deltas[start:end], start)
+		for idx := start; idx < end; idx++ {
+			if u := o.probeU[idx]; u < bestU {
+				bestStep, bestU = deltas[idx], u
+				worseStreak = 0
+			} else if bestStep > 0 {
+				worseStreak++
+				if worseStreak >= 2 {
+					break scan
+				}
+			}
+		}
+	}
+	if bestStep == 0 || bestU >= target {
+		return 0, curU, false
+	}
+
+	// Phase 2: both trisection probes of each round are independent, so
+	// they evaluate concurrently; the bracket update is unchanged.
+	lo := bestStep / lsShrink
+	hi := math.Min(bound, bestStep*lsShrink)
+	tol := o.opts.LineSearchTol * (hi - lo)
+	pair := o.probeDelta[:2]
+	for hi-lo > tol {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		pair[0], pair[1] = m1, m2
+		o.evalProbes(p, dir, pair, 0)
+		u1 := o.probeU[0]
+		u2 := o.probeU[1]
+		if u1 < bestU {
+			bestStep, bestU = m1, u1
+		}
+		if u2 < bestU {
+			bestStep, bestU = m2, u2
+		}
+		if u1 <= u2 {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return bestStep, bestU, true
+}
+
+// probeTask evaluates a batch of line-search probes; probe k of the batch
+// lands in probeU[base+k]. It lives inside the Optimizer so dispatching it
+// does not allocate.
+type probeTask struct {
+	o      *Optimizer
+	p, dir *mat.Matrix
+	ds     []float64
+	base   int
+}
+
+func (t *probeTask) Run(w, lo, hi int) {
+	o := t.o
+	for k := lo; k < hi; k++ {
+		o.probeU[t.base+k] = o.phiEvalIn(o.probeWS[w], o.probeCand[w], t.p, t.dir, t.ds[k])
+	}
+}
+
+// evalProbes computes φ(δ) for every δ in ds across the pool, writing
+// results to probeU[base:base+len(ds)].
+func (o *Optimizer) evalProbes(p, dir *mat.Matrix, ds []float64, base int) {
+	o.ptask.p, o.ptask.dir, o.ptask.ds, o.ptask.base = p, dir, ds, base
+	o.pool.Run(len(ds), &o.ptask)
+}
+
 // phiEval computes φ(δ) = U(P + δ·dir) into the optimizer's candidate
 // buffer and workspace, allocating nothing. Infeasible or non-ergodic
 // probes evaluate to +Inf.
 func (o *Optimizer) phiEval(p, dir *mat.Matrix, delta float64) float64 {
-	if err := o.cand.CopyFrom(p); err != nil {
+	return o.phiEvalIn(o.ws, o.cand, p, dir, delta)
+}
+
+// phiEvalIn is phiEval against an explicit workspace and candidate buffer,
+// so batched probes can run in worker-private storage.
+func (o *Optimizer) phiEvalIn(ws *cost.Workspace, cand, p, dir *mat.Matrix, delta float64) float64 {
+	if err := cand.CopyFrom(p); err != nil {
 		return math.Inf(1)
 	}
-	if err := mat.AddInPlace(o.cand, delta, dir); err != nil {
+	if err := mat.AddInPlace(cand, delta, dir); err != nil {
 		return math.Inf(1)
 	}
-	ev, err := o.model.EvaluateIn(o.ws, o.cand)
+	ev, err := o.model.EvaluateIn(ws, cand)
 	if err != nil {
 		return math.Inf(1)
 	}

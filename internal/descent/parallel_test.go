@@ -1,0 +1,262 @@
+package descent
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// testModel16 builds a 16-PoI model large enough that the parallel
+// gradient row-partitioning (gated below minParallelRows) and the batched
+// line search both actually engage.
+func testModel16(t *testing.T) *cost.Model {
+	t.Helper()
+	const m = 16
+	top, err := topology.Random(rng.New(16), topology.RandomConfig{
+		M: m, Width: 640, Height: 640,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cost.Uniform(m, 1, 1e-3)
+	w.EnergyWeight = 0.5
+	w.EnergyTarget = 0.3
+	w.EntropyWeight = 0.05
+	model, err := cost.NewModel(top, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// traceKey folds a full Result — trace scalars, counters, and the final
+// matrix — into exact bit patterns so two runs can be compared for
+// byte-identical behavior.
+func traceKey(t *testing.T, res *Result) string {
+	t.Helper()
+	key := fmt.Sprintf("iters=%d conv=%v local=%v acc=%d rej=%d u=%#x p=%#x",
+		res.Iters, res.Converged, res.LocalOptimum, res.Accepted, res.Rejected,
+		math.Float64bits(res.Eval.U), pHash(res))
+	for _, rec := range res.Trace {
+		key += fmt.Sprintf("|%d:%#x:%#x:%#x:%#x:%#x:%v",
+			rec.Iter, math.Float64bits(rec.U), math.Float64bits(rec.Objective),
+			math.Float64bits(rec.DeltaC), math.Float64bits(rec.EBar),
+			math.Float64bits(rec.Step), rec.Accepted)
+	}
+	return key
+}
+
+// TestWorkersDeterminism runs every variant with Workers: 1 (the exact
+// serial path, no pool) and Workers: 4 (parallel gradient rows, pooled
+// contractions, batched line-search probes) and requires byte-identical
+// traces and final iterates. This is the tentpole contract: parallelism
+// changes scheduling, never arithmetic.
+func TestWorkersDeterminism(t *testing.T) {
+	model := testModel16(t)
+	for _, variant := range []Variant{Basic, Adaptive, Perturbed} {
+		t.Run(variant.String(), func(t *testing.T) {
+			keys := make(map[int]string)
+			for _, workers := range []int{1, 4} {
+				opt, err := New(model, Options{
+					Variant: variant, MaxIters: 12, Seed: 99,
+					Workers: workers, RecordTrace: true,
+				})
+				if err != nil {
+					t.Fatalf("New(workers=%d): %v", workers, err)
+				}
+				res, err := opt.Run()
+				if err != nil {
+					t.Fatalf("Run(workers=%d): %v", workers, err)
+				}
+				keys[workers] = traceKey(t, res)
+			}
+			if keys[1] != keys[4] {
+				t.Errorf("Workers:1 and Workers:4 traces differ:\n  1: %s\n  4: %s", keys[1], keys[4])
+			}
+		})
+	}
+}
+
+// TestGoldenTracesWithWorkers re-runs the pinned golden configurations
+// with a multi-worker pool: the expected bit patterns are the same
+// constants TestGoldenTraces pins for the serial path.
+func TestGoldenTracesWithWorkers(t *testing.T) {
+	model := goldenModel(t)
+	cases := []struct {
+		variant Variant
+		bestU   uint64
+		phash   uint64
+	}{
+		{Basic, 0x3fe357f9e57f67c4, 0x2000232925950e4},
+		{Adaptive, 0x3fc369a4d6006051, 0x66099d811f5ca4c},
+		{Perturbed, 0x3fbf0db09671202d, 0x7cb38580bb6e030},
+	}
+	for _, tc := range cases {
+		t.Run(tc.variant.String(), func(t *testing.T) {
+			opt, err := New(model, Options{
+				Variant: tc.variant, MaxIters: 25, Seed: 42, Workers: 4,
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := opt.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := math.Float64bits(res.Eval.U); got != tc.bestU {
+				t.Errorf("bestU bits = %#x, want %#x (U = %v)", got, tc.bestU, res.Eval.U)
+			}
+			if got := pHash(res); got != tc.phash {
+				t.Errorf("P hash = %#x, want %#x", got, tc.phash)
+			}
+		})
+	}
+}
+
+// TestOptionsWorkersValidation checks the Workers knob's edges: negative
+// is rejected, zero defaults to GOMAXPROCS (≥ 1).
+func TestOptionsWorkersValidation(t *testing.T) {
+	model := goldenModel(t)
+	if _, err := New(model, Options{Variant: Adaptive, Workers: -1}); err == nil {
+		t.Fatal("Workers: -1 accepted")
+	}
+	opt, err := New(model, Options{Variant: Adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.opts.Workers < 1 {
+		t.Fatalf("defaulted Workers = %d, want >= 1", opt.opts.Workers)
+	}
+}
+
+// TestMaxFeasibleStepEdges pins the boundary behavior the line search and
+// the perturbed variant's escape move rely on.
+func TestMaxFeasibleStepEdges(t *testing.T) {
+	const floor = 1e-3
+	p := mat.New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			p.Set(i, j, 0.5)
+		}
+	}
+
+	// An all-zero direction has no binding constraint; the Inf bound must
+	// collapse to 0, not leak into step arithmetic.
+	dir := mat.New(2, 2)
+	if got := maxFeasibleStep(p, dir, floor); got != 0 {
+		t.Errorf("zero direction: bound = %v, want 0", got)
+	}
+
+	// An entry already at the floor with a negative direction leaves zero
+	// room: the only feasible step is 0.
+	p.Set(0, 0, floor)
+	p.Set(0, 1, 1-floor)
+	dir.Set(0, 0, -1)
+	dir.Set(0, 1, 1)
+	if got := maxFeasibleStep(p, dir, floor); got != 0 {
+		t.Errorf("at-floor entry, inward-pointing direction: bound = %v, want 0", got)
+	}
+
+	// The same matrix with the direction reversed has strictly positive
+	// room on both entries.
+	dir.Set(0, 0, 1)
+	dir.Set(0, 1, -1)
+	got := maxFeasibleStep(p, dir, floor)
+	want := 1 - 2*floor
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("outward direction: bound = %v, want %v", got, want)
+	}
+
+	// An entry at the ceiling (1 - floor) with a positive direction also
+	// pins the bound to zero.
+	dir.Set(0, 0, 0)
+	dir.Set(0, 1, 1)
+	if got := maxFeasibleStep(p, dir, floor); got != 0 {
+		t.Errorf("at-ceiling entry, outward direction: bound = %v, want 0", got)
+	}
+}
+
+// lineSearchFixture returns an optimizer with the given worker count, an
+// iterate, its descent direction, and the current cost — the inputs of one
+// line-search step.
+func lineSearchFixture(t *testing.T, workers int) (*Optimizer, *mat.Matrix, *mat.Matrix, float64) {
+	t.Helper()
+	model := testModel16(t)
+	opt, err := New(model, Options{Variant: Adaptive, Seed: 1, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := RandomInit(rng.New(1), 16, DefaultMinProb)
+	ev, grad, err := model.GradientIn(opt.ws, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := mat.New(16, 16)
+	cost.ProjectTo(dir, grad)
+	mat.ScaleInPlace(-1, dir)
+	return opt, p, dir, ev.U
+}
+
+// TestSteadyStateAllocs asserts the zero-allocation contract of the hot
+// path: evaluation, gradient assembly, and a full line-search step
+// allocate nothing in steady state — serial and with a warmed pool.
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opt, p, dir, curU := lineSearchFixture(t, workers)
+			model := opt.model
+			t.Cleanup(func() { opt.pool.Stop() })
+
+			// Warm up: lazily-allocated scratch (gradient buffers, worker
+			// slots, LU batch scratch) and pool goroutines come into
+			// existence here, not inside the measured runs.
+			if _, _, err := model.GradientIn(opt.ws, p); err != nil {
+				t.Fatal(err)
+			}
+			opt.lineSearch(p, dir, curU)
+
+			if allocs := testing.AllocsPerRun(10, func() {
+				if _, err := model.EvaluateIn(opt.ws, p); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("EvaluateIn allocates %v per call, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(10, func() {
+				if _, _, err := model.GradientIn(opt.ws, p); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("GradientIn allocates %v per call, want 0", allocs)
+			}
+			if allocs := testing.AllocsPerRun(10, func() {
+				if step, _, ok := opt.lineSearch(p, dir, curU); !ok && step != 0 {
+					t.Fatal("inconsistent line search result")
+				}
+			}); allocs != 0 {
+				t.Errorf("lineSearch allocates %v per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBatchedLineSearchMatchesSerial compares the serial and batched line
+// searches directly on the same inputs: same step, same cost, same flag,
+// bit for bit.
+func TestBatchedLineSearchMatchesSerial(t *testing.T) {
+	serial, p, dir, curU := lineSearchFixture(t, 1)
+	batched, _, _, _ := lineSearchFixture(t, 3)
+	t.Cleanup(func() { batched.pool.Stop() })
+
+	s1, u1, ok1 := serial.lineSearch(p, dir, curU)
+	s2, u2, ok2 := batched.lineSearch(p, dir, curU)
+	if math.Float64bits(s1) != math.Float64bits(s2) ||
+		math.Float64bits(u1) != math.Float64bits(u2) || ok1 != ok2 {
+		t.Errorf("serial (%v, %v, %v) != batched (%v, %v, %v)", s1, u1, ok1, s2, u2, ok2)
+	}
+}

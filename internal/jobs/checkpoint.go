@@ -40,6 +40,8 @@ type jobMeta struct {
 	Options      coverage.Options    `json:"options"`
 	Restarts     int                 `json:"restarts"`
 	RestartsDone int                 `json:"restartsDone"`
+	ItersDone    int                 `json:"itersDone,omitempty"`
+	RanSec       float64             `json:"ranSec,omitempty"`
 	Created      time.Time           `json:"created"`
 	Started      time.Time           `json:"started"`
 	Finished     time.Time           `json:"finished"`
@@ -75,6 +77,8 @@ func (m *Manager) persist(j *job, withScenario bool) {
 		Options:      j.spec.Options,
 		Restarts:     j.spec.Restarts,
 		RestartsDone: j.restartsDone,
+		ItersDone:    j.itersDone,
+		RanSec:       j.ranSec,
 		Created:      j.created,
 		Started:      j.started,
 		Finished:     j.finished,
@@ -214,6 +218,8 @@ func (m *Manager) loadJob(metaPath string) (*job, error) {
 		finished:     meta.Finished,
 		errMsg:       meta.Error,
 		restartsDone: meta.RestartsDone,
+		itersDone:    meta.ItersDone,
+		ranSec:       meta.RanSec,
 		prog: Progress{
 			Restarts:     meta.Restarts,
 			RestartsDone: meta.RestartsDone,

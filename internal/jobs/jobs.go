@@ -120,7 +120,15 @@ type View struct {
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
 	Progress Progress   `json:"progress"`
-	Error    string     `json:"error,omitempty"`
+	// WallClockSec is the job's cumulative running time in seconds,
+	// summed over every running span (pause/resume cycles included),
+	// live while the job runs.
+	WallClockSec float64 `json:"wallClockSec,omitempty"`
+	// ItersPerSec is optimizer iterations per wall-clock second:
+	// iterations of completed restarts plus the sampled position in the
+	// in-flight restart, divided by WallClockSec.
+	ItersPerSec float64 `json:"itersPerSec,omitempty"`
+	Error       string  `json:"error,omitempty"`
 }
 
 // job is the mutable record; every field is guarded by Manager.mu except
@@ -131,12 +139,14 @@ type job struct {
 
 	state        State
 	created      time.Time
-	started      time.Time
+	started      time.Time // start of the *current* running span
 	finished     time.Time
 	prog         Progress
 	errMsg       string
 	plan         *coverage.Plan // best-so-far, or final when done
 	restartsDone int
+	itersDone    int                // optimizer iterations over completed restarts
+	ranSec       float64            // wall-clock seconds of finished running spans
 	cancel       context.CancelFunc // non-nil while running
 	userCancel   bool
 }
@@ -160,6 +170,18 @@ func (j *job) view() View {
 		t := j.finished
 		v.Finished = &t
 	}
+	wall := j.ranSec
+	iters := j.itersDone
+	if j.state == StateRunning && !j.started.IsZero() {
+		wall += time.Since(j.started).Seconds()
+		iters += j.prog.Iteration
+	}
+	if wall > 0 {
+		v.WallClockSec = wall
+		if iters > 0 {
+			v.ItersPerSec = float64(iters) / wall
+		}
+	}
 	return v
 }
 
@@ -170,6 +192,14 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the pending-job queue (default 16).
 	QueueDepth int
+	// MaxJobWorkers caps each job's descent parallelism
+	// (Spec.Options.Workers): requests above the cap — and requests of 0,
+	// which would otherwise mean "all of GOMAXPROCS" — are clamped to it
+	// at submission, so Workers concurrent jobs cannot oversubscribe the
+	// machine. 0 leaves requests untouched. Clamping never changes a
+	// job's result: the descent path is bit-identical for every worker
+	// count.
+	MaxJobWorkers int
 	// Dir is the checkpoint directory; empty disables persistence (jobs
 	// are lost on process exit).
 	Dir string
@@ -239,6 +269,13 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	}
 	if err := coverage.Validate(spec.Scenario, spec.Objectives); err != nil {
 		return View{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	if spec.Options.Workers < 0 {
+		return View{}, fmt.Errorf("%w: negative workers %d", ErrSpec, spec.Options.Workers)
+	}
+	if m.cfg.MaxJobWorkers > 0 &&
+		(spec.Options.Workers == 0 || spec.Options.Workers > m.cfg.MaxJobWorkers) {
+		spec.Options.Workers = m.cfg.MaxJobWorkers
 	}
 	// The progress callback is owned by the worker; drop anything the
 	// caller smuggled in.
@@ -452,7 +489,11 @@ func (m *Manager) runJob(j *job) {
 		if plan != nil && (best == nil || plan.Cost < best.Cost) {
 			best = plan
 		}
-		m.completeRestart(j, r+1, best)
+		iters := 0
+		if plan != nil {
+			iters = plan.Iterations
+		}
+		m.completeRestart(j, r+1, best, iters)
 	}
 	if ctx.Err() != nil {
 		m.settleInterrupted(j, best, nil)
@@ -490,12 +531,16 @@ func (m *Manager) noteProgress(j *job, restart int, p coverage.Progress) {
 }
 
 // completeRestart advances the job's checkpointable progress and writes
-// the periodic checkpoint.
-func (m *Manager) completeRestart(j *job, done int, best *coverage.Plan) {
+// the periodic checkpoint. iters is the finished restart's iteration
+// count; the in-flight sample resets with it so view() never counts the
+// same restart twice.
+func (m *Manager) completeRestart(j *job, done int, best *coverage.Plan, iters int) {
 	m.mu.Lock()
 	j.restartsDone = done
+	j.itersDone += iters
 	j.plan = best
 	j.prog.RestartsDone = done
+	j.prog.Iteration = 0
 	if best != nil {
 		c := best.Cost
 		j.prog.BestCost = &c
@@ -509,6 +554,9 @@ func (m *Manager) finish(j *job, state State, best *coverage.Plan, errMsg string
 	m.mu.Lock()
 	j.state = state
 	j.finished = time.Now()
+	if !j.started.IsZero() {
+		j.ranSec += j.finished.Sub(j.started).Seconds()
+	}
 	j.plan = best
 	j.errMsg = errMsg
 	j.cancel = nil
@@ -525,6 +573,9 @@ func (m *Manager) finish(j *job, state State, best *coverage.Plan, errMsg string
 func (m *Manager) pause(j *job, best *coverage.Plan) {
 	m.mu.Lock()
 	j.state = StatePaused
+	if !j.started.IsZero() {
+		j.ranSec += time.Since(j.started).Seconds()
+	}
 	j.plan = best
 	j.cancel = nil
 	if best != nil {

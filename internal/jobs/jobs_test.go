@@ -505,3 +505,86 @@ func TestShutdownLeaksNoGoroutines(t *testing.T) {
 		t.Errorf("goroutines: %d before, %d after shutdown", before, after)
 	}
 }
+
+// TestMaxJobWorkersClamp checks the per-job parallelism cap: requests of
+// 0 (meaning "all cores") and requests above the cap both land on the
+// cap, explicit smaller requests survive, and negative requests are
+// rejected outright.
+func TestMaxJobWorkersClamp(t *testing.T) {
+	m, err := New(Config{Workers: 1, MaxJobWorkers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer shutdown(t, m)
+
+	cases := []struct {
+		requested, want int
+	}{
+		{0, 2},
+		{8, 2},
+		{1, 1},
+		{2, 2},
+	}
+	for _, tc := range cases {
+		spec := testSpec(t, 10, 1, 1)
+		spec.Options.Workers = tc.requested
+		v, err := m.Submit(spec)
+		if err != nil {
+			t.Fatalf("Submit(workers=%d): %v", tc.requested, err)
+		}
+		m.mu.Lock()
+		got := m.jobs[v.ID].spec.Options.Workers
+		m.mu.Unlock()
+		if got != tc.want {
+			t.Errorf("workers %d clamped to %d, want %d", tc.requested, got, tc.want)
+		}
+	}
+
+	bad := testSpec(t, 10, 1, 1)
+	bad.Options.Workers = -3
+	if _, err := m.Submit(bad); !errors.Is(err, ErrSpec) {
+		t.Errorf("negative workers err = %v, want ErrSpec", err)
+	}
+}
+
+// TestThroughputMetricsPersist runs a multi-restart job to completion and
+// checks that wall-clock and iterations/sec appear in the view and
+// survive a checkpoint round-trip.
+func TestThroughputMetricsPersist(t *testing.T) {
+	dir := t.TempDir()
+	m, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	v, err := m.Submit(testSpec(t, 200, 2, 7))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		got, err := m.Get(v.ID)
+		return err == nil && got.State == StateDone
+	}, "job to finish")
+	got, err := m.Get(v.ID)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.WallClockSec <= 0 || got.ItersPerSec <= 0 {
+		t.Fatalf("done view metrics: wallClockSec=%v itersPerSec=%v, want both > 0",
+			got.WallClockSec, got.ItersPerSec)
+	}
+	shutdown(t, m)
+
+	m2, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatalf("New(resume): %v", err)
+	}
+	defer shutdown(t, m2)
+	reloaded, err := m2.Get(v.ID)
+	if err != nil {
+		t.Fatalf("Get(resume): %v", err)
+	}
+	if reloaded.WallClockSec != got.WallClockSec || reloaded.ItersPerSec != got.ItersPerSec {
+		t.Errorf("metrics changed across checkpoint: %v/%v, want %v/%v",
+			reloaded.WallClockSec, reloaded.ItersPerSec, got.WallClockSec, got.ItersPerSec)
+	}
+}

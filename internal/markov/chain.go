@@ -54,10 +54,11 @@ func CheckStochastic(p *mat.Matrix) error {
 		return fmt.Errorf("%w: shape %dx%d", ErrNotStochastic, p.Rows(), p.Cols())
 	}
 	n := p.Rows()
+	pd := p.Data()
 	for i := 0; i < n; i++ {
+		row := pd[i*n : (i+1)*n]
 		var sum float64
-		for j := 0; j < n; j++ {
-			v := p.At(i, j)
+		for j, v := range row {
 			if v < -StochasticTol || v > 1+StochasticTol || math.IsNaN(v) {
 				return fmt.Errorf("%w: p[%d][%d] = %v", ErrNotStochastic, i, j, v)
 			}

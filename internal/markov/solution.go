@@ -81,12 +81,14 @@ func (s *Solution) GroupInverse() (*mat.Matrix, error) {
 // transitions contribute zero.
 func (s *Solution) EntropyRate() float64 {
 	n := len(s.Pi)
+	pd := s.P.Data()
 	var h float64
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			p := s.P.At(i, j)
+		pii := s.Pi[i]
+		row := pd[i*n : (i+1)*n]
+		for _, p := range row {
 			if p > 0 {
-				h -= s.Pi[i] * p * math.Log(p)
+				h -= pii * p * math.Log(p)
 			}
 		}
 	}

@@ -106,16 +106,24 @@ func (s *Solver) Solve(p *mat.Matrix) (*Solution, error) {
 		return nil, err
 	}
 
-	// R_ij = (δ_ij - z_ij + z_jj) / π_j.
-	z := s.sol.Z
-	r := s.sol.R
+	// R_ij = (δ_ij - z_ij + z_jj) / π_j. The diagonal of Z is staged into
+	// the RHS scratch (idle here) so the inner loop streams three
+	// contiguous rows instead of re-reading a strided column.
+	zdd := s.sol.Z.Data()
+	rd := s.sol.R.Data()
+	zdiag := s.b
+	for j := 0; j < n; j++ {
+		zdiag[j] = zdd[j*n+j]
+	}
 	for i := 0; i < n; i++ {
+		zrow := zdd[i*n : (i+1)*n]
+		rrow := rd[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			d := 0.0
 			if i == j {
 				d = 1
 			}
-			r.Set(i, j, (d-z.At(i, j)+z.At(j, j))/pi[j])
+			rrow[j] = (d - zrow[j] + zdiag[j]) / pi[j]
 		}
 	}
 
@@ -131,13 +139,15 @@ func (s *Solver) Solve(p *mat.Matrix) (*Solution, error) {
 func (s *Solver) stationary(p *mat.Matrix) error {
 	n := s.n
 	a := s.zin.Data()
+	pd := p.Data()
 	for i := 0; i < n; i++ {
+		arow := a[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			v := -p.At(j, i)
+			v := -pd[j*n+i]
 			if i == j {
 				v += 1
 			}
-			a[i*n+j] = v
+			arow[j] = v
 		}
 	}
 	for j := 0; j < n; j++ {
@@ -179,14 +189,15 @@ func (s *Solver) reachesAll(p *mat.Matrix, reverse bool) bool {
 	s.queue = s.queue[:0]
 	s.seen[0] = true
 	s.queue = append(s.queue, 0)
+	pd := p.Data()
 	for head := 0; head < len(s.queue); head++ {
 		u := s.queue[head]
 		for v := 0; v < n; v++ {
 			var w float64
 			if reverse {
-				w = p.At(v, u)
+				w = pd[v*n+u]
 			} else {
-				w = p.At(u, v)
+				w = pd[u*n+v]
 			}
 			if w > edgeTol && !s.seen[v] {
 				s.seen[v] = true
@@ -208,10 +219,12 @@ func (s *Solver) period(p *mat.Matrix) int {
 	s.queue = s.queue[:0]
 	s.queue = append(s.queue, 0)
 	g := 0
+	pd := p.Data()
 	for head := 0; head < len(s.queue); head++ {
 		u := s.queue[head]
+		prow := pd[u*n : (u+1)*n]
 		for v := 0; v < n; v++ {
-			if p.At(u, v) <= edgeTol {
+			if prow[v] <= edgeTol {
 				continue
 			}
 			if s.level[v] == -1 {

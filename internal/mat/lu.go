@@ -22,7 +22,20 @@ type LU struct {
 	pivot []int
 	sign  float64   // +1 or -1 with the parity of the permutation
 	col   []float64 // per-column scratch for SolveTo/InverseTo
+	batch []float64 // packed multi-column scratch, lazily sized n*luBatchCols
 }
+
+// luBatchCols is the number of right-hand-side columns substituted
+// together by the blocked SolveTo/InverseTo path: each batch streams the
+// factored matrix once instead of once per column. Batching changes no
+// bits — the columns are arithmetically independent, and every column
+// undergoes exactly the op sequence of the per-column substitute.
+const luBatchCols = 8
+
+// luBatchCutover is the order below which SolveTo/InverseTo keep the
+// straight-line per-column code: for small systems the factored matrix is
+// cache-resident anyway and the packing traffic would only add overhead.
+const luBatchCutover = 48
 
 // NewLU returns an LU factorizer for n-by-n matrices with all buffers
 // preallocated. Call Refactor to load a matrix into it.
@@ -164,6 +177,21 @@ func (f *LU) SolveTo(dst, b *Matrix) error {
 	if dst.rows != b.rows || dst.cols != b.cols {
 		return fmt.Errorf("%w: solve into %dx%d, want %dx%d", ErrDimension, dst.rows, dst.cols, b.rows, b.cols)
 	}
+	if n >= luBatchCutover && b.cols > 1 {
+		for j0 := 0; j0 < b.cols; j0 += luBatchCols {
+			nb := min(luBatchCols, b.cols-j0)
+			x := f.batchScratch(nb)
+			for i := 0; i < n; i++ {
+				brow := b.data[f.pivot[i]*b.cols+j0:]
+				copy(x[i*nb:(i+1)*nb], brow[:nb])
+			}
+			f.substituteBatch(x, nb)
+			for i := 0; i < n; i++ {
+				copy(dst.data[i*b.cols+j0:i*b.cols+j0+nb], x[i*nb:(i+1)*nb])
+			}
+		}
+		return nil
+	}
 	for j := 0; j < b.cols; j++ {
 		for i := 0; i < n; i++ {
 			f.col[i] = b.data[f.pivot[i]*b.cols+j]
@@ -176,6 +204,52 @@ func (f *LU) SolveTo(dst, b *Matrix) error {
 	return nil
 }
 
+// batchScratch returns the packed nb-column scratch block, allocating it
+// on first use so evaluate-only workloads at small orders never pay for
+// it. Steady-state calls reuse the buffer.
+func (f *LU) batchScratch(nb int) []float64 {
+	n := f.lu.rows
+	if f.batch == nil {
+		f.batch = make([]float64, n*luBatchCols)
+	}
+	return f.batch[:n*nb]
+}
+
+// substituteBatch runs forward/back substitution on nb packed columns at
+// once; x[i*nb+c] holds row i of column c. Each column undergoes exactly
+// the per-column op sequence of substitute — no zero-skips are added and
+// the diagonal divide stays a divide — so the blocked path is bit-for-bit
+// identical to the per-column one and exists purely to stream the
+// factored matrix once per batch.
+func (f *LU) substituteBatch(x []float64, nb int) {
+	n := f.lu.rows
+	d := f.lu.data
+	for i := 1; i < n; i++ {
+		xi := x[i*nb : (i+1)*nb]
+		for j := 0; j < i; j++ {
+			l := d[i*n+j]
+			xj := x[j*nb : (j+1)*nb]
+			for c := range xi {
+				xi[c] -= l * xj[c]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		xi := x[i*nb : (i+1)*nb]
+		for j := i + 1; j < n; j++ {
+			u := d[i*n+j]
+			xj := x[j*nb : (j+1)*nb]
+			for c := range xi {
+				xi[c] -= u * xj[c]
+			}
+		}
+		dii := d[i*n+i]
+		for c := range xi {
+			xi[c] /= dii
+		}
+	}
+}
+
 // InverseTo writes A^{-1} into the caller-owned n-by-n dst without
 // allocating: it solves A X = I column by column against implicit unit
 // vectors.
@@ -183,6 +257,26 @@ func (f *LU) InverseTo(dst *Matrix) error {
 	n := f.lu.rows
 	if dst.rows != n || dst.cols != n {
 		return fmt.Errorf("%w: inverse into %dx%d, want %dx%d", ErrDimension, dst.rows, dst.cols, n, n)
+	}
+	if n >= luBatchCutover {
+		for j0 := 0; j0 < n; j0 += luBatchCols {
+			nb := min(luBatchCols, n-j0)
+			x := f.batchScratch(nb)
+			for i := 0; i < n; i++ {
+				xi := x[i*nb : (i+1)*nb]
+				for c := range xi {
+					xi[c] = 0
+				}
+				if p := f.pivot[i]; p >= j0 && p < j0+nb {
+					xi[p-j0] = 1
+				}
+			}
+			f.substituteBatch(x, nb)
+			for i := 0; i < n; i++ {
+				copy(dst.data[i*n+j0:i*n+j0+nb], x[i*nb:(i+1)*nb])
+			}
+		}
+		return nil
 	}
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {

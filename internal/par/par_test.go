@@ -1,0 +1,150 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// coverTask records which logical worker processed each item, and bumps a
+// counter so tests can detect double-processing.
+type coverTask struct {
+	owner []int32
+	hits  []int32
+}
+
+func (t *coverTask) Run(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.StoreInt32(&t.owner[i], int32(w))
+		atomic.AddInt32(&t.hits[i], 1)
+	}
+}
+
+// TestRunCoversEveryItemOnce checks the partition for a sweep of sizes and
+// widths: every index is processed exactly once, spans are contiguous and
+// ascending in worker index, and the assignment depends only on (n, w).
+func TestRunCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		p := New(workers)
+		for _, n := range []int{1, 2, 3, 5, 8, 17, 64} {
+			task := &coverTask{owner: make([]int32, n), hits: make([]int32, n)}
+			p.Run(n, task)
+			prev := int32(0)
+			for i := 0; i < n; i++ {
+				if task.hits[i] != 1 {
+					t.Fatalf("workers=%d n=%d: item %d processed %d times", workers, n, i, task.hits[i])
+				}
+				if task.owner[i] < prev {
+					t.Fatalf("workers=%d n=%d: non-ascending worker %d after %d at item %d",
+						workers, n, task.owner[i], prev, i)
+				}
+				prev = task.owner[i]
+			}
+			if int(prev) >= workers {
+				t.Fatalf("workers=%d n=%d: worker index %d out of range", workers, n, prev)
+			}
+			// Re-running must reproduce the identical assignment.
+			again := &coverTask{owner: make([]int32, n), hits: make([]int32, n)}
+			p.Run(n, again)
+			for i := 0; i < n; i++ {
+				if task.owner[i] != again.owner[i] {
+					t.Fatalf("workers=%d n=%d: assignment of item %d changed across runs", workers, n, i)
+				}
+			}
+		}
+		p.Stop()
+	}
+}
+
+// TestRunZeroAndNegative checks the degenerate sizes never dispatch.
+func TestRunZeroAndNegative(t *testing.T) {
+	p := New(4)
+	defer p.Stop()
+	task := &coverTask{owner: make([]int32, 1), hits: make([]int32, 1)}
+	p.Run(0, task)
+	p.Run(-3, task)
+	if task.hits[0] != 0 {
+		t.Fatalf("degenerate sizes dispatched work")
+	}
+}
+
+// TestStopRestart checks a stopped pool serves later Runs again.
+func TestStopRestart(t *testing.T) {
+	p := New(3)
+	task := &coverTask{owner: make([]int32, 9), hits: make([]int32, 9)}
+	p.Run(9, task)
+	p.Stop()
+	p.Stop() // idempotent
+	again := &coverTask{owner: make([]int32, 9), hits: make([]int32, 9)}
+	p.Run(9, again)
+	p.Stop()
+	for i := range again.hits {
+		if again.hits[i] != 1 {
+			t.Fatalf("item %d processed %d times after restart", i, again.hits[i])
+		}
+	}
+}
+
+// panicTask panics on one specific item.
+type panicTask struct {
+	at   int
+	hits []int32
+}
+
+func (t *panicTask) Run(w, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if i == t.at {
+			panic("boom")
+		}
+		atomic.AddInt32(&t.hits[i], 1)
+	}
+}
+
+// TestPanicPropagates checks a panic in any span is re-raised by Run and
+// that the pool stays usable afterwards — whether the panic lands on the
+// caller's own span (item 0) or on a dispatched one.
+func TestPanicPropagates(t *testing.T) {
+	p := New(4)
+	defer p.Stop()
+	for _, at := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("panic at item %d was swallowed", at)
+				}
+			}()
+			p.Run(8, &panicTask{at: at, hits: make([]int32, 8)})
+		}()
+	}
+	task := &coverTask{owner: make([]int32, 8), hits: make([]int32, 8)}
+	p.Run(8, task)
+	for i := range task.hits {
+		if task.hits[i] != 1 {
+			t.Fatalf("pool unusable after panic: item %d processed %d times", i, task.hits[i])
+		}
+	}
+}
+
+// TestNilPoolIsSerial checks the nil pool contract the hot paths rely on.
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool width = %d, want 1", p.Workers())
+	}
+	p.Stop() // must not crash
+}
+
+// TestRunSteadyStateAllocs checks dispatch itself is allocation-free once
+// the workers exist — the property that keeps the descent hot loop at
+// zero steady-state allocations.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	p := New(4)
+	defer p.Stop()
+	task := &coverTask{owner: make([]int32, 64), hits: make([]int32, 64)}
+	p.Run(64, task) // warm start: spawn goroutines outside the measurement
+	allocs := testing.AllocsPerRun(50, func() {
+		p.Run(64, task)
+	})
+	if allocs != 0 {
+		t.Fatalf("Run allocates %v per call in steady state, want 0", allocs)
+	}
+}

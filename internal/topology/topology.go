@@ -282,8 +282,19 @@ func (t *Topology) MoveTime(j, k int) float64 { return t.moveT[j][k] }
 // transition, under the paper's conventions.
 func (t *Topology) CoverTime(j, k, i int) float64 { return t.cover[j][k][i] }
 
+// CoverRow returns the coverage-time row for the j→k transition: a slice
+// s with s[i] = CoverTime(j, k, i). It aliases the topology's internal
+// table so hot loops can stream over PoIs without per-element accessor
+// calls; callers must treat it as read-only.
+func (t *Topology) CoverRow(j, k int) []float64 { return t.cover[j][k] }
+
 // Distance returns the straight-line distance d_jk.
 func (t *Topology) Distance(j, k int) float64 { return t.dist[j][k] }
+
+// DistanceRow returns row j of the distance table: a slice s with
+// s[k] = Distance(j, k). It aliases the topology's internal table;
+// callers must treat it as read-only.
+func (t *Topology) DistanceRow(j int) []float64 { return t.dist[j] }
 
 // Passes returns the pass events (including the destination's pause
 // window) of the j→k transition, ordered by construction: intermediate

@@ -1,16 +1,88 @@
 #!/bin/sh
 # bench.sh — run the evaluation-pipeline benchmarks and emit a JSON
-# snapshot: {"cpu": ..., "benchmarks": [{"name", "ns_op", "b_op",
-# "allocs_op"}, ...]}. Output is deterministic in structure (benchmarks
-# appear in execution order) so snapshots diff cleanly.
+# snapshot: {"benchmarks": [{"name", "ns_op", "b_op", "allocs_op"}, ...],
+# "cpu", "goos", "goarch"}. Output is deterministic in structure
+# (benchmarks appear in execution order) so snapshots diff cleanly.
 #
-# A second argument names a prior snapshot to diff against (defaulting to
-# the newest checked-in BENCH_pr*.json). A missing prior snapshot is
-# tolerated: the run still writes its own snapshot and just skips the
-# comparison — fresh clones and new machines have nothing to diff yet.
+# Usage:
+#   scripts/bench.sh [out.json [prev.json]]
+#   scripts/bench.sh merge before.json after.json out.json [pr [title [note]]]
 #
-# Usage: scripts/bench.sh [out.json [prev.json]]
+# The first form runs the suite, writes out.json, and prints a
+# prev-vs-now table. prev.json defaults to the newest checked-in
+# BENCH_pr*.json (whose "after" numbers are used); pass "none" to skip
+# the comparison. A missing prior snapshot is tolerated: fresh clones
+# have nothing to diff yet.
+#
+# The second form runs nothing: it joins two flat snapshots by benchmark
+# name into the checked-in BENCH_pr*.json schema, where each entry has
+# nullable "before" and "after" objects (null = the benchmark did not
+# exist on that side).
 set -eu
+
+# flatten_json emits "name ns b allocs" per benchmark line of a snapshot,
+# preferring the "after" object when one is present (merged snapshots).
+flatten_json() {
+	awk '
+		function field(src, key,   m) {
+			if (!match(src, "\"" key "\": *[0-9.eE+-]+")) return ""
+			m = substr(src, RSTART, RLENGTH)
+			sub("\"" key "\": *", "", m)
+			return m
+		}
+		/"name":/ {
+			line = $0
+			match(line, /"name": *"[^"]*"/)
+			name = substr(line, RSTART, RLENGTH)
+			gsub(/"name": *"|"/, "", name)
+			src = line
+			if (match(line, /"after": *\{[^}]*\}/))
+				src = substr(line, RSTART, RLENGTH)
+			else if (index(line, "\"after\": null"))
+				next
+			ns = field(src, "ns_op"); b = field(src, "b_op"); al = field(src, "allocs_op")
+			if (ns != "") print name, ns, b, al
+		}
+	' "$1"
+}
+
+if [ "${1:-}" = "merge" ]; then
+	[ $# -ge 4 ] || { echo "usage: $0 merge before.json after.json out.json [pr [title [note]]]" >&2; exit 2; }
+	before=$2 after=$3 out=$4 pr=${5:-0} title=${6:-} note=${7:-}
+	bflat=$(mktemp) && trap 'rm -f "$bflat" "$aflat"' EXIT
+	aflat=$(mktemp)
+	flatten_json "$before" >"$bflat"
+	flatten_json "$after" >"$aflat"
+	awk -v beforefile="$bflat" -v afterjson="$after" \
+		-v pr="$pr" -v title="$title" -v note="$note" '
+		function obj(ns, b, al) { return "{\"ns_op\": " ns ", \"b_op\": " b ", \"allocs_op\": " al "}" }
+		BEGIN {
+			while ((getline line < beforefile) > 0) {
+				split(line, f, " ")
+				bns[f[1]] = f[2]; bb[f[1]] = f[3]; bal[f[1]] = f[4]
+			}
+			close(beforefile)
+			cpu = goos = goarch = ""
+			while ((getline line < afterjson) > 0) {
+				if (match(line, /"cpu": *"[^"]*"/)) { cpu = substr(line, RSTART, RLENGTH); gsub(/"cpu": *"|"/, "", cpu) }
+				if (match(line, /"goos": *"[^"]*"/)) { goos = substr(line, RSTART, RLENGTH); gsub(/"goos": *"|"/, "", goos) }
+				if (match(line, /"goarch": *"[^"]*"/)) { goarch = substr(line, RSTART, RLENGTH); gsub(/"goarch": *"|"/, "", goarch) }
+			}
+			close(afterjson)
+			printf "{\n  \"pr\": %s,\n  \"title\": \"%s\",\n", pr, title
+			printf "  \"cpu\": \"%s\",\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n", cpu, goos, goarch
+			printf "  \"note\": \"%s\",\n  \"benchmarks\": [\n", note
+		}
+		{
+			if (n++) printf ",\n"
+			prev = ($1 in bns) ? obj(bns[$1], bb[$1], bal[$1]) : "null"
+			printf "    {\"name\": \"%s\", \"before\": %s, \"after\": %s}", $1, prev, obj($2, $3, $4)
+		}
+		END { printf "\n  ]\n}\n" }
+	' "$aflat" >"$out"
+	echo "wrote $out"
+	exit 0
+fi
 
 out=${1:-BENCH_run.json}
 prev=${2:-}
@@ -48,6 +120,9 @@ awk '
 
 echo "wrote $out"
 
+if [ "$prev" = "none" ]; then
+	exit 0
+fi
 # Pick the newest checked-in snapshot when none was named explicitly.
 if [ -z "$prev" ]; then
 	for f in BENCH_pr*.json; do
@@ -60,32 +135,24 @@ if [ -z "$prev" ] || [ ! -r "$prev" ]; then
 fi
 
 echo "comparing against $prev"
-# Flatten each snapshot's benchmark lines to "name ns b allocs" and join
-# on name. Snapshots are small, so a nested read is fine.
-awk -v prevfile="$prev" '
-	function flatten(line,   m) {
-		if (match(line, /"name": *"[^"]*"/)) {
-			m = substr(line, RSTART, RLENGTH); gsub(/"name": *"|"/, "", m); name = m
-			match(line, /"ns_op": *[0-9.eE+-]+/)
-			m = substr(line, RSTART, RLENGTH); gsub(/"ns_op": */, "", m); ns = m
-			match(line, /"allocs_op": *[0-9]+/)
-			m = substr(line, RSTART, RLENGTH); gsub(/"allocs_op": */, "", m); al = m
-			return 1
-		}
-		return 0
-	}
+# Flatten each snapshot to "name ns b allocs" lines and join on name.
+# Snapshots are small, so a nested read is fine.
+pflat=$(mktemp)
+trap 'rm -f "$tmp" "$pflat"' EXIT
+flatten_json "$prev" >"$pflat"
+flatten_json "$out" | awk -v prevfile="$pflat" '
 	BEGIN {
-		while ((getline line < prevfile) > 0)
-			if (flatten(line)) { pns[name] = ns; pal[name] = al }
+		while ((getline line < prevfile) > 0) {
+			split(line, f, " ")
+			pns[f[1]] = f[2]; pal[f[1]] = f[4]
+		}
 		close(prevfile)
 		printf "%-40s %12s %12s %8s\n", "benchmark", "prev ns/op", "now ns/op", "allocs"
 	}
 	{
-		if (flatten($0)) {
-			if (name in pns)
-				printf "%-40s %12s %12s %4s->%s\n", name, pns[name], ns, pal[name], al
-			else
-				printf "%-40s %12s %12s %8s (new)\n", name, "-", ns, al
-		}
+		if ($1 in pns)
+			printf "%-40s %12s %12s %4s->%s\n", $1, pns[$1], $2, pal[$1], $4
+		else
+			printf "%-40s %12s %12s %8s (new)\n", $1, "-", $2, $4
 	}
-' "$out"
+'
