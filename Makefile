@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_run.json
 
-.PHONY: build test check race vet bench bench-compare clean
+.PHONY: build test check race vet bench bench-compare deploy-demo clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ bench:
 # newest checked-in BENCH_pr*.json (its "after" numbers).
 bench-compare:
 	./scripts/bench.sh $(BENCH_OUT)
+
+# deploy-demo exercises the whole closed serving loop in one process —
+# deploy a plan, drift it, auto-re-optimize with a warm start, hot-swap —
+# and exits nonzero if any stage fails.
+deploy-demo:
+	$(GO) run ./cmd/deploydemo
 
 clean:
 	$(GO) clean ./...

@@ -1,14 +1,18 @@
-// Command serve runs the optimization job service: an HTTP/JSON API in
-// front of a bounded queue and worker pool that executes multi-restart
-// coverage optimizations as cancellable, checkpointable jobs.
+// Command serve runs the coverage service: an HTTP/JSON API in front of
+// a bounded queue and worker pool that executes multi-restart coverage
+// optimizations as cancellable, checkpointable jobs, plus the live
+// deployment runtime that executes plans, detects drift, and hot-swaps
+// re-optimized schedules (under /deployments). Operational metrics are
+// exposed at /metrics in Prometheus text format.
 //
 // Usage:
 //
-//	serve -addr :8080 -workers 4 -checkpoint-dir ./jobs
+//	serve -addr :8080 -workers 4 -checkpoint-dir ./state
 //
 // With a checkpoint directory, interrupted jobs survive a restart of the
-// server and resume from their last completed restart. See the README
-// for a curl walkthrough of the API.
+// server and resume from their last completed restart, and live
+// deployments resume bit-for-bit. See the README for a curl walkthrough
+// of both APIs.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/deploy"
 	"repro/internal/jobs"
 )
 
@@ -47,7 +52,8 @@ func run(args []string, ready chan<- string) error {
 		queue      = fs.Int("queue", 16, "pending-job queue depth")
 		jobWorkers = fs.Int("max-job-workers", 1, "cap on each job's descent parallelism (options.workers); 0 = uncapped")
 		profile    = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
-		dir        = fs.String("checkpoint-dir", "", "job checkpoint directory (empty disables persistence)")
+		dir        = fs.String("checkpoint-dir", "", "job and deployment checkpoint directory (empty disables persistence)")
+		deploys    = fs.Int("max-deployments", 64, "cap on concurrent deployments")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +70,14 @@ func run(args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	rt, err := deploy.New(deploy.Config{
+		Jobs:           mgr,
+		Dir:            *dir,
+		MaxDeployments: *deploys,
+	})
+	if err != nil {
+		return err
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,6 +85,11 @@ func run(args []string, ready chan<- string) error {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", mgr.Handler())
+	// More specific patterns win, so the deployment routes take
+	// precedence over the job handler's "/" mount.
+	mux.Handle("/deployments", rt.Handler())
+	mux.Handle("/deployments/", rt.Handler())
+	mux.HandleFunc("GET /metrics", metricsHandler(mgr, rt))
 	if *profile {
 		// The default-mux registrations in net/http/pprof don't apply to
 		// this private mux; wire the handlers explicitly.
@@ -97,11 +116,11 @@ func run(args []string, ready chan<- string) error {
 	case err := <-errc:
 		// Listener died on its own; still drain the pool so in-flight
 		// jobs checkpoint.
-		shutdownErr := shutdownAll(srv, mgr, *drain)
+		shutdownErr := shutdownAll(srv, mgr, rt, *drain)
 		return errors.Join(err, shutdownErr)
 	case <-ctx.Done():
 		logDest.Printf("signal received, draining")
-		if err := shutdownAll(srv, mgr, *drain); err != nil {
+		if err := shutdownAll(srv, mgr, rt, *drain); err != nil {
 			return err
 		}
 		<-errc // Serve returns http.ErrServerClosed after Shutdown
@@ -110,9 +129,12 @@ func run(args []string, ready chan<- string) error {
 	}
 }
 
-// shutdownAll closes the HTTP server, then drains the worker pool so
-// every in-flight job checkpoints and parks as paused.
-func shutdownAll(srv *http.Server, mgr *jobs.Manager, budget time.Duration) error {
+// shutdownAll closes the HTTP server, checkpoints the deployments (so
+// they resume bit-for-bit on restart), then drains the worker pool so
+// every in-flight job checkpoints and parks as paused. Deployments stop
+// before the job manager: a late drift trigger must not hit a closed
+// queue.
+func shutdownAll(srv *http.Server, mgr *jobs.Manager, rt *deploy.Runtime, budget time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
 	httpErr := srv.Shutdown(ctx)
@@ -121,6 +143,7 @@ func shutdownAll(srv *http.Server, mgr *jobs.Manager, budget time.Duration) erro
 		// pool drain below is not starved of budget.
 		srv.Close()
 	}
+	rt.Shutdown()
 	if err := mgr.Shutdown(ctx); err != nil {
 		return errors.Join(httpErr, err)
 	}

@@ -6,11 +6,13 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/coverage"
+	"repro/internal/deploy"
 	"repro/internal/jobs"
 )
 
@@ -182,4 +184,148 @@ func TestServePprofFlag(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("server did not drain after SIGTERM")
 	}
+}
+
+// TestServeDeploymentsAndMetrics boots the full server, runs a live
+// deployment through the HTTP API, scrapes /metrics, then restarts the
+// server on the same checkpoint directory and verifies the deployment
+// resumed where it left off.
+func TestServeDeploymentsAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	boot := func() (string, chan error) {
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{
+				"-addr", "127.0.0.1:0",
+				"-workers", "1",
+				"-checkpoint-dir", dir,
+				"-drain-timeout", "10s",
+			}, ready)
+		}()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, done
+		case err := <-done:
+			t.Fatalf("server exited before ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		panic("unreachable")
+	}
+	drain := func(done chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatalf("kill: %v", err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v after SIGTERM", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("server did not drain after SIGTERM")
+		}
+	}
+
+	base, done := boot()
+
+	scn, err := coverage.LineScenario("serve-deploy", 3, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	plan, err := coverage.Optimize(scn, obj, coverage.Options{MaxIters: 400, Seed: 5})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	body, err := json.Marshal(deploy.Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 31,
+		Drift: deploy.DriftConfig{Window: 128, CheckEvery: 32, MinSamples: 64, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(base+"/deployments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("create deployment: %v", err)
+	}
+	var created deploy.View
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatalf("decode create: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/deployments/"+created.ID+"/advance",
+		"application/json", bytes.NewReader([]byte(`{"steps":200}`)))
+	if err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	var advanced deploy.View
+	if err := json.NewDecoder(resp.Body).Decode(&advanced); err != nil {
+		t.Fatalf("decode advance: %v", err)
+	}
+	resp.Body.Close()
+	if advanced.Step != 201 {
+		t.Fatalf("advance: step %d, want 201", advanced.Step)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"coverage_deployments_active 1",
+		"coverage_deployment_steps_total 201",
+		"coverage_deployment_drift_checks_total",
+		"coverage_job_queue_depth",
+		"coverage_job_iterations_per_second",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, metrics)
+		}
+	}
+
+	drain(done)
+	if _, err := os.Stat(filepath.Join(dir, created.ID+".deploy.json")); err != nil {
+		t.Fatalf("deployment checkpoint missing: %v", err)
+	}
+
+	// Restart on the same directory: the deployment must resume live.
+	base, done = boot()
+	resp, err = http.Get(base + "/deployments/" + created.ID)
+	if err != nil {
+		t.Fatalf("get after restart: %v", err)
+	}
+	var resumed deploy.View
+	if err := json.NewDecoder(resp.Body).Decode(&resumed); err != nil {
+		t.Fatalf("decode resumed: %v", err)
+	}
+	resp.Body.Close()
+	if resumed.State != deploy.StateActive || resumed.Step != 201 {
+		t.Fatalf("resumed deployment state %s step %d, want active / 201", resumed.State, resumed.Step)
+	}
+	resp, err = http.Post(base+"/deployments/"+created.ID+"/advance",
+		"application/json", bytes.NewReader([]byte(`{"steps":10}`)))
+	if err != nil {
+		t.Fatalf("advance after restart: %v", err)
+	}
+	var after deploy.View
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatalf("decode advance after restart: %v", err)
+	}
+	resp.Body.Close()
+	if after.Step != 211 {
+		t.Fatalf("post-restart advance: step %d, want 211", after.Step)
+	}
+	drain(done)
 }

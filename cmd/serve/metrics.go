@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/deploy"
+	"repro/internal/jobs"
+)
+
+// metricsHandler serves operational gauges and counters in the
+// Prometheus text exposition format, hand-rolled so the service stays
+// dependency-free. Everything here is recomputed per scrape from the
+// manager and runtime snapshots — no extra bookkeeping on the hot paths.
+func metricsHandler(mgr *jobs.Manager, rt *deploy.Runtime) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+
+		js := mgr.Stat()
+		writeMetric(&b, "coverage_job_queue_depth", "gauge",
+			"Configured pending-job queue capacity.", float64(js.QueueDepth))
+		writeMetric(&b, "coverage_job_queue_len", "gauge",
+			"Jobs currently waiting in the queue.", float64(js.QueueLen))
+		writeMetric(&b, "coverage_job_workers", "gauge",
+			"Worker-pool size.", float64(js.Workers))
+
+		b.WriteString("# HELP coverage_jobs Jobs by lifecycle state.\n")
+		b.WriteString("# TYPE coverage_jobs gauge\n")
+		states := make([]string, 0, len(js.Jobs))
+		for st := range js.Jobs {
+			states = append(states, string(st))
+		}
+		sort.Strings(states)
+		for _, st := range states {
+			fmt.Fprintf(&b, "coverage_jobs{state=%q} %d\n", st, js.Jobs[jobs.State(st)])
+		}
+
+		// Aggregate optimization throughput across running jobs.
+		var ips float64
+		for _, v := range mgr.List() {
+			if v.State == jobs.StateRunning {
+				ips += v.ItersPerSec
+			}
+		}
+		writeMetric(&b, "coverage_job_iterations_per_second", "gauge",
+			"Aggregate descent iteration throughput of running jobs.", ips)
+
+		ds := rt.Stat()
+		writeMetric(&b, "coverage_deployments_active", "gauge",
+			"Deployments currently executing.", float64(ds.Active))
+		writeMetric(&b, "coverage_deployments_stopped", "gauge",
+			"Deployments stopped but still queryable.", float64(ds.Stopped))
+		writeMetric(&b, "coverage_deployment_steps_total", "counter",
+			"Total recorded deployment steps (drawn and observed).", float64(ds.StepsTotal))
+		writeMetric(&b, "coverage_deployment_drift_checks_total", "counter",
+			"Total drift checks run across deployments.", float64(ds.DriftChecks))
+		writeMetric(&b, "coverage_deployment_drift_triggers_total", "counter",
+			"Drift checks that crossed the threshold and submitted a re-optimization.", float64(ds.DriftTriggers))
+		writeMetric(&b, "coverage_deployment_plan_swaps_total", "counter",
+			"Completed hot-swaps of deployed plans.", float64(ds.Swaps))
+		writeMetric(&b, "coverage_deployment_pending_reopts", "gauge",
+			"Deployments with a re-optimization job in flight.", float64(ds.PendingReopts))
+
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	}
+}
+
+// writeMetric emits one unlabeled sample with its HELP/TYPE preamble.
+func writeMetric(b *strings.Builder, name, kind, help string, value float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, value)
+}

@@ -1,9 +1,13 @@
 package coverage
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
+
+	"repro/internal/descent"
+	"repro/internal/mat"
 )
 
 func TestScenarioBuilders(t *testing.T) {
@@ -551,5 +555,78 @@ func TestEntropyObjectiveRaisesEntropy(t *testing.T) {
 	}
 	if random.Entropy <= plain.Entropy {
 		t.Errorf("entropy-weighted H %v not above plain %v", random.Entropy, plain.Entropy)
+	}
+}
+
+// TestWarmStartBitIdenticalToInternal pins the public warm-start plumbing:
+// Optimize with Options.InitialMatrix performs exactly the run the internal
+// descent engine performs with Options.InitialP — same matrix, same cost,
+// bit for bit.
+func TestWarmStartBitIdenticalToInternal(t *testing.T) {
+	scn, err := PaperTopology(2)
+	if err != nil {
+		t.Fatalf("PaperTopology: %v", err)
+	}
+	obj := Objectives{Alpha: 1, Beta: 1e-3}
+	warm, err := MetropolisBaseline(scn)
+	if err != nil {
+		t.Fatalf("MetropolisBaseline: %v", err)
+	}
+	plan, err := Optimize(scn, obj, Options{MaxIters: 300, Seed: 77, InitialMatrix: warm})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+
+	eng, err := planner(scn, obj)
+	if err != nil {
+		t.Fatalf("planner: %v", err)
+	}
+	initial, err := mat.NewFromRows(warm)
+	if err != nil {
+		t.Fatalf("NewFromRows: %v", err)
+	}
+	res, err := eng.OptimizeContext(context.Background(), descent.Options{
+		Variant:  descent.Perturbed,
+		MaxIters: 300,
+		Seed:     77,
+		InitialP: initial,
+	})
+	if err != nil {
+		t.Fatalf("internal OptimizeContext: %v", err)
+	}
+	if plan.Cost != res.Eval.U {
+		t.Fatalf("cost = %v, want internal %v", plan.Cost, res.Eval.U)
+	}
+	for i := range plan.TransitionMatrix {
+		row := res.P.Row(i)
+		for j := range plan.TransitionMatrix[i] {
+			if plan.TransitionMatrix[i][j] != row[j] {
+				t.Fatalf("matrix[%d][%d] = %v, want %v (internal)",
+					i, j, plan.TransitionMatrix[i][j], row[j])
+			}
+		}
+	}
+}
+
+// TestWarmStartValidation: warm starts of the wrong dimension or with
+// non-stochastic rows are rejected up front by the public API.
+func TestWarmStartValidation(t *testing.T) {
+	scn, err := LineScenario("warm-val", 3, []float64{0.3, 0.3, 0.4})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	obj := Objectives{Alpha: 1}
+	cases := map[string][][]float64{
+		"wrong dimension": {{0.5, 0.5}, {0.5, 0.5}},
+		"non-stochastic":  {{0.9, 0.9, 0.9}, {1, 0, 0}, {1, 0, 0}},
+		"negative entry":  {{1.5, -0.5, 0}, {1, 0, 0}, {0, 0, 1}},
+	}
+	for name, m := range cases {
+		if _, err := Optimize(scn, obj, Options{MaxIters: 5, InitialMatrix: m}); !errors.Is(err, ErrObjectives) {
+			t.Errorf("%s: err = %v, want ErrObjectives", name, err)
+		}
+		if _, err := OptimizeBest(scn, obj, Options{MaxIters: 5, InitialMatrix: m}, 2); !errors.Is(err, ErrObjectives) {
+			t.Errorf("%s (best): err = %v, want ErrObjectives", name, err)
+		}
 	}
 }

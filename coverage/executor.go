@@ -97,6 +97,78 @@ func (e *Executor) Next() int {
 // A nonzero count means the plan data was corrupted after validation.
 func (e *Executor) Faults() uint64 { return e.faults }
 
+// ExecutorState is a serializable snapshot of an Executor's dynamic
+// state: position, fault counter, and the random stream's exact position.
+// It deliberately excludes the transition matrix — the deployment runtime
+// stores the plan separately (it can be hot-swapped mid-flight), and an
+// Executor restored onto any plan continues its draw stream bit-for-bit.
+type ExecutorState struct {
+	// Current is the PoI the sensor was at.
+	Current int `json:"current"`
+	// Faults is the degenerate-row counter at snapshot time.
+	Faults uint64 `json:"faults"`
+	// RNG is the opaque random-stream state (base64 in JSON).
+	RNG []byte `json:"rng"`
+}
+
+// Snapshot captures the executor's dynamic state so a restarted process
+// can resume the exact same walk with ResumeExecutor.
+func (e *Executor) Snapshot() (ExecutorState, error) {
+	rngState, err := e.src.State()
+	if err != nil {
+		return ExecutorState{}, fmt.Errorf("%w: rng state: %v", ErrPlan, err)
+	}
+	return ExecutorState{Current: e.cur, Faults: e.faults, RNG: rngState}, nil
+}
+
+// ResumeExecutor rebuilds an Executor from a plan and a Snapshot. The
+// resumed executor's future draws are bit-for-bit identical to what the
+// snapshotted one would have produced on the same plan.
+func ResumeExecutor(plan *Plan, state ExecutorState) (*Executor, error) {
+	e, err := NewExecutor(plan, state.Current, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.src.SetState(state.RNG); err != nil {
+		return nil, fmt.Errorf("%w: rng state: %v", ErrPlan, err)
+	}
+	e.faults = state.Faults
+	return e, nil
+}
+
+// SwapPlan atomically replaces the schedule the executor is drawing from
+// — the hot-swap half of a live re-optimization — keeping the current
+// position and the random stream untouched. The new plan must have the
+// same number of PoIs.
+func (e *Executor) SwapPlan(plan *Plan) error {
+	if plan == nil {
+		return fmt.Errorf("%w: nil plan", ErrPlan)
+	}
+	if err := validateMatrix(plan.TransitionMatrix); err != nil {
+		return err
+	}
+	if len(plan.TransitionMatrix) != len(e.p) {
+		return fmt.Errorf("%w: swap from %d to %d PoIs", ErrPlan, len(e.p), len(plan.TransitionMatrix))
+	}
+	rows := make([][]float64, len(plan.TransitionMatrix))
+	for i, r := range plan.TransitionMatrix {
+		rows[i] = append([]float64(nil), r...)
+	}
+	e.p = rows
+	return nil
+}
+
+// Jump repositions the executor at an externally observed PoI without
+// consuming randomness — used when telemetry reports where the deployed
+// sensor actually went (which may deviate from the plan's draw).
+func (e *Executor) Jump(poi int) error {
+	if poi < 0 || poi >= len(e.p) {
+		return fmt.Errorf("%w: jump to %d outside [0, %d)", ErrPlan, poi, len(e.p))
+	}
+	e.cur = poi
+	return nil
+}
+
 // Walk returns the next n PoIs, advancing the executor.
 func (e *Executor) Walk(n int) []int {
 	out := make([]int, n)

@@ -2,6 +2,7 @@ package coverage
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"math"
 	"path/filepath"
@@ -260,5 +261,141 @@ func TestReadScenarioRejectsGarbage(t *testing.T) {
 	body := `{"version":1,"kind":"scenario","scenario":{"name":"x","pois":[{"x":0,"y":0}],"target":[1]}}`
 	if _, err := ReadScenario(strings.NewReader(body)); !errors.Is(err, ErrScenario) {
 		t.Errorf("semantic err = %v", err)
+	}
+}
+
+// TestExecutorSnapshotResume: an executor resumed from a mid-walk
+// snapshot produces exactly the walk the original would have continued
+// with, including the fault counter.
+func TestExecutorSnapshotResume(t *testing.T) {
+	plan, _ := testPlan(t)
+	orig, err := NewExecutor(plan, 1, 99)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	orig.Walk(137)
+	state, err := orig.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	resumed, err := ResumeExecutor(plan, state)
+	if err != nil {
+		t.Fatalf("ResumeExecutor: %v", err)
+	}
+	if resumed.Current() != orig.Current() {
+		t.Fatalf("resumed at %d, want %d", resumed.Current(), orig.Current())
+	}
+	a, b := orig.Walk(500), resumed.Walk(500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walks diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if resumed.Faults() != orig.Faults() {
+		t.Errorf("faults = %d, want %d", resumed.Faults(), orig.Faults())
+	}
+}
+
+// TestExecutorSnapshotJSONRoundTrip: the snapshot survives the JSON
+// encoding the deployment checkpoints use.
+func TestExecutorSnapshotJSONRoundTrip(t *testing.T) {
+	plan, _ := testPlan(t)
+	e, err := NewExecutor(plan, 0, 3)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	e.Walk(41)
+	state, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	blob, err := json.Marshal(state)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back ExecutorState
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	resumed, err := ResumeExecutor(plan, back)
+	if err != nil {
+		t.Fatalf("ResumeExecutor: %v", err)
+	}
+	a, b := e.Walk(200), resumed.Walk(200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walks diverged at step %d", i)
+		}
+	}
+}
+
+// TestExecutorSwapPlan: swapping keeps position and random stream — the
+// post-swap walk equals a walk on the new plan resumed from the same
+// snapshot — and rejects mismatched or malformed plans.
+func TestExecutorSwapPlan(t *testing.T) {
+	plan, scn := testPlan(t)
+	e, err := NewExecutor(plan, 0, 17)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	e.Walk(50)
+	state, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	warm, err := MetropolisBaseline(scn)
+	if err != nil {
+		t.Fatalf("MetropolisBaseline: %v", err)
+	}
+	newPlan := &Plan{TransitionMatrix: warm}
+	if err := e.SwapPlan(newPlan); err != nil {
+		t.Fatalf("SwapPlan: %v", err)
+	}
+	want, err := ResumeExecutor(newPlan, state)
+	if err != nil {
+		t.Fatalf("ResumeExecutor: %v", err)
+	}
+	a, b := e.Walk(300), want.Walk(300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("post-swap walk diverged at step %d", i)
+		}
+	}
+
+	if err := e.SwapPlan(nil); !errors.Is(err, ErrPlan) {
+		t.Errorf("nil swap err = %v", err)
+	}
+	bad := &Plan{TransitionMatrix: [][]float64{{1}}}
+	if err := e.SwapPlan(bad); !errors.Is(err, ErrPlan) {
+		t.Errorf("dimension-mismatch swap err = %v", err)
+	}
+}
+
+func TestExecutorJump(t *testing.T) {
+	plan, _ := testPlan(t)
+	e, err := NewExecutor(plan, 0, 5)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	before, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := e.Jump(2); err != nil {
+		t.Fatalf("Jump: %v", err)
+	}
+	if e.Current() != 2 {
+		t.Errorf("current = %d, want 2", e.Current())
+	}
+	after, err := e.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot after jump: %v", err)
+	}
+	if !bytes.Equal(before.RNG, after.RNG) {
+		t.Error("Jump consumed randomness")
+	}
+	if err := e.Jump(99); !errors.Is(err, ErrPlan) {
+		t.Errorf("out-of-range jump err = %v", err)
 	}
 }

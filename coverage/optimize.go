@@ -257,6 +257,24 @@ func (o Options) descentOptions(restart int) (descent.Options, error) {
 	return d, nil
 }
 
+// validateInitial rejects a warm-start matrix that is not a square
+// row-stochastic matrix of the scenario's dimension. The descent floor
+// (MinProb) lifts exact zeros afterwards, so a warm start only needs to
+// be stochastic, not strictly positive.
+func (o Options) validateInitial(m int) error {
+	if o.InitialMatrix == nil {
+		return nil
+	}
+	if len(o.InitialMatrix) != m {
+		return fmt.Errorf("%w: initial matrix has %d rows for %d PoIs",
+			ErrObjectives, len(o.InitialMatrix), m)
+	}
+	if err := validateMatrix(o.InitialMatrix); err != nil {
+		return fmt.Errorf("%w: initial matrix: %v", ErrObjectives, err)
+	}
+	return nil
+}
+
 // Validate checks a scenario/objectives pair without running an
 // optimization — the cheap admission check the job service performs
 // before queueing work.
@@ -279,6 +297,9 @@ func Optimize(scn Scenario, obj Objectives, opts Options) (*Plan, error) {
 func OptimizeContext(ctx context.Context, scn Scenario, obj Objectives, opts Options) (*Plan, error) {
 	eng, err := planner(scn, obj)
 	if err != nil {
+		return nil, err
+	}
+	if err := opts.validateInitial(len(scn.PoIs)); err != nil {
 		return nil, err
 	}
 	dopts, err := opts.descentOptions(0)
@@ -363,6 +384,9 @@ func OptimizeBestContext(ctx context.Context, scn Scenario, obj Objectives, opts
 	}
 	eng, err := planner(scn, obj)
 	if err != nil {
+		return nil, err
+	}
+	if err := opts.validateInitial(len(scn.PoIs)); err != nil {
 		return nil, err
 	}
 	seeds := SplitSeeds(opts.Seed, restarts)

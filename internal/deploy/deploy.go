@@ -1,0 +1,1003 @@
+// Package deploy is the live deployment runtime: it manages long-lived
+// patrol executions as first-class server objects alongside optimization
+// jobs, closing the paper's loop from a static offline plan to an online
+// service (deploy → observe → detect drift → retrain → hot-swap).
+//
+// A Deployment owns a plan and its scenario and advances a
+// coverage.Executor, either self-driven (ticks or POST /advance draw the
+// next PoIs from the deployed plan) or externally driven (POST
+// /observations records where the real sensor actually went, which may
+// deviate from the plan). Along the way it maintains online statistics —
+// per-PoI coverage fractions against the target Φ, open and completed
+// exposure segments, and Poisson incident-detection delays when rates are
+// configured — and every Drift.CheckEvery steps fits markov.Estimate over
+// a sliding trajectory window and scores the estimate against the
+// deployed plan (occupancy-weighted row total variation, a mean
+// log-likelihood ratio, and the empirical coverage deviation ΔC).
+//
+// When the drift score crosses Drift.Threshold, the runtime submits a
+// re-optimization job through the jobs.Manager, warm-started from the
+// estimated chain (coverage.Options.InitialMatrix), and hot-swaps the
+// plan atomically when the job completes, recording a swap history. All
+// deployment state — including the executor's exact random-stream
+// position — checkpoints to disk, so a restarted server resumes
+// deployments bit-for-bit, exactly like jobs.
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/coverage"
+	"repro/internal/jobs"
+	"repro/internal/rng"
+)
+
+// Service errors, mapped onto HTTP statuses by the API layer.
+var (
+	// ErrNotFound reports an unknown deployment ID.
+	ErrNotFound = errors.New("deploy: deployment not found")
+	// ErrSpec reports an invalid deployment specification.
+	ErrSpec = errors.New("deploy: invalid spec")
+	// ErrStopped reports an operation on a stopped deployment.
+	ErrStopped = errors.New("deploy: deployment stopped")
+	// ErrShuttingDown reports a request during runtime shutdown.
+	ErrShuttingDown = errors.New("deploy: runtime shutting down")
+	// ErrLimit reports that the deployment table is full.
+	ErrLimit = errors.New("deploy: too many deployments")
+)
+
+// State is a deployment lifecycle state.
+type State string
+
+// The deployment lifecycle states. Unlike jobs, a deployment has no
+// natural completion: it runs until stopped.
+const (
+	StateActive  State = "active"
+	StateStopped State = "stopped"
+)
+
+// valid reports whether s is a known state (used when loading
+// checkpoints).
+func (s State) valid() bool {
+	return s == StateActive || s == StateStopped
+}
+
+// Defaults for DriftConfig. Chosen so the window holds enough transitions
+// to estimate an M ≲ 16 chain, checks amortize to ~1% of step cost, and
+// the threshold sits well above the sampling noise of a faithful
+// executor at these window sizes (see DESIGN.md §9).
+const (
+	DefaultWindow     = 1024
+	DefaultCheckEvery = 128
+	DefaultMinSamples = 256
+	DefaultSmoothing  = 0.5
+	DefaultThreshold  = 0.15
+)
+
+// DriftConfig tunes drift detection. Zero values select the defaults
+// above; Threshold < 0 disables automatic re-optimization (drift is
+// still scored and reported).
+type DriftConfig struct {
+	// Window is the sliding trajectory window length, in steps.
+	Window int `json:"window,omitempty"`
+	// CheckEvery is the cadence of drift checks, in steps.
+	CheckEvery int `json:"checkEvery,omitempty"`
+	// MinSamples is the minimum window occupancy before scoring.
+	MinSamples int `json:"minSamples,omitempty"`
+	// Smoothing is the additive smoothing of the window estimate; it must
+	// be positive so the estimate stays ergodic (and warm-startable).
+	Smoothing float64 `json:"smoothing,omitempty"`
+	// Threshold triggers re-optimization when the occupancy-weighted row
+	// total-variation score reaches it. Negative disables triggering.
+	Threshold float64 `json:"threshold,omitempty"`
+	// Cooldown is the minimum number of steps between triggers (default:
+	// Window, so the post-swap window refills before re-scoring can
+	// trigger again).
+	Cooldown int `json:"cooldown,omitempty"`
+}
+
+// ReoptConfig tunes the automatic re-optimization jobs a drifting
+// deployment submits.
+type ReoptConfig struct {
+	// Options tunes each restart. InitialMatrix is owned by the runtime
+	// (it is replaced with the drift estimate) and ignored if set.
+	Options coverage.Options `json:"options"`
+	// Restarts is the multi-start count (default 1).
+	Restarts int `json:"restarts,omitempty"`
+}
+
+// Spec is everything needed to run one deployment.
+type Spec struct {
+	// Scenario is the coverage problem the plan was optimized for.
+	Scenario coverage.Scenario `json:"scenario"`
+	// Plan is the schedule to deploy.
+	Plan *coverage.Plan `json:"plan"`
+	// Objectives weights re-optimization (and documents what the plan was
+	// optimized for).
+	Objectives coverage.Objectives `json:"objectives"`
+	// Start is the PoI the sensor starts at.
+	Start int `json:"start"`
+	// Seed drives the executor's draws (and, split, the incident
+	// process), making a deployment reproducible end to end.
+	Seed uint64 `json:"seed"`
+	// TickMillis, when positive, self-advances the deployment one step
+	// every TickMillis milliseconds. Zero means the deployment only moves
+	// on POST /advance or /observations.
+	TickMillis int `json:"tickMillis,omitempty"`
+	// Drift tunes drift detection.
+	Drift DriftConfig `json:"drift"`
+	// Reopt tunes the automatic re-optimization jobs.
+	Reopt ReoptConfig `json:"reopt"`
+	// IncidentRates, when set, simulates Poisson incidents at each PoI
+	// (events per step) and tracks detection delays. A single rate may be
+	// given as a one-element slice.
+	IncidentRates []float64 `json:"incidentRates,omitempty"`
+}
+
+// SwapRecord is one completed hot-swap in a deployment's history.
+type SwapRecord struct {
+	// Step is the deployment step at which the swap landed.
+	Step int `json:"step"`
+	// JobID is the re-optimization job whose plan was installed.
+	JobID string `json:"jobId"`
+	// At is the wall-clock swap time.
+	At time.Time `json:"at"`
+	// OldCost and NewCost are the analytic costs of the outgoing and
+	// incoming plans.
+	OldCost float64 `json:"oldCost"`
+	NewCost float64 `json:"newCost"`
+	// DriftScore and EmpiricalDeltaC snapshot the drift report that
+	// triggered the job.
+	DriftScore      float64 `json:"driftScore"`
+	EmpiricalDeltaC float64 `json:"empiricalDeltaC"`
+}
+
+// IncidentStats summarizes the online incident-detection simulation.
+type IncidentStats struct {
+	// Detected counts detected incidents per PoI.
+	Detected []int64 `json:"detected"`
+	// Open counts incidents still awaiting detection per PoI.
+	Open []int64 `json:"open"`
+	// MeanDelay is the mean detection delay per PoI, in steps.
+	MeanDelay []float64 `json:"meanDelay"`
+	// MaxDelay is the worst observed delay per PoI, in steps.
+	MaxDelay []int64 `json:"maxDelay"`
+}
+
+// View is an immutable snapshot of a deployment, safe to hold and
+// serialize while the deployment keeps running.
+type View struct {
+	ID       string     `json:"id"`
+	State    State      `json:"state"`
+	Scenario string     `json:"scenario"`
+	Created  time.Time  `json:"created"`
+	Stopped  *time.Time `json:"stopped,omitempty"`
+	// Step counts recorded positions, including the start.
+	Step int `json:"step"`
+	// Current is the PoI the sensor is at.
+	Current int `json:"current"`
+	// Faults is the executor's degenerate-row counter.
+	Faults uint64 `json:"faults,omitempty"`
+	// PlanCost is the deployed plan's analytic cost.
+	PlanCost float64 `json:"planCost"`
+	// Coverage is the all-time empirical coverage fraction per PoI.
+	Coverage []float64 `json:"coverage"`
+	// Target is the scenario's prescribed allocation Φ.
+	Target []float64 `json:"target"`
+	// EmpiricalDeltaC is Σ_i (coverage_i − Φ_i)² over the whole run.
+	EmpiricalDeltaC float64 `json:"empiricalDeltaC"`
+	// OpenExposure is each PoI's current unwatched-interval length.
+	OpenExposure []int64 `json:"openExposure"`
+	// MeanExposure and MaxExposure summarize completed exposure segments.
+	MeanExposure []float64 `json:"meanExposure"`
+	MaxExposure  []int64   `json:"maxExposure"`
+	// Drift is the latest drift report, if a check has run.
+	Drift *DriftReport `json:"drift,omitempty"`
+	// DriftChecks and DriftTriggers count checks and threshold crossings.
+	DriftChecks   int64 `json:"driftChecks"`
+	DriftTriggers int64 `json:"driftTriggers"`
+	// ReoptJob is the in-flight re-optimization job, if any.
+	ReoptJob string `json:"reoptJob,omitempty"`
+	// Swaps is the hot-swap history.
+	Swaps []SwapRecord `json:"swaps,omitempty"`
+	// Incidents is present when IncidentRates were configured.
+	Incidents *IncidentStats `json:"incidents,omitempty"`
+	// LastError surfaces the most recent non-fatal runtime error (e.g. a
+	// rejected re-optimization submission).
+	LastError string `json:"lastError,omitempty"`
+}
+
+// Event is one entry of a deployment's event stream.
+type Event struct {
+	// Type is one of "drift", "trigger", "swap", "stopped", "error".
+	Type string `json:"type"`
+	// Deployment is the originating deployment ID.
+	Deployment string `json:"deployment"`
+	// Step is the deployment step at emission.
+	Step int `json:"step"`
+	// Data carries the type-specific payload (a DriftReport for "drift"
+	// and "trigger", a SwapRecord for "swap", a string for "error").
+	Data any `json:"data,omitempty"`
+}
+
+// Jobs is the slice of the job manager the runtime needs to close the
+// loop; *jobs.Manager satisfies it.
+type Jobs interface {
+	Submit(jobs.Spec) (jobs.View, error)
+	Get(id string) (jobs.View, error)
+	Plan(id string) (*coverage.Plan, error)
+}
+
+// incidents is the online Poisson incident simulation: arrivals per PoI
+// per step, detection when the sensor's walk next visits the PoI.
+type incidents struct {
+	rates []float64
+	src   *rng.Source
+	// open holds each pending incident's arrival step, per PoI.
+	open     [][]int
+	detected []int64
+	delaySum []int64
+	delayMax []int64
+}
+
+func newIncidents(rates []float64, seed uint64) *incidents {
+	m := len(rates)
+	inc := &incidents{
+		rates:    rates,
+		src:      rng.New(seed),
+		open:     make([][]int, m),
+		detected: make([]int64, m),
+		delaySum: make([]int64, m),
+		delayMax: make([]int64, m),
+	}
+	return inc
+}
+
+// step advances the incident process by one step: arrivals everywhere,
+// then detection at the sensor's position. An incident arriving at the
+// PoI the sensor currently covers is detected with zero delay.
+func (inc *incidents) step(now, poi int) {
+	for i, rate := range inc.rates {
+		if rate <= 0 {
+			continue
+		}
+		for k := inc.src.Poisson(rate); k > 0; k-- {
+			inc.open[i] = append(inc.open[i], now)
+		}
+	}
+	for _, arrival := range inc.open[poi] {
+		delay := int64(now - arrival)
+		inc.detected[poi]++
+		inc.delaySum[poi] += delay
+		if delay > inc.delayMax[poi] {
+			inc.delayMax[poi] = delay
+		}
+	}
+	inc.open[poi] = inc.open[poi][:0]
+}
+
+func (inc *incidents) stats() *IncidentStats {
+	m := len(inc.rates)
+	st := &IncidentStats{
+		Detected:  append([]int64(nil), inc.detected...),
+		Open:      make([]int64, m),
+		MeanDelay: make([]float64, m),
+		MaxDelay:  append([]int64(nil), inc.delayMax...),
+	}
+	for i := 0; i < m; i++ {
+		st.Open[i] = int64(len(inc.open[i]))
+		if inc.detected[i] > 0 {
+			st.MeanDelay[i] = float64(inc.delaySum[i]) / float64(inc.detected[i])
+		}
+	}
+	return st
+}
+
+// deployment is the mutable record; every field is guarded by Runtime.mu
+// except id and spec, which are immutable after Create.
+type deployment struct {
+	id   string
+	spec Spec // normalized: defaults applied, rates expanded
+
+	state   State
+	created time.Time
+	stopped time.Time
+
+	plan *coverage.Plan // currently deployed plan (hot-swapped)
+	exec *coverage.Executor
+
+	step   int     // recorded positions, including the start
+	visits []int64 // all-time per-PoI visit counts
+
+	// window is a ring buffer of the last Drift.Window positions.
+	window   []int
+	winStart int
+	winLen   int
+
+	// Exposure bookkeeping, in step time: a segment for PoI i is the gap
+	// between consecutive visits.
+	lastVisit []int // step of most recent visit; -1 = never
+	segCount  []int64
+	segSum    []int64
+	segMax    []int64
+
+	driftChecks   int64
+	driftTriggers int64
+	lastDrift     *DriftReport
+	lastTrigger   int // step of the last trigger; -Cooldown-1 initially
+
+	reoptJob string
+	swaps    []SwapRecord
+
+	inc *incidents
+
+	lastError string
+
+	subs   map[int]chan Event
+	subSeq int
+
+	tickStop chan struct{} // non-nil while a ticker goroutine runs
+}
+
+// Config tunes a Runtime. The zero value is usable: no job manager (drift
+// is reported but never acted on), no persistence, up to 64 deployments.
+type Config struct {
+	// Jobs submits and resolves re-optimization jobs; nil disables
+	// automatic re-optimization.
+	Jobs Jobs
+	// Dir is the checkpoint directory; empty disables persistence.
+	Dir string
+	// MaxDeployments bounds the deployment table (default 64).
+	MaxDeployments int
+	// MaxAdvance caps the steps of a single Advance or Observe call
+	// (default 1e6).
+	MaxAdvance int
+}
+
+// Runtime owns the deployment table.
+type Runtime struct {
+	cfg Config
+
+	mu     sync.Mutex
+	deps   map[string]*deployment
+	order  []string
+	seq    int
+	closed bool
+	wg     sync.WaitGroup // ticker goroutines
+}
+
+// New builds a Runtime, resumes any checkpointed deployments found in
+// cfg.Dir, and restarts their tickers.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.MaxDeployments <= 0 {
+		cfg.MaxDeployments = 64
+	}
+	if cfg.MaxAdvance <= 0 {
+		cfg.MaxAdvance = 1_000_000
+	}
+	rt := &Runtime{
+		cfg:  cfg,
+		deps: make(map[string]*deployment),
+	}
+	if cfg.Dir != "" {
+		if err := rt.loadCheckpoints(); err != nil {
+			return nil, err
+		}
+	}
+	rt.mu.Lock()
+	for _, id := range rt.order {
+		rt.startTicker(rt.deps[id])
+	}
+	rt.mu.Unlock()
+	return rt, nil
+}
+
+// normalize applies defaults and validates the spec, returning the
+// normalized copy.
+func normalize(spec Spec) (Spec, error) {
+	if err := coverage.Validate(spec.Scenario, spec.Objectives); err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	m := len(spec.Scenario.PoIs)
+	if spec.Plan == nil {
+		return Spec{}, fmt.Errorf("%w: nil plan", ErrSpec)
+	}
+	if len(spec.Plan.TransitionMatrix) != m {
+		return Spec{}, fmt.Errorf("%w: plan has %d rows for %d PoIs",
+			ErrSpec, len(spec.Plan.TransitionMatrix), m)
+	}
+	if spec.TickMillis < 0 {
+		return Spec{}, fmt.Errorf("%w: negative tickMillis %d", ErrSpec, spec.TickMillis)
+	}
+	d := &spec.Drift
+	if d.Window == 0 {
+		d.Window = DefaultWindow
+	}
+	if d.CheckEvery == 0 {
+		d.CheckEvery = DefaultCheckEvery
+	}
+	if d.MinSamples == 0 {
+		d.MinSamples = DefaultMinSamples
+	}
+	if d.Smoothing == 0 {
+		d.Smoothing = DefaultSmoothing
+	}
+	if d.Threshold == 0 {
+		d.Threshold = DefaultThreshold
+	}
+	if d.Cooldown == 0 {
+		d.Cooldown = d.Window
+	}
+	if d.Window < 2 || d.CheckEvery < 1 || d.Cooldown < 0 {
+		return Spec{}, fmt.Errorf("%w: drift window %d / checkEvery %d / cooldown %d",
+			ErrSpec, d.Window, d.CheckEvery, d.Cooldown)
+	}
+	if d.MinSamples < 2 {
+		d.MinSamples = 2
+	}
+	if d.MinSamples > d.Window {
+		return Spec{}, fmt.Errorf("%w: minSamples %d exceeds window %d", ErrSpec, d.MinSamples, d.Window)
+	}
+	if d.Smoothing < 0 || math.IsNaN(d.Smoothing) || math.IsInf(d.Smoothing, 0) {
+		return Spec{}, fmt.Errorf("%w: smoothing %v", ErrSpec, d.Smoothing)
+	}
+	if math.IsNaN(d.Threshold) {
+		return Spec{}, fmt.Errorf("%w: NaN threshold", ErrSpec)
+	}
+	if spec.Reopt.Restarts == 0 {
+		spec.Reopt.Restarts = 1
+	}
+	if spec.Reopt.Restarts < 0 || spec.Reopt.Options.Workers < 0 {
+		return Spec{}, fmt.Errorf("%w: reopt restarts %d / workers %d",
+			ErrSpec, spec.Reopt.Restarts, spec.Reopt.Options.Workers)
+	}
+	// The warm start is owned by the runtime; drop anything smuggled in.
+	spec.Reopt.Options.InitialMatrix = nil
+	spec.Reopt.Options.OnProgress = nil
+	if len(spec.IncidentRates) == 1 && m > 1 {
+		uniform := make([]float64, m)
+		for i := range uniform {
+			uniform[i] = spec.IncidentRates[0]
+		}
+		spec.IncidentRates = uniform
+	}
+	if n := len(spec.IncidentRates); n != 0 && n != m {
+		return Spec{}, fmt.Errorf("%w: %d incident rates for %d PoIs", ErrSpec, n, m)
+	}
+	for i, r := range spec.IncidentRates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return Spec{}, fmt.Errorf("%w: incident rate[%d] = %v", ErrSpec, i, r)
+		}
+	}
+	return spec, nil
+}
+
+// newDeployment builds the in-memory record for a normalized spec. The
+// executor is seeded from spec.Seed, the incident process from a split of
+// it; the start position is recorded as step 0.
+func newDeployment(id string, spec Spec) (*deployment, error) {
+	exec, err := coverage.NewExecutor(spec.Plan, spec.Start, spec.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	m := len(spec.Scenario.PoIs)
+	d := &deployment{
+		id:          id,
+		spec:        spec,
+		state:       StateActive,
+		created:     time.Now().UTC(),
+		plan:        spec.Plan,
+		exec:        exec,
+		visits:      make([]int64, m),
+		window:      make([]int, spec.Drift.Window),
+		lastVisit:   make([]int, m),
+		segCount:    make([]int64, m),
+		segSum:      make([]int64, m),
+		segMax:      make([]int64, m),
+		lastTrigger: -spec.Drift.Cooldown - 1,
+		subs:        make(map[int]chan Event),
+	}
+	for i := range d.lastVisit {
+		d.lastVisit[i] = -1
+	}
+	if len(spec.IncidentRates) > 0 {
+		// Split the seed so executor draws and incident arrivals are
+		// independent streams from one master seed.
+		d.inc = newIncidents(spec.IncidentRates, rng.New(spec.Seed).Split().Uint64())
+	}
+	d.recordStep(spec.Start)
+	return d, nil
+}
+
+// Create validates the spec and starts a new deployment.
+func (rt *Runtime) Create(spec Spec) (View, error) {
+	spec, err := normalize(spec)
+	if err != nil {
+		return View{}, err
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return View{}, ErrShuttingDown
+	}
+	if len(rt.deps) >= rt.cfg.MaxDeployments {
+		rt.mu.Unlock()
+		return View{}, ErrLimit
+	}
+	rt.seq++
+	id := fmt.Sprintf("dep-%06d", rt.seq)
+	d, err := newDeployment(id, spec)
+	if err != nil {
+		rt.seq--
+		rt.mu.Unlock()
+		return View{}, err
+	}
+	rt.deps[id] = d
+	rt.order = append(rt.order, id)
+	rt.startTicker(d)
+	v := d.view()
+	rt.mu.Unlock()
+
+	rt.persist(d, true)
+	return v, nil
+}
+
+// Get returns a snapshot of one deployment.
+func (rt *Runtime) Get(id string) (View, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	d, ok := rt.deps[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return d.view(), nil
+}
+
+// List returns snapshots of every deployment in creation order.
+func (rt *Runtime) List() []View {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]View, 0, len(rt.order))
+	for _, id := range rt.order {
+		out = append(out, rt.deps[id].view())
+	}
+	return out
+}
+
+// Advance draws `steps` transitions from the deployed plan and applies
+// them. A pending re-optimization job is resolved (and the plan swapped)
+// before the first draw.
+func (rt *Runtime) Advance(id string, steps int) (View, error) {
+	if steps < 1 || steps > rt.cfg.MaxAdvance {
+		return View{}, fmt.Errorf("%w: advance of %d steps (max %d)", ErrSpec, steps, rt.cfg.MaxAdvance)
+	}
+	rt.mu.Lock()
+	d, ok := rt.deps[id]
+	if !ok {
+		rt.mu.Unlock()
+		return View{}, ErrNotFound
+	}
+	if d.state != StateActive {
+		rt.mu.Unlock()
+		return View{}, ErrStopped
+	}
+	rt.resolveReopt(d)
+	for i := 0; i < steps; i++ {
+		rt.applyStep(d, d.exec.Next())
+	}
+	v := d.view()
+	rt.mu.Unlock()
+
+	rt.persist(d, false)
+	return v, nil
+}
+
+// Observe applies an externally observed position sequence: the deployed
+// sensor was seen at pois[0], then pois[1], … . Observations reposition
+// the executor without consuming randomness, so self-driven and
+// externally-driven segments can interleave freely.
+func (rt *Runtime) Observe(id string, pois []int) (View, error) {
+	if len(pois) == 0 || len(pois) > rt.cfg.MaxAdvance {
+		return View{}, fmt.Errorf("%w: %d observations (max %d)", ErrSpec, len(pois), rt.cfg.MaxAdvance)
+	}
+	rt.mu.Lock()
+	d, ok := rt.deps[id]
+	if !ok {
+		rt.mu.Unlock()
+		return View{}, ErrNotFound
+	}
+	if d.state != StateActive {
+		rt.mu.Unlock()
+		return View{}, ErrStopped
+	}
+	m := len(d.visits)
+	for i, p := range pois {
+		if p < 0 || p >= m {
+			rt.mu.Unlock()
+			return View{}, fmt.Errorf("%w: observation %d = %d outside [0, %d)", ErrSpec, i, p, m)
+		}
+	}
+	rt.resolveReopt(d)
+	for _, p := range pois {
+		// Jump cannot fail: the range was checked above.
+		_ = d.exec.Jump(p)
+		rt.applyStep(d, p)
+	}
+	v := d.view()
+	rt.mu.Unlock()
+
+	rt.persist(d, false)
+	return v, nil
+}
+
+// Stop terminates a deployment. Its statistics and history remain
+// queryable; its ticker and event streams shut down.
+func (rt *Runtime) Stop(id string) (View, error) {
+	rt.mu.Lock()
+	d, ok := rt.deps[id]
+	if !ok {
+		rt.mu.Unlock()
+		return View{}, ErrNotFound
+	}
+	if d.state != StateActive {
+		v := d.view()
+		rt.mu.Unlock()
+		return v, ErrStopped
+	}
+	rt.stopLocked(d)
+	v := d.view()
+	rt.mu.Unlock()
+
+	rt.persist(d, false)
+	return v, nil
+}
+
+// stopLocked marks the deployment stopped, halts its ticker, emits the
+// terminal event, and closes every subscriber. Callers hold rt.mu.
+func (rt *Runtime) stopLocked(d *deployment) {
+	d.state = StateStopped
+	d.stopped = time.Now().UTC()
+	if d.tickStop != nil {
+		close(d.tickStop)
+		d.tickStop = nil
+	}
+	d.emit(Event{Type: "stopped", Deployment: d.id, Step: d.step})
+	for _, ch := range d.subs {
+		close(ch)
+	}
+	d.subs = make(map[int]chan Event)
+}
+
+// Subscribe attaches an event stream to a deployment. The returned cancel
+// function detaches it; the channel closes when the deployment stops or
+// the runtime shuts down.
+func (rt *Runtime) Subscribe(id string) (<-chan Event, func(), error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	d, ok := rt.deps[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	if d.state != StateActive {
+		return nil, nil, ErrStopped
+	}
+	d.subSeq++
+	key := d.subSeq
+	ch := make(chan Event, 64)
+	d.subs[key] = ch
+	cancel := func() {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		if _, live := d.subs[key]; live {
+			delete(d.subs, key)
+			close(ch)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// Stats summarizes the runtime for health checks and /metrics.
+type Stats struct {
+	Active        int   `json:"active"`
+	Stopped       int   `json:"stopped"`
+	StepsTotal    int64 `json:"stepsTotal"`
+	DriftChecks   int64 `json:"driftChecks"`
+	DriftTriggers int64 `json:"driftTriggers"`
+	Swaps         int64 `json:"swaps"`
+	PendingReopts int   `json:"pendingReopts"`
+}
+
+// Stat returns aggregate counters across all deployments.
+func (rt *Runtime) Stat() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var s Stats
+	for _, d := range rt.deps {
+		if d.state == StateActive {
+			s.Active++
+		} else {
+			s.Stopped++
+		}
+		s.StepsTotal += int64(d.step)
+		s.DriftChecks += d.driftChecks
+		s.DriftTriggers += d.driftTriggers
+		s.Swaps += int64(len(d.swaps))
+		if d.reoptJob != "" {
+			s.PendingReopts++
+		}
+	}
+	return s
+}
+
+// Shutdown stops tickers and event streams, checkpoints every
+// deployment, and leaves active deployments active on disk so a restart
+// resumes them. It does not stop the job manager.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	rt.closed = true
+	var all []*deployment
+	for _, d := range rt.deps {
+		all = append(all, d)
+		if d.tickStop != nil {
+			close(d.tickStop)
+			d.tickStop = nil
+		}
+		for _, ch := range d.subs {
+			close(ch)
+		}
+		d.subs = make(map[int]chan Event)
+	}
+	rt.mu.Unlock()
+	rt.wg.Wait()
+	for _, d := range all {
+		rt.persist(d, false)
+	}
+}
+
+// startTicker launches the self-advancing goroutine for deployments with
+// TickMillis set. Callers hold rt.mu; only active deployments tick.
+func (rt *Runtime) startTicker(d *deployment) {
+	if d.spec.TickMillis <= 0 || d.state != StateActive || rt.closed {
+		return
+	}
+	stop := make(chan struct{})
+	d.tickStop = stop
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t := time.NewTicker(time.Duration(d.spec.TickMillis) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// Advance re-checks liveness under the lock; an error here
+				// means the deployment stopped between the tick and the call.
+				_, _ = rt.Advance(d.id, 1)
+			}
+		}
+	}()
+}
+
+// applyStep records one position (drawn or observed) and runs the drift
+// check at its cadence. Callers hold rt.mu.
+func (rt *Runtime) applyStep(d *deployment, poi int) {
+	d.recordStep(poi)
+	if d.step%d.spec.Drift.CheckEvery == 0 {
+		rt.checkDrift(d)
+	}
+}
+
+// recordStep updates the trajectory window, coverage counts, exposure
+// segments, and the incident process for one recorded position.
+func (d *deployment) recordStep(poi int) {
+	now := d.step
+	d.step++
+	d.visits[poi]++
+	// Ring-buffer append.
+	if d.winLen < len(d.window) {
+		d.window[(d.winStart+d.winLen)%len(d.window)] = poi
+		d.winLen++
+	} else {
+		d.window[d.winStart] = poi
+		d.winStart = (d.winStart + 1) % len(d.window)
+	}
+	if last := d.lastVisit[poi]; last >= 0 {
+		seg := int64(now - last)
+		d.segCount[poi]++
+		d.segSum[poi] += seg
+		if seg > d.segMax[poi] {
+			d.segMax[poi] = seg
+		}
+	}
+	d.lastVisit[poi] = now
+	if d.inc != nil {
+		d.inc.step(now, poi)
+	}
+}
+
+// windowSlice materializes the ring buffer oldest-first.
+func (d *deployment) windowSlice() []int {
+	out := make([]int, d.winLen)
+	for i := 0; i < d.winLen; i++ {
+		out[i] = d.window[(d.winStart+i)%len(d.window)]
+	}
+	return out
+}
+
+// checkDrift fits the window estimate, scores it against the deployed
+// plan, and submits a warm-started re-optimization when warranted.
+// Callers hold rt.mu.
+func (rt *Runtime) checkDrift(d *deployment) {
+	if d.winLen < d.spec.Drift.MinSamples {
+		return
+	}
+	rep, estimate, err := driftReport(d.windowSlice(), d.plan, d.spec.Scenario.Target, d.spec.Drift.Smoothing)
+	if err != nil {
+		d.lastError = fmt.Sprintf("drift check: %v", err)
+		d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
+		return
+	}
+	rep.Step = d.step
+	d.driftChecks++
+
+	thr := d.spec.Drift.Threshold
+	canTrigger := rt.cfg.Jobs != nil && thr >= 0 && rep.Score >= thr &&
+		d.reoptJob == "" && d.step-d.lastTrigger > d.spec.Drift.Cooldown
+	if canTrigger {
+		opts := d.spec.Reopt.Options
+		opts.InitialMatrix = estimate
+		v, err := rt.cfg.Jobs.Submit(jobs.Spec{
+			Scenario:   d.spec.Scenario,
+			Objectives: d.spec.Objectives,
+			Options:    opts,
+			Restarts:   d.spec.Reopt.Restarts,
+		})
+		if err != nil {
+			// Queue full or shutting down: report and retry at the next
+			// check rather than dropping the trigger permanently.
+			d.lastError = fmt.Sprintf("reopt submit: %v", err)
+			d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
+		} else {
+			rep.Triggered = true
+			d.reoptJob = v.ID
+			d.driftTriggers++
+			d.lastTrigger = d.step
+			d.lastError = ""
+		}
+	}
+	d.lastDrift = rep
+	if rep.Triggered {
+		d.emit(Event{Type: "trigger", Deployment: d.id, Step: d.step, Data: rep})
+	} else {
+		d.emit(Event{Type: "drift", Deployment: d.id, Step: d.step, Data: rep})
+	}
+}
+
+// resolveReopt settles a pending re-optimization job: done → hot-swap,
+// failed/cancelled → clear. Callers hold rt.mu.
+func (rt *Runtime) resolveReopt(d *deployment) {
+	if d.reoptJob == "" || rt.cfg.Jobs == nil {
+		return
+	}
+	v, err := rt.cfg.Jobs.Get(d.reoptJob)
+	if err != nil {
+		// The job vanished (e.g. jobs run without persistence across a
+		// restart); clear so drift can re-trigger.
+		d.lastError = fmt.Sprintf("reopt job %s: %v", d.reoptJob, err)
+		d.reoptJob = ""
+		return
+	}
+	if !v.State.Terminal() {
+		return
+	}
+	jobID := d.reoptJob
+	d.reoptJob = ""
+	if v.State != jobs.StateDone {
+		d.lastError = fmt.Sprintf("reopt job %s ended %s", jobID, v.State)
+		d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
+		return
+	}
+	plan, err := rt.cfg.Jobs.Plan(jobID)
+	if err != nil {
+		d.lastError = fmt.Sprintf("reopt job %s plan: %v", jobID, err)
+		d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
+		return
+	}
+	rt.swapTo(d, plan, jobID)
+}
+
+// swapTo installs a new plan atomically: the executor keeps its position
+// and random stream, the drift window resets so the next score reflects
+// only post-swap behavior, and the swap is recorded. Callers hold rt.mu.
+func (rt *Runtime) swapTo(d *deployment, plan *coverage.Plan, jobID string) {
+	if err := d.exec.SwapPlan(plan); err != nil {
+		d.lastError = fmt.Sprintf("swap: %v", err)
+		d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
+		return
+	}
+	rec := SwapRecord{
+		Step:    d.step,
+		JobID:   jobID,
+		At:      time.Now().UTC(),
+		OldCost: d.plan.Cost,
+		NewCost: plan.Cost,
+	}
+	if d.lastDrift != nil {
+		rec.DriftScore = d.lastDrift.Score
+		rec.EmpiricalDeltaC = d.lastDrift.EmpiricalDeltaC
+	}
+	d.plan = plan
+	d.swaps = append(d.swaps, rec)
+	d.winStart, d.winLen = 0, 0
+	d.lastDrift = nil
+	d.lastError = ""
+	d.emit(Event{Type: "swap", Deployment: d.id, Step: d.step, Data: rec})
+}
+
+// emit fans an event out to subscribers, dropping it for any subscriber
+// whose buffer is full (a slow SSE client must not stall the walk).
+// Callers hold rt.mu.
+func (d *deployment) emit(ev Event) {
+	for _, ch := range d.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// view snapshots the deployment; callers hold rt.mu.
+func (d *deployment) view() View {
+	m := len(d.visits)
+	v := View{
+		ID:            d.id,
+		State:         d.state,
+		Scenario:      d.spec.Scenario.Name,
+		Created:       d.created,
+		Step:          d.step,
+		Current:       d.exec.Current(),
+		Faults:        d.exec.Faults(),
+		PlanCost:      d.plan.Cost,
+		Coverage:      make([]float64, m),
+		Target:        append([]float64(nil), d.spec.Scenario.Target...),
+		OpenExposure:  make([]int64, m),
+		MeanExposure:  make([]float64, m),
+		MaxExposure:   append([]int64(nil), d.segMax...),
+		DriftChecks:   d.driftChecks,
+		DriftTriggers: d.driftTriggers,
+		ReoptJob:      d.reoptJob,
+		Swaps:         append([]SwapRecord(nil), d.swaps...),
+		LastError:     d.lastError,
+	}
+	if !d.stopped.IsZero() {
+		t := d.stopped
+		v.Stopped = &t
+	}
+	for i := 0; i < m; i++ {
+		v.Coverage[i] = float64(d.visits[i]) / float64(d.step)
+		g := v.Coverage[i] - v.Target[i]
+		v.EmpiricalDeltaC += g * g
+		if d.lastVisit[i] >= 0 {
+			v.OpenExposure[i] = int64(d.step - 1 - d.lastVisit[i])
+		} else {
+			v.OpenExposure[i] = int64(d.step)
+		}
+		if d.segCount[i] > 0 {
+			v.MeanExposure[i] = float64(d.segSum[i]) / float64(d.segCount[i])
+		}
+	}
+	if d.lastDrift != nil {
+		rep := *d.lastDrift
+		v.Drift = &rep
+	}
+	if d.inc != nil {
+		v.Incidents = d.inc.stats()
+	}
+	return v
+}

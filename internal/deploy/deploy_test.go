@@ -1,0 +1,573 @@
+package deploy_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/coverage"
+	"repro/internal/deploy"
+	"repro/internal/jobs"
+)
+
+// lineScenario is the shared 3-PoI test problem with a deliberately
+// skewed target, so coverage deviations are easy to provoke and detect.
+func lineScenario(t *testing.T) (coverage.Scenario, coverage.Objectives) {
+	t.Helper()
+	scn, err := coverage.LineScenario("deploy-line", 3, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	return scn, coverage.Objectives{Alpha: 1, Beta: 1e-3}
+}
+
+func optimizedPlan(t *testing.T, scn coverage.Scenario, obj coverage.Objectives) *coverage.Plan {
+	t.Helper()
+	plan, err := coverage.Optimize(scn, obj, coverage.Options{MaxIters: 800, Seed: 11})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return plan
+}
+
+// biasedPlan is a maximally drifted chain: every row dumps 90% of its
+// mass on PoI 0, so the walk all but abandons PoIs 1 and 2.
+func biasedPlan() *coverage.Plan {
+	row := []float64{0.9, 0.05, 0.05}
+	return &coverage.Plan{TransitionMatrix: [][]float64{
+		append([]float64(nil), row...),
+		append([]float64(nil), row...),
+		append([]float64(nil), row...),
+	}}
+}
+
+func newRuntime(t *testing.T, cfg deploy.Config) *deploy.Runtime {
+	t.Helper()
+	rt, err := deploy.New(cfg)
+	if err != nil {
+		t.Fatalf("deploy.New: %v", err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestCreateValidation(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	cases := []struct {
+		name string
+		spec deploy.Spec
+	}{
+		{"nil plan", deploy.Spec{Scenario: scn, Objectives: obj}},
+		{"wrong plan size", deploy.Spec{Scenario: scn, Objectives: obj, Plan: &coverage.Plan{
+			TransitionMatrix: [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+		}}},
+		{"bad start", deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Start: 7}},
+		{"negative tick", deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, TickMillis: -1}},
+		{"minSamples over window", deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan,
+			Drift: deploy.DriftConfig{Window: 16, MinSamples: 64}}},
+		{"negative smoothing", deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan,
+			Drift: deploy.DriftConfig{Smoothing: -1}}},
+		{"bad incident rates", deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan,
+			IncidentRates: []float64{0.1, 0.2}}},
+		{"negative incident rate", deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan,
+			IncidentRates: []float64{-0.1}}},
+	}
+	for _, tc := range cases {
+		if _, err := rt.Create(tc.spec); !errors.Is(err, deploy.ErrSpec) {
+			t.Errorf("%s: got %v, want ErrSpec", tc.name, err)
+		}
+	}
+}
+
+func TestAdvanceMatchesStandaloneExecutor(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	v, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Start: 1, Seed: 42})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if v.Step != 1 || v.Current != 1 {
+		t.Fatalf("fresh deployment: step %d current %d, want 1 / 1", v.Step, v.Current)
+	}
+
+	exec, err := coverage.NewExecutor(plan, 1, 42)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	want := exec.Walk(500)
+
+	v, err = rt.Advance(v.ID, 500)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if v.Step != 501 {
+		t.Fatalf("step = %d, want 501", v.Step)
+	}
+	if v.Current != want[len(want)-1] {
+		t.Fatalf("current = %d, want %d (deployment must replay the executor's stream)", v.Current, want[len(want)-1])
+	}
+
+	var total float64
+	counts := make([]int, 3)
+	counts[1]++ // the recorded start
+	for _, p := range want {
+		counts[p]++
+	}
+	for i, c := range v.Coverage {
+		total += c
+		if got := float64(counts[i]) / 501; got != c {
+			t.Errorf("coverage[%d] = %v, want %v", i, c, got)
+		}
+	}
+	if diff := total - 1; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("coverage sums to %v, want 1", total)
+	}
+}
+
+func TestObserveRecordsAndValidates(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	v, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 1})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := rt.Observe(v.ID, []int{0, 3}); !errors.Is(err, deploy.ErrSpec) {
+		t.Fatalf("out-of-range observation: got %v, want ErrSpec", err)
+	}
+	if _, err := rt.Observe(v.ID, nil); !errors.Is(err, deploy.ErrSpec) {
+		t.Fatalf("empty observation batch: got %v, want ErrSpec", err)
+	}
+
+	// Visit pattern 0,1,0,1,2: PoI 0's two visits are 2 steps apart, so one
+	// exposure segment of 2 closes; PoI 2 stays open until its first visit.
+	v, err = rt.Observe(v.ID, []int{1, 0, 1, 2})
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if v.Step != 5 || v.Current != 2 {
+		t.Fatalf("after observations: step %d current %d, want 5 / 2", v.Step, v.Current)
+	}
+	if v.MeanExposure[0] != 2 || v.MaxExposure[0] != 2 {
+		t.Errorf("PoI 0 exposure mean %v max %v, want 2 / 2", v.MeanExposure[0], v.MaxExposure[0])
+	}
+	if v.OpenExposure[2] != 0 {
+		t.Errorf("PoI 2 open exposure = %d, want 0 (just visited)", v.OpenExposure[2])
+	}
+
+	if _, err := rt.Stop(v.ID); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if _, err := rt.Observe(v.ID, []int{0}); !errors.Is(err, deploy.ErrStopped) {
+		t.Fatalf("observe after stop: got %v, want ErrStopped", err)
+	}
+	if _, err := rt.Advance(v.ID, 1); !errors.Is(err, deploy.ErrStopped) {
+		t.Fatalf("advance after stop: got %v, want ErrStopped", err)
+	}
+}
+
+// TestDriftSeparatesFaithfulFromPerturbed pins the detector's power: a
+// sensor faithfully following the plan scores near zero, while one
+// following a heavily perturbed chain scores far above the default
+// threshold.
+func TestDriftSeparatesFaithfulFromPerturbed(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	drift := deploy.DriftConfig{Window: 512, CheckEvery: 64, MinSamples: 256, Threshold: -1}
+
+	faithful, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 5, Drift: drift})
+	if err != nil {
+		t.Fatalf("Create faithful: %v", err)
+	}
+	fv, err := rt.Advance(faithful.ID, 2000)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if fv.Drift == nil || fv.DriftChecks == 0 {
+		t.Fatalf("faithful deployment ran no drift checks: %+v", fv)
+	}
+
+	perturbed, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 5, Drift: drift})
+	if err != nil {
+		t.Fatalf("Create perturbed: %v", err)
+	}
+	src, err := coverage.NewExecutor(biasedPlan(), 0, 99)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	pv, err := rt.Observe(perturbed.ID, src.Walk(2000))
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if pv.Drift == nil {
+		t.Fatal("perturbed deployment has no drift report")
+	}
+
+	if fv.Drift.Score >= deploy.DefaultThreshold {
+		t.Errorf("faithful score %v crosses the default threshold %v", fv.Drift.Score, deploy.DefaultThreshold)
+	}
+	if pv.Drift.Score < 2*deploy.DefaultThreshold {
+		t.Errorf("perturbed score %v too small to separate from threshold %v", pv.Drift.Score, deploy.DefaultThreshold)
+	}
+	if pv.Drift.Score <= fv.Drift.Score {
+		t.Errorf("perturbed score %v not above faithful %v", pv.Drift.Score, fv.Drift.Score)
+	}
+	if pv.Drift.LogLikelihoodRatio <= fv.Drift.LogLikelihoodRatio {
+		t.Errorf("perturbed LLR %v not above faithful %v", pv.Drift.LogLikelihoodRatio, fv.Drift.LogLikelihoodRatio)
+	}
+	if pv.Drift.EmpiricalDeltaC <= fv.Drift.EmpiricalDeltaC {
+		t.Errorf("perturbed empirical ΔC %v not above faithful %v", pv.Drift.EmpiricalDeltaC, fv.Drift.EmpiricalDeltaC)
+	}
+	// Threshold -1 reports drift but never acts on it.
+	if pv.DriftTriggers != 0 || pv.ReoptJob != "" {
+		t.Errorf("disabled threshold still triggered: %+v", pv)
+	}
+}
+
+// TestClosedLoopReoptimization is the end-to-end acceptance path: a
+// deployment executing a deliberately perturbed chain crosses the drift
+// threshold, auto-submits a warm-started re-optimization through the job
+// manager, hot-swaps to the resulting plan, and the post-swap empirical
+// coverage deviation is strictly lower than before the swap.
+func TestClosedLoopReoptimization(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+
+	jobsDir := t.TempDir()
+	mgr, err := jobs.New(jobs.Config{Workers: 1, Dir: jobsDir})
+	if err != nil {
+		t.Fatalf("jobs.New: %v", err)
+	}
+	defer mgr.Shutdown(context.Background())
+
+	rt := newRuntime(t, deploy.Config{Jobs: mgr})
+	v, err := rt.Create(deploy.Spec{
+		Scenario:   scn,
+		Objectives: obj,
+		Plan:       plan,
+		Seed:       3,
+		Drift:      deploy.DriftConfig{Window: 256, CheckEvery: 64, MinSamples: 128, Threshold: 0.2},
+		Reopt:      deploy.ReoptConfig{Options: coverage.Options{MaxIters: 800, Seed: 21}},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	// Drive the deployment with telemetry from the perturbed chain until
+	// the drift detector fires.
+	src, err := coverage.NewExecutor(biasedPlan(), 0, 77)
+	if err != nil {
+		t.Fatalf("NewExecutor: %v", err)
+	}
+	for i := 0; i < 50 && v.DriftTriggers == 0; i++ {
+		v, err = rt.Observe(v.ID, src.Walk(64))
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if v.DriftTriggers == 0 {
+		t.Fatalf("drift never triggered; last report: %+v", v.Drift)
+	}
+	if v.ReoptJob == "" {
+		t.Fatal("trigger did not record a re-optimization job")
+	}
+	jobID := v.ReoptJob
+	preDeltaC := v.Drift.EmpiricalDeltaC
+
+	// The submitted job must be warm-started from the window estimate;
+	// the job checkpoint records the options verbatim.
+	blob, err := os.ReadFile(filepath.Join(jobsDir, jobID+".job.json"))
+	if err != nil {
+		t.Fatalf("read job checkpoint: %v", err)
+	}
+	var env struct {
+		Job struct {
+			Options coverage.Options `json:"options"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(blob, &env); err != nil {
+		t.Fatalf("decode job checkpoint: %v", err)
+	}
+	if len(env.Job.Options.InitialMatrix) != len(scn.PoIs) {
+		t.Fatalf("re-optimization not warm-started: initialMatrix has %d rows", len(env.Job.Options.InitialMatrix))
+	}
+
+	waitForJob(t, mgr, jobID)
+
+	// The next mutation resolves the finished job and hot-swaps the plan.
+	v, err = rt.Advance(v.ID, 1)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if len(v.Swaps) != 1 {
+		t.Fatalf("got %d swaps, want 1 (view: %+v)", len(v.Swaps), v)
+	}
+	swap := v.Swaps[0]
+	if swap.JobID != jobID {
+		t.Errorf("swap job = %s, want %s", swap.JobID, jobID)
+	}
+	if swap.EmpiricalDeltaC <= 0 {
+		t.Errorf("swap record lost the triggering drift snapshot: %+v", swap)
+	}
+	if v.ReoptJob != "" {
+		t.Errorf("reopt job still pending after swap: %s", v.ReoptJob)
+	}
+
+	// Self-driven execution now follows the swapped-in plan; the drift
+	// window was reset at the swap, so the next report measures post-swap
+	// behavior only.
+	v, err = rt.Advance(v.ID, 2000)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if v.Drift == nil {
+		t.Fatal("no post-swap drift report")
+	}
+	if v.Drift.EmpiricalDeltaC >= preDeltaC {
+		t.Errorf("post-swap empirical ΔC %v not below pre-swap %v", v.Drift.EmpiricalDeltaC, preDeltaC)
+	}
+	if v.DriftTriggers != 1 {
+		t.Errorf("post-swap execution re-triggered (%d triggers); cooldown or reset failed", v.DriftTriggers)
+	}
+}
+
+func waitForJob(t *testing.T, mgr *jobs.Manager, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := mgr.Get(id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if v.State.Terminal() {
+			if v.State != jobs.StateDone {
+				t.Fatalf("job %s ended %s: %s", id, v.State, v.Error)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+}
+
+// TestCheckpointResume pins the restart discipline: a deployment resumed
+// from its checkpoint after 500 steps and advanced 500 more must be
+// statistically indistinguishable — bit for bit — from one that ran 1000
+// steps uninterrupted.
+func TestCheckpointResume(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	spec := deploy.Spec{
+		Scenario:      scn,
+		Objectives:    obj,
+		Plan:          plan,
+		Seed:          8,
+		Drift:         deploy.DriftConfig{Window: 256, CheckEvery: 64, Threshold: -1},
+		IncidentRates: []float64{0.02},
+	}
+
+	// Control: 1000 uninterrupted steps, no persistence.
+	control := newRuntime(t, deploy.Config{})
+	cv, err := control.Create(spec)
+	if err != nil {
+		t.Fatalf("Create control: %v", err)
+	}
+	cv, err = control.Advance(cv.ID, 1000)
+	if err != nil {
+		t.Fatalf("Advance control: %v", err)
+	}
+
+	// Interrupted: 500 steps, shutdown, resume from disk, 500 more.
+	dir := t.TempDir()
+	rt1, err := deploy.New(deploy.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("deploy.New: %v", err)
+	}
+	rv, err := rt1.Create(spec)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := rt1.Advance(rv.ID, 500); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	rt1.Shutdown()
+
+	rt2 := newRuntime(t, deploy.Config{Dir: dir})
+	mid, err := rt2.Get(rv.ID)
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	if mid.State != deploy.StateActive || mid.Step != 501 {
+		t.Fatalf("resumed deployment state %s step %d, want active / 501", mid.State, mid.Step)
+	}
+	rv, err = rt2.Advance(rv.ID, 500)
+	if err != nil {
+		t.Fatalf("Advance after restart: %v", err)
+	}
+
+	if got, want := canonView(t, rv), canonView(t, cv); got != want {
+		t.Errorf("resumed run diverged from uninterrupted control:\nresumed: %s\ncontrol: %s", got, want)
+	}
+}
+
+// canonView serializes a View with its wall-clock fields cleared, so two
+// runs of the same logical deployment compare bit-for-bit.
+func canonView(t *testing.T, v deploy.View) string {
+	t.Helper()
+	v.Created = time.Time{}
+	v.Stopped = nil
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal view: %v", err)
+	}
+	return string(blob)
+}
+
+// TestIncidentDetection checks the Poisson incident simulation: with a
+// positive rate everywhere, a long walk detects incidents at every PoI
+// and the per-PoI delay statistics are internally consistent.
+func TestIncidentDetection(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	v, err := rt.Create(deploy.Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 13,
+		IncidentRates: []float64{0.05},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	v, err = rt.Advance(v.ID, 5000)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if v.Incidents == nil {
+		t.Fatal("no incident statistics")
+	}
+	for i := range scn.PoIs {
+		if v.Incidents.Detected[i] == 0 {
+			t.Errorf("PoI %d detected no incidents over 5000 steps at rate 0.05", i)
+		}
+		if v.Incidents.MeanDelay[i] < 0 || float64(v.Incidents.MaxDelay[i]) < v.Incidents.MeanDelay[i] {
+			t.Errorf("PoI %d delay stats inconsistent: mean %v max %d",
+				i, v.Incidents.MeanDelay[i], v.Incidents.MaxDelay[i])
+		}
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	v, err := rt.Create(deploy.Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 2,
+		Drift: deploy.DriftConfig{Window: 128, CheckEvery: 32, MinSamples: 64, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	events, cancel, err := rt.Subscribe(v.ID)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer cancel()
+
+	if _, err := rt.Advance(v.ID, 256); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != "drift" || ev.Deployment != v.ID {
+			t.Fatalf("unexpected first event: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no drift event after 256 steps with checkEvery 32")
+	}
+
+	if _, err := rt.Stop(v.ID); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	// The stream must drain (a "stopped" event) and then close.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			_ = ev
+		case <-deadline:
+			t.Fatal("event channel not closed after Stop")
+		}
+	}
+}
+
+func TestTickerSelfAdvances(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+
+	v, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 4, TickMillis: 1})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := rt.Get(v.ID)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if cur.Step > 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker did not advance the deployment (step %d)", cur.Step)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := rt.Stop(v.ID); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+func TestRuntimeStats(t *testing.T) {
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{MaxDeployments: 2})
+
+	a, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 1})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 2}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := rt.Create(deploy.Spec{Scenario: scn, Objectives: obj, Plan: plan, Seed: 3}); !errors.Is(err, deploy.ErrLimit) {
+		t.Fatalf("third create: got %v, want ErrLimit", err)
+	}
+	if _, err := rt.Stop(a.ID); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	st := rt.Stat()
+	if st.Active != 1 || st.Stopped != 1 {
+		t.Errorf("stats %+v, want 1 active / 1 stopped", st)
+	}
+	views := rt.List()
+	if len(views) != 2 || views[0].ID != a.ID {
+		t.Errorf("List order broken: %+v", views)
+	}
+}

@@ -1,0 +1,237 @@
+package deploy_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/deploy"
+)
+
+// serverFixture spins up the HTTP API over a fresh runtime and returns
+// the test server plus a valid creation payload.
+func serverFixture(t *testing.T) (*httptest.Server, deploy.Spec) {
+	t.Helper()
+	scn, obj := lineScenario(t)
+	plan := optimizedPlan(t, scn, obj)
+	rt := newRuntime(t, deploy.Config{})
+	srv := httptest.NewServer(rt.Handler())
+	t.Cleanup(srv.Close)
+	return srv, deploy.Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 9,
+		Drift: deploy.DriftConfig{Window: 128, CheckEvery: 32, MinSamples: 64, Threshold: -1},
+	}
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int) []byte {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+		rd = bytes.NewReader(blob)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d; body: %s", method, url, resp.StatusCode, wantStatus, buf.String())
+	}
+	return buf.Bytes()
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv, spec := serverFixture(t)
+
+	var created deploy.View
+	blob := doJSON(t, "POST", srv.URL+"/deployments", spec, http.StatusCreated)
+	if err := json.Unmarshal(blob, &created); err != nil {
+		t.Fatalf("decode create: %v", err)
+	}
+	if created.ID == "" || created.State != deploy.StateActive || created.Step != 1 {
+		t.Fatalf("bad create response: %+v", created)
+	}
+
+	var advanced deploy.View
+	blob = doJSON(t, "POST", srv.URL+"/deployments/"+created.ID+"/advance",
+		map[string]int{"steps": 200}, http.StatusOK)
+	if err := json.Unmarshal(blob, &advanced); err != nil {
+		t.Fatalf("decode advance: %v", err)
+	}
+	if advanced.Step != 201 {
+		t.Fatalf("advance: step %d, want 201", advanced.Step)
+	}
+	if advanced.Drift == nil {
+		t.Fatal("advance past checkEvery produced no drift report")
+	}
+
+	blob = doJSON(t, "POST", srv.URL+"/deployments/"+created.ID+"/observations",
+		map[string][]int{"pois": {0, 1, 2}}, http.StatusOK)
+	var observed deploy.View
+	if err := json.Unmarshal(blob, &observed); err != nil {
+		t.Fatalf("decode observe: %v", err)
+	}
+	if observed.Step != 204 || observed.Current != 2 {
+		t.Fatalf("observe: step %d current %d, want 204 / 2", observed.Step, observed.Current)
+	}
+
+	var list struct {
+		Deployments []deploy.View `json:"deployments"`
+	}
+	blob = doJSON(t, "GET", srv.URL+"/deployments", nil, http.StatusOK)
+	if err := json.Unmarshal(blob, &list); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if len(list.Deployments) != 1 || list.Deployments[0].ID != created.ID {
+		t.Fatalf("bad list: %+v", list)
+	}
+
+	var stopped deploy.View
+	blob = doJSON(t, "DELETE", srv.URL+"/deployments/"+created.ID, nil, http.StatusOK)
+	if err := json.Unmarshal(blob, &stopped); err != nil {
+		t.Fatalf("decode stop: %v", err)
+	}
+	if stopped.State != deploy.StateStopped || stopped.Stopped == nil {
+		t.Fatalf("bad stop response: %+v", stopped)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	srv, spec := serverFixture(t)
+
+	doJSON(t, "GET", srv.URL+"/deployments/dep-999999", nil, http.StatusNotFound)
+	doJSON(t, "POST", srv.URL+"/deployments", map[string]any{"plan": nil}, http.StatusBadRequest)
+
+	blob := doJSON(t, "POST", srv.URL+"/deployments", spec, http.StatusCreated)
+	var v deploy.View
+	if err := json.Unmarshal(blob, &v); err != nil {
+		t.Fatalf("decode create: %v", err)
+	}
+	doJSON(t, "POST", srv.URL+"/deployments/"+v.ID+"/advance",
+		map[string]int{"steps": -5}, http.StatusBadRequest)
+	doJSON(t, "POST", srv.URL+"/deployments/"+v.ID+"/observations",
+		map[string][]int{"pois": {42}}, http.StatusBadRequest)
+
+	doJSON(t, "DELETE", srv.URL+"/deployments/"+v.ID, nil, http.StatusOK)
+	doJSON(t, "POST", srv.URL+"/deployments/"+v.ID+"/advance",
+		map[string]int{"steps": 1}, http.StatusConflict)
+	doJSON(t, "DELETE", srv.URL+"/deployments/"+v.ID, nil, http.StatusConflict)
+	doJSON(t, "GET", srv.URL+"/deployments/"+v.ID+"/events", nil, http.StatusConflict)
+}
+
+// TestHTTPEventStream reads the SSE endpoint end to end: subscribe,
+// provoke a drift report, parse the event frame, then stop the
+// deployment and watch the stream terminate.
+func TestHTTPEventStream(t *testing.T) {
+	srv, spec := serverFixture(t)
+
+	blob := doJSON(t, "POST", srv.URL+"/deployments", spec, http.StatusCreated)
+	var v deploy.View
+	if err := json.Unmarshal(blob, &v); err != nil {
+		t.Fatalf("decode create: %v", err)
+	}
+
+	resp, err := http.Get(srv.URL + "/deployments/" + v.ID + "/events")
+	if err != nil {
+		t.Fatalf("open event stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+
+	// Generate drift checks, then stop so the stream closes.
+	doJSON(t, "POST", srv.URL+"/deployments/"+v.ID+"/advance",
+		map[string]int{"steps": 128}, http.StatusOK)
+	doJSON(t, "DELETE", srv.URL+"/deployments/"+v.ID, nil, http.StatusOK)
+
+	type frame struct {
+		event string
+		data  deploy.Event
+	}
+	frames := make(chan frame, 16)
+	errs := make(chan error, 1)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(resp.Body)
+		var ev string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				var e deploy.Event
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+					errs <- fmt.Errorf("bad data frame %q: %v", line, err)
+					return
+				}
+				frames <- frame{event: ev, data: e}
+			}
+		}
+		errs <- sc.Err()
+	}()
+
+	sawDrift, sawStopped := false, false
+	deadline := time.After(10 * time.Second)
+	for !sawStopped {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("stream read: %v", err)
+			}
+		case f, open := <-frames:
+			if !open {
+				if !sawStopped {
+					t.Fatal("stream closed before a stopped event")
+				}
+				break
+			}
+			if f.event != f.data.Type || f.data.Deployment != v.ID {
+				t.Fatalf("inconsistent frame: %+v", f)
+			}
+			switch f.data.Type {
+			case "drift":
+				sawDrift = true
+			case "stopped":
+				sawStopped = true
+			}
+		case <-deadline:
+			t.Fatalf("no stopped event (sawDrift=%v)", sawDrift)
+		}
+	}
+	if !sawDrift {
+		t.Error("stream carried no drift events despite 128 steps at checkEvery 32")
+	}
+	// After "stopped" the server closes the stream.
+	select {
+	case _, open := <-frames:
+		if open {
+			// Drain any trailing frames; closure is what matters.
+			for range frames {
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not close after stop")
+	}
+}

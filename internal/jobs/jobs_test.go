@@ -588,3 +588,80 @@ func TestThroughputMetricsPersist(t *testing.T) {
 			reloaded.WallClockSec, reloaded.ItersPerSec, got.WallClockSec, got.ItersPerSec)
 	}
 }
+
+// TestListOrderAndStatusFilter pins two API contracts: GET /jobs returns
+// jobs in submission order regardless of completion order, and ?status=
+// filters by lifecycle state (rejecting unknown states).
+func TestListOrderAndStatusFilter(t *testing.T) {
+	m, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer shutdown(t, m)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit(testSpec(t, 200, 1, uint64(i+1)))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids = append(ids, v.ID)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		for _, id := range ids {
+			v, err := m.Get(id)
+			if err != nil || !v.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	}, "all jobs terminal")
+
+	fetch := func(url string, wantStatus int) []View {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+		}
+		if wantStatus != http.StatusOK {
+			return nil
+		}
+		var body struct {
+			Jobs []View `json:"jobs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+		return body.Jobs
+	}
+
+	listed := fetch(srv.URL+"/jobs", http.StatusOK)
+	if len(listed) != len(ids) {
+		t.Fatalf("listed %d jobs, want %d", len(listed), len(ids))
+	}
+	for i, v := range listed {
+		if v.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s (submission order)", i, v.ID, ids[i])
+		}
+	}
+
+	done := fetch(srv.URL+"/jobs?status=done", http.StatusOK)
+	if len(done) != len(ids) {
+		t.Errorf("status=done returned %d jobs, want %d", len(done), len(ids))
+	}
+	for i := 1; i < len(done); i++ {
+		if done[i-1].ID >= done[i].ID {
+			t.Errorf("filtered list out of order: %s before %s", done[i-1].ID, done[i].ID)
+		}
+	}
+	if queued := fetch(srv.URL+"/jobs?status=queued", http.StatusOK); len(queued) != 0 {
+		t.Errorf("status=queued returned %d jobs, want 0", len(queued))
+	}
+	fetch(srv.URL+"/jobs?status=bogus", http.StatusBadRequest)
+}

@@ -3,6 +3,7 @@ package jobs
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"repro/coverage"
@@ -11,7 +12,7 @@ import (
 // Handler returns the manager's HTTP/JSON API:
 //
 //	POST   /jobs           submit a Spec, 202 + job snapshot
-//	GET    /jobs           list all jobs
+//	GET    /jobs           list jobs in submission order (?status= filters)
 //	GET    /jobs/{id}      one job with live progress
 //	DELETE /jobs/{id}      cancel a queued or running job
 //	GET    /jobs/{id}/plan the job's best plan (coverage/persist envelope)
@@ -81,8 +82,23 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
-func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	views := m.List()
+	if f := r.URL.Query().Get("status"); f != "" {
+		st := State(f)
+		if !st.valid() {
+			writeError(w, fmt.Errorf("%w: unknown status %q", ErrSpec, f))
+			return
+		}
+		filtered := make([]View, 0, len(views))
+		for _, v := range views {
+			if v.State == st {
+				filtered = append(filtered, v)
+			}
+		}
+		views = filtered
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
 
 func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {

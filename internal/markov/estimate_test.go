@@ -104,3 +104,107 @@ func TestEstimateRecoversTrueChain(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateSingleVisitWindow covers windows shorter than two visits to
+// some states: each state appears at most once, so no state has more than
+// one observed departure. The estimate must still be a strictly positive
+// stochastic matrix under positive smoothing.
+func TestEstimateSingleVisitWindow(t *testing.T) {
+	p, err := Estimate([]int{0, 1, 2}, 4, 0.5)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		var sum float64
+		for j := 0; j < 4; j++ {
+			v := p.At(i, j)
+			if math.IsNaN(v) || v <= 0 {
+				t.Fatalf("p[%d][%d] = %v, want strictly positive and finite", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// State 3 was never seen; its row must be the uniform fallback.
+	for j := 0; j < 4; j++ {
+		if got := p.At(3, j); math.Abs(got-0.25) > 1e-12 {
+			t.Errorf("unvisited row: p[3][%d] = %v, want 0.25", j, got)
+		}
+	}
+}
+
+// TestEstimateZeroSmoothingConfined pins the degenerate corner the drift
+// detector must survive: zero smoothing on a trajectory confined to a
+// subset of states. Rows with observed departures take their exact MLE,
+// rows without any (unvisited states, or a state seen only as the final
+// observation) fall back to uniform — and nothing is ever NaN.
+func TestEstimateZeroSmoothingConfined(t *testing.T) {
+	// State 1 appears only as the last observation (no departure counted);
+	// state 2 never appears.
+	p, err := Estimate([]int{0, 0, 0, 1}, 3, 0)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			v := p.At(i, j)
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("p[%d][%d] = %v", i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	// Row 0: two self-loops then one exit to 1 out of three departures.
+	if got := p.At(0, 0); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("p[0][0] = %v, want 2/3", got)
+	}
+	if got := p.At(0, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("p[0][1] = %v, want 1/3", got)
+	}
+	third := 1.0 / 3
+	for _, i := range []int{1, 2} {
+		for j := 0; j < 3; j++ {
+			if got := p.At(i, j); math.Abs(got-third) > 1e-12 {
+				t.Errorf("departure-free row: p[%d][%d] = %v, want 1/3", i, j, got)
+			}
+		}
+	}
+}
+
+// TestEstimateFeedsChainConstructor closes the loop with the consumer:
+// a smoothed estimate from a confined window must be accepted by New and
+// yield a finite stationary distribution (the ergodicity the drift
+// detector and warm-start path rely on).
+func TestEstimateFeedsChainConstructor(t *testing.T) {
+	est, err := Estimate([]int{0, 0, 1, 0, 0, 1}, 3, 0.5)
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	c, err := New(est)
+	if err != nil {
+		t.Fatalf("New rejected smoothed estimate: %v", err)
+	}
+	if !c.IsErgodic() {
+		t.Fatal("smoothed estimate is not ergodic")
+	}
+	sol, err := c.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	var sum float64
+	for i, v := range sol.Pi {
+		if math.IsNaN(v) || v <= 0 {
+			t.Fatalf("pi[%d] = %v, want strictly positive", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("stationary sums to %v", sum)
+	}
+}

@@ -15,21 +15,39 @@ import (
 // for the perturbed descent variant, categorical sampling for the Markov
 // simulator, and random stochastic rows for random restarts).
 type Source struct {
-	r *rand.Rand
+	r   *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a Source seeded from the given 64-bit seed.
 func New(seed uint64) *Source {
 	// Mix the single seed into two PCG streams; the golden-ratio constant
 	// decorrelates the halves.
-	return &Source{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &Source{r: rand.New(pcg), pcg: pcg}
 }
 
 // Split returns a new independent Source derived from this one. Splitting
 // lets one experiment seed fan out to per-run streams without the runs
 // sharing state.
 func (s *Source) Split() *Source {
-	return &Source{r: rand.New(rand.NewPCG(s.r.Uint64(), s.r.Uint64()))}
+	pcg := rand.NewPCG(s.r.Uint64(), s.r.Uint64())
+	return &Source{r: rand.New(pcg), pcg: pcg}
+}
+
+// State returns an opaque snapshot of the stream's position. A Source
+// restored from it with SetState produces exactly the draws the original
+// would have produced next — rand.Rand keeps no buffered values of its
+// own, so the PCG state is the whole state. The deployment runtime uses
+// this to checkpoint live executors bit-for-bit.
+func (s *Source) State() ([]byte, error) {
+	return s.pcg.MarshalBinary()
+}
+
+// SetState rewinds or fast-forwards the stream to a snapshot taken with
+// State.
+func (s *Source) SetState(state []byte) error {
+	return s.pcg.UnmarshalBinary(state)
 }
 
 // Float64 returns a uniform value in [0, 1).
