@@ -22,6 +22,7 @@ import (
 	"repro/coverage"
 	"repro/internal/deploy"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,12 +35,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("deploydemo", flag.ContinueOnError)
 	var (
-		pois    = fs.Int("pois", 3, "number of PoIs on the line scenario")
-		seed    = fs.Uint64("seed", 7, "master seed for plan, walk, and perturbation")
-		iters   = fs.Int("iters", 800, "optimizer iterations per (re)optimization")
-		timeout = fs.Duration("timeout", 2*time.Minute, "overall budget for the loop")
+		pois      = fs.Int("pois", 3, "number of PoIs on the line scenario")
+		seed      = fs.Uint64("seed", 7, "master seed for plan, walk, and perturbation")
+		iters     = fs.Int("iters", 800, "optimizer iterations per (re)optimization")
+		timeout   = fs.Duration("timeout", 2*time.Minute, "overall budget for the loop")
+		logLevel  = fs.String("log-level", "warn", "minimum log level (debug, info, warn, error)")
+		logFormat = fs.String("log-format", "text", "log output format (text, json)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *pois < 2 {
@@ -70,7 +77,7 @@ func run(args []string) error {
 	}
 	fmt.Printf("  cost %.6g, ΔC %.6g\n", plan.Cost, plan.DeltaC)
 
-	mgr, err := jobs.New(jobs.Config{Workers: 1})
+	mgr, err := jobs.New(jobs.Config{Workers: 1, Logger: logger})
 	if err != nil {
 		return err
 	}
@@ -79,11 +86,12 @@ func run(args []string) error {
 		defer cancel()
 		_ = mgr.Shutdown(ctx)
 	}()
-	rt, err := deploy.New(deploy.Config{Jobs: mgr})
+	rt, err := deploy.New(deploy.Config{Jobs: mgr, Logger: logger})
 	if err != nil {
 		return err
 	}
 	defer rt.Shutdown()
+	mgr.SetProgressListener(rt.NoteJobProgress)
 
 	v, err := rt.Create(deploy.Spec{
 		Scenario:   scn,

@@ -20,7 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -55,17 +56,28 @@ func run(args []string, ready chan<- string) error {
 		dir        = fs.String("checkpoint-dir", "", "job and deployment checkpoint directory (empty disables persistence)")
 		deploys    = fs.Int("max-deployments", 64, "cap on concurrent deployments")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
+		logLevel   = fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+		logFormat  = fs.String("log-format", "text", "log output format (text, json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logDest := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	httpHist := reg.HistogramVec("http_request_duration_seconds",
+		"HTTP request latency by route pattern and status code.",
+		obs.DefBuckets, "route", "status")
 
 	mgr, err := jobs.New(jobs.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		MaxJobWorkers: *jobWorkers,
 		Dir:           *dir,
+		Logger:        logger,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err
@@ -74,10 +86,16 @@ func run(args []string, ready chan<- string) error {
 		Jobs:           mgr,
 		Dir:            *dir,
 		MaxDeployments: *deploys,
+		Logger:         logger,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
 	}
+	// Forward re-optimization progress into deployment event streams.
+	// Wired post-construction: the manager exists before the runtime.
+	mgr.SetProgressListener(rt.NoteJobProgress)
+	registerServeMetrics(reg, mgr, rt)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -89,7 +107,7 @@ func run(args []string, ready chan<- string) error {
 	// precedence over the job handler's "/" mount.
 	mux.Handle("/deployments", rt.Handler())
 	mux.Handle("/deployments/", rt.Handler())
-	mux.HandleFunc("GET /metrics", metricsHandler(mgr, rt))
+	mux.Handle("GET /metrics", reg.Handler())
 	if *profile {
 		// The default-mux registrations in net/http/pprof don't apply to
 		// this private mux; wire the handlers explicitly.
@@ -99,15 +117,20 @@ func run(args []string, ready chan<- string) error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler: obs.Middleware(mux, obs.Component(logger, "http"), httpHist),
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logDest.Printf("listening on %s (%d workers, queue %d, checkpoints %q)",
-		ln.Addr(), *workers, *queue, *dir)
+	logger.Info("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("workers", *workers),
+		slog.Int("queue", *queue),
+		slog.String("checkpointDir", *dir))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -119,12 +142,12 @@ func run(args []string, ready chan<- string) error {
 		shutdownErr := shutdownAll(srv, mgr, rt, *drain)
 		return errors.Join(err, shutdownErr)
 	case <-ctx.Done():
-		logDest.Printf("signal received, draining")
+		logger.Info("signal received, draining")
 		if err := shutdownAll(srv, mgr, rt, *drain); err != nil {
 			return err
 		}
 		<-errc // Serve returns http.ErrServerClosed after Shutdown
-		logDest.Printf("drained cleanly")
+		logger.Info("drained cleanly")
 		return nil
 	}
 }

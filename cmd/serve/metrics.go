@@ -1,74 +1,67 @@
 package main
 
 import (
-	"fmt"
-	"net/http"
-	"sort"
-	"strings"
-
 	"repro/internal/deploy"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
-// metricsHandler serves operational gauges and counters in the
-// Prometheus text exposition format, hand-rolled so the service stays
-// dependency-free. Everything here is recomputed per scrape from the
-// manager and runtime snapshots — no extra bookkeeping on the hot paths.
-func metricsHandler(mgr *jobs.Manager, rt *deploy.Runtime) http.HandlerFunc {
-	return func(w http.ResponseWriter, _ *http.Request) {
-		var b strings.Builder
-
-		js := mgr.Stat()
-		writeMetric(&b, "coverage_job_queue_depth", "gauge",
-			"Configured pending-job queue capacity.", float64(js.QueueDepth))
-		writeMetric(&b, "coverage_job_queue_len", "gauge",
-			"Jobs currently waiting in the queue.", float64(js.QueueLen))
-		writeMetric(&b, "coverage_job_workers", "gauge",
-			"Worker-pool size.", float64(js.Workers))
-
-		b.WriteString("# HELP coverage_jobs Jobs by lifecycle state.\n")
-		b.WriteString("# TYPE coverage_jobs gauge\n")
-		states := make([]string, 0, len(js.Jobs))
-		for st := range js.Jobs {
-			states = append(states, string(st))
-		}
-		sort.Strings(states)
-		for _, st := range states {
-			fmt.Fprintf(&b, "coverage_jobs{state=%q} %d\n", st, js.Jobs[jobs.State(st)])
-		}
-
-		// Aggregate optimization throughput across running jobs.
-		var ips float64
-		for _, v := range mgr.List() {
-			if v.State == jobs.StateRunning {
-				ips += v.ItersPerSec
+// registerServeMetrics wires the scrape-time slice of the metric
+// catalog: gauges and counters recomputed per scrape from the manager
+// and runtime snapshots, so the hot paths carry no extra bookkeeping.
+// The histogram side of the catalog (latency, queue wait, descent
+// timing) is registered by internal/jobs and internal/deploy when they
+// receive the same registry.
+func registerServeMetrics(reg *obs.Registry, mgr *jobs.Manager, rt *deploy.Runtime) {
+	reg.GaugeFunc("coverage_job_queue_depth",
+		"Configured pending-job queue capacity.",
+		func() float64 { return float64(mgr.Stat().QueueDepth) })
+	reg.GaugeFunc("coverage_job_queue_len",
+		"Jobs currently waiting in the queue.",
+		func() float64 { return float64(mgr.Stat().QueueLen) })
+	reg.GaugeFunc("coverage_job_workers",
+		"Worker-pool size.",
+		func() float64 { return float64(mgr.Stat().Workers) })
+	reg.GaugeMapFunc("coverage_jobs", "Jobs by lifecycle state.", "state",
+		func() map[string]float64 {
+			js := mgr.Stat().Jobs
+			out := make(map[string]float64, len(js))
+			for st, n := range js {
+				out[string(st)] = float64(n)
 			}
-		}
-		writeMetric(&b, "coverage_job_iterations_per_second", "gauge",
-			"Aggregate descent iteration throughput of running jobs.", ips)
+			return out
+		})
+	reg.GaugeFunc("coverage_job_iterations_per_second",
+		"Aggregate descent iteration throughput of running jobs.",
+		func() float64 {
+			var ips float64
+			for _, v := range mgr.List() {
+				if v.State == jobs.StateRunning {
+					ips += v.ItersPerSec
+				}
+			}
+			return ips
+		})
 
-		ds := rt.Stat()
-		writeMetric(&b, "coverage_deployments_active", "gauge",
-			"Deployments currently executing.", float64(ds.Active))
-		writeMetric(&b, "coverage_deployments_stopped", "gauge",
-			"Deployments stopped but still queryable.", float64(ds.Stopped))
-		writeMetric(&b, "coverage_deployment_steps_total", "counter",
-			"Total recorded deployment steps (drawn and observed).", float64(ds.StepsTotal))
-		writeMetric(&b, "coverage_deployment_drift_checks_total", "counter",
-			"Total drift checks run across deployments.", float64(ds.DriftChecks))
-		writeMetric(&b, "coverage_deployment_drift_triggers_total", "counter",
-			"Drift checks that crossed the threshold and submitted a re-optimization.", float64(ds.DriftTriggers))
-		writeMetric(&b, "coverage_deployment_plan_swaps_total", "counter",
-			"Completed hot-swaps of deployed plans.", float64(ds.Swaps))
-		writeMetric(&b, "coverage_deployment_pending_reopts", "gauge",
-			"Deployments with a re-optimization job in flight.", float64(ds.PendingReopts))
-
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_, _ = w.Write([]byte(b.String()))
-	}
-}
-
-// writeMetric emits one unlabeled sample with its HELP/TYPE preamble.
-func writeMetric(b *strings.Builder, name, kind, help string, value float64) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, value)
+	reg.GaugeFunc("coverage_deployments_active",
+		"Deployments currently executing.",
+		func() float64 { return float64(rt.Stat().Active) })
+	reg.GaugeFunc("coverage_deployments_stopped",
+		"Deployments stopped but still queryable.",
+		func() float64 { return float64(rt.Stat().Stopped) })
+	reg.CounterFunc("coverage_deployment_steps_total",
+		"Total recorded deployment steps (drawn and observed).",
+		func() float64 { return float64(rt.Stat().StepsTotal) })
+	reg.CounterFunc("coverage_deployment_drift_checks_total",
+		"Total drift checks run across deployments.",
+		func() float64 { return float64(rt.Stat().DriftChecks) })
+	reg.CounterFunc("coverage_deployment_drift_triggers_total",
+		"Drift checks that crossed the threshold and submitted a re-optimization.",
+		func() float64 { return float64(rt.Stat().DriftTriggers) })
+	reg.CounterFunc("coverage_deployment_plan_swaps_total",
+		"Completed hot-swaps of deployed plans.",
+		func() float64 { return float64(rt.Stat().Swaps) })
+	reg.GaugeFunc("coverage_deployment_pending_reopts",
+		"Deployments with a re-optimization job in flight.",
+		func() float64 { return float64(rt.Stat().PendingReopts) })
 }

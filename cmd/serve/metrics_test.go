@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// bootServe starts the real server on an ephemeral port and returns its
+// base URL plus the run() error channel; callers shut it down with
+// drainServe.
+func bootServe(t *testing.T, args ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(append([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-drain-timeout", "10s",
+		}, args...), ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	panic("unreachable")
+}
+
+func drainServe(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+}
+
+// TestMetricsCatalog scrapes /metrics and asserts every metric the
+// service registers appears with the correct # TYPE line and parses as
+// valid exposition text.
+func TestMetricsCatalog(t *testing.T) {
+	base, done := bootServe(t)
+	defer drainServe(t, done)
+
+	// Generate at least one routed request and one 404 before scraping
+	// so the HTTP latency histogram has children.
+	for _, path := range []string{"/healthz", "/no/such/route"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.Header.Get(obs.RequestIDHeader) == "" {
+			t.Errorf("GET %s: missing %s header (status %d)",
+				path, obs.RequestIDHeader, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	resp.Body.Close()
+
+	types, helps, samples, err := obs.ParseExpositionText(buf.String())
+	if err != nil {
+		t.Fatalf("malformed exposition output: %v", err)
+	}
+
+	catalog := map[string]string{
+		"http_request_duration_seconds":                obs.TypeHistogram,
+		"coverage_job_queue_wait_seconds":              obs.TypeHistogram,
+		"coverage_job_run_seconds":                     obs.TypeHistogram,
+		"coverage_descent_iteration_seconds":           obs.TypeHistogram,
+		"coverage_descent_line_search_probes":          obs.TypeHistogram,
+		"coverage_checkpoint_write_seconds":            obs.TypeHistogram,
+		"coverage_deployment_drift_score":              obs.TypeHistogram,
+		"coverage_deployment_checkpoint_write_seconds": obs.TypeHistogram,
+		"coverage_job_queue_depth":                     obs.TypeGauge,
+		"coverage_job_queue_len":                       obs.TypeGauge,
+		"coverage_job_workers":                         obs.TypeGauge,
+		"coverage_jobs":                                obs.TypeGauge,
+		"coverage_job_iterations_per_second":           obs.TypeGauge,
+		"coverage_deployments_active":                  obs.TypeGauge,
+		"coverage_deployments_stopped":                 obs.TypeGauge,
+		"coverage_deployment_pending_reopts":           obs.TypeGauge,
+		"coverage_deployment_steps_total":              obs.TypeCounter,
+		"coverage_deployment_drift_checks_total":       obs.TypeCounter,
+		"coverage_deployment_drift_triggers_total":     obs.TypeCounter,
+		"coverage_deployment_plan_swaps_total":         obs.TypeCounter,
+	}
+	for name, wantType := range catalog {
+		if got, ok := types[name]; !ok {
+			t.Errorf("metric %s: no # TYPE line", name)
+		} else if got != wantType {
+			t.Errorf("metric %s: type %s, want %s", name, got, wantType)
+		}
+		if _, ok := helps[name]; !ok {
+			t.Errorf("metric %s: no # HELP line", name)
+		}
+	}
+	// Callback-backed families always emit a sample; the HTTP histogram
+	// has children from the two requests above.
+	for _, name := range []string{
+		"http_request_duration_seconds",
+		"coverage_job_queue_depth",
+		"coverage_deployment_steps_total",
+	} {
+		if !samples[name] {
+			t.Errorf("metric %s: no sample lines in scrape", name)
+		}
+	}
+	// Nothing registered may be missing a type line, and no family may
+	// appear in samples without a registration.
+	for name := range samples {
+		if _, ok := types[name]; !ok {
+			t.Errorf("sample for %s has no # TYPE line", name)
+		}
+	}
+}
+
+// TestRequestIDOnErrors verifies 4xx responses still carry the request
+// ID header, honoring an inbound one.
+func TestRequestIDOnErrors(t *testing.T) {
+	base, done := bootServe(t)
+	defer drainServe(t, done)
+
+	req, err := http.NewRequest("GET", base+"/jobs/job-999999", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "trace-me-42" {
+		t.Errorf("%s = %q, want inbound ID echoed", obs.RequestIDHeader, got)
+	}
+}

@@ -1,0 +1,62 @@
+package coverage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPlan drives the plan decoder with arbitrary bytes: it must
+// never panic, must reject anything that fails validation with
+// ErrPersist (or a topology error), and everything it accepts must
+// round-trip through WritePlan/ReadPlan.
+func FuzzReadPlan(f *testing.F) {
+	// Seed with a real optimized plan so the fuzzer starts from a deep
+	// valid input, plus structurally interesting corrupt variants. The
+	// checked-in corpus under testdata/fuzz/FuzzReadPlan adds more.
+	scn, err := LineScenario("fuzz", 3, []float64{0.3, 0.3, 0.4})
+	if err != nil {
+		f.Fatalf("LineScenario: %v", err)
+	}
+	plan, err := Optimize(scn, Objectives{Alpha: 1, Beta: 1e-3}, Options{MaxIters: 60, Seed: 1})
+	if err != nil {
+		f.Fatalf("Optimize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		f.Fatalf("WritePlan: %v", err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"kind":"plan","plan":null}`))
+	f.Add([]byte(`{"version":2,"kind":"plan","plan":{"transitionMatrix":[[1]]}}`))
+	f.Add([]byte(`{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[1,0]],"cost":0.1}}`))
+	f.Add([]byte(`{"version":1,"kind":"plan","plan":{"transitionMatrix":[[0.5,0.5],[1,0]],"stationary":[0.5]}}`))
+	f.Add([]byte(`{"version":1,"kind":"plan","plan":{"transitionMatrix":[[-1,2],[1,0]]}}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadPlan(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatalf("error %v with non-nil plan", err)
+			}
+			return
+		}
+		if got == nil {
+			t.Fatal("nil plan with nil error")
+		}
+		// Accepted plans are valid by definition, so they must survive a
+		// write/read round trip unchanged in shape.
+		var out bytes.Buffer
+		if err := WritePlan(&out, got); err != nil {
+			t.Fatalf("accepted plan does not re-encode: %v", err)
+		}
+		again, err := ReadPlan(&out)
+		if err != nil {
+			t.Fatalf("re-encoded plan does not re-decode: %v", err)
+		}
+		if len(again.TransitionMatrix) != len(got.TransitionMatrix) {
+			t.Fatalf("round trip changed dimension: %d -> %d",
+				len(got.TransitionMatrix), len(again.TransitionMatrix))
+		}
+	})
+}

@@ -77,6 +77,29 @@ type Progress struct {
 	EBar   float64 `json:"eBar"`
 }
 
+// IterationEvent is the full-rate descent telemetry record delivered
+// through Options.OnIteration: one event per optimizer iteration, with
+// the metrics an observability layer wants (cost, step, accept/reject,
+// line-search probe count).
+type IterationEvent struct {
+	// Restart is the zero-based restart index within a multi-start search.
+	Restart int `json:"restart"`
+	// Iteration is the 1-based optimizer iteration within the restart.
+	Iteration int `json:"iteration"`
+	// Cost is the penalized cost U_ε after the iteration.
+	Cost float64 `json:"cost"`
+	// DeltaC and EBar are the paper's two metrics at the iterate.
+	DeltaC float64 `json:"deltaC"`
+	EBar   float64 `json:"eBar"`
+	// Step is the step size taken (0 when the move was rejected).
+	Step float64 `json:"step"`
+	// Accepted reports whether the candidate move was kept.
+	Accepted bool `json:"accepted"`
+	// Probes counts the line-search cost evaluations behind the step
+	// choice; scheduling-dependent (see descent.IterRecord.Probes).
+	Probes int `json:"probes"`
+}
+
 // Options tunes the optimizer run. The zero value is a sensible default
 // (perturbed descent, automatic budget).
 type Options struct {
@@ -103,6 +126,12 @@ type Options struct {
 	// not block; the job service uses it for live progress reporting. It
 	// is never serialized.
 	OnProgress func(Progress) `json:"-"`
+	// OnIteration, when non-nil, receives an IterationEvent for every
+	// optimizer iteration (no sampling) — the telemetry feed for logs and
+	// metrics. Same contract as OnProgress: synchronous, must not block,
+	// never serialized. Observing a run never perturbs it: uncancelled
+	// runs are bit-for-bit identical with and without the hook.
+	OnIteration func(IterationEvent) `json:"-"`
 	// ProgressEvery is the OnProgress sampling cadence in iterations
 	// (default DefaultProgressEvery).
 	ProgressEvery int `json:"progressEvery,omitempty"`
@@ -236,14 +265,27 @@ func (o Options) descentOptions(restart int) (descent.Options, error) {
 		InitialP:    initial,
 		Workers:     o.Workers,
 	}
-	if o.OnProgress != nil {
+	if o.OnProgress != nil || o.OnIteration != nil {
 		every := o.ProgressEvery
 		if every <= 0 {
 			every = DefaultProgressEvery
 		}
 		onProgress := o.OnProgress
+		onIteration := o.OnIteration
 		d.OnIteration = func(rec descent.IterRecord, _ *mat.Matrix) {
-			if rec.Iter == 1 || rec.Iter%every == 0 {
+			if onIteration != nil {
+				onIteration(IterationEvent{
+					Restart:   restart,
+					Iteration: rec.Iter,
+					Cost:      rec.U,
+					DeltaC:    rec.DeltaC,
+					EBar:      rec.EBar,
+					Step:      rec.Step,
+					Accepted:  rec.Accepted,
+					Probes:    rec.Probes,
+				})
+			}
+			if onProgress != nil && (rec.Iter == 1 || rec.Iter%every == 0) {
 				onProgress(Progress{
 					Restart:   restart,
 					Iteration: rec.Iter,

@@ -1,8 +1,10 @@
 package deploy
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/coverage"
+	"repro/internal/obs"
 )
 
 // checkpointVersion is the on-disk deployment-metadata format version.
@@ -104,9 +107,13 @@ func (rt *Runtime) persist(d *deployment, withScenario bool) {
 	plan := d.plan
 	rt.mu.Unlock()
 	if err == nil {
+		start := time.Now()
 		err = rt.writeCheckpoint(meta, scn, plan, withScenario)
+		rt.met.ckptSeconds.Observe(time.Since(start).Seconds())
 	}
 	if err != nil {
+		rt.log.ErrorContext(obs.WithDeploymentID(context.Background(), d.id),
+			"checkpoint write failed", slog.String("error", err.Error()))
 		rt.mu.Lock()
 		if d.lastError == "" {
 			d.lastError = fmt.Sprintf("checkpoint: %v", err)

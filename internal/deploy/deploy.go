@@ -25,14 +25,17 @@
 package deploy
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
 
 	"repro/coverage"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -213,7 +216,8 @@ type View struct {
 
 // Event is one entry of a deployment's event stream.
 type Event struct {
-	// Type is one of "drift", "trigger", "swap", "stopped", "error".
+	// Type is one of "drift", "trigger", "reopt-progress", "swap",
+	// "stopped", "error".
 	Type string `json:"type"`
 	// Deployment is the originating deployment ID.
 	Deployment string `json:"deployment"`
@@ -225,9 +229,10 @@ type Event struct {
 }
 
 // Jobs is the slice of the job manager the runtime needs to close the
-// loop; *jobs.Manager satisfies it.
+// loop; *jobs.Manager satisfies it. Submissions carry a context so the
+// deployment ID travels onto the job's log trail.
 type Jobs interface {
-	Submit(jobs.Spec) (jobs.View, error)
+	SubmitCtx(ctx context.Context, spec jobs.Spec) (jobs.View, error)
 	Get(id string) (jobs.View, error)
 	Plan(id string) (*coverage.Plan, error)
 }
@@ -356,11 +361,39 @@ type Config struct {
 	// MaxAdvance caps the steps of a single Advance or Observe call
 	// (default 1e6).
 	MaxAdvance int
+	// Logger receives structured deployment-lifecycle logs (create,
+	// drift, trigger, swap, stop), each carrying the deployment ID — and
+	// the re-optimization job ID where one is involved. Nil disables
+	// logging.
+	Logger *slog.Logger
+	// Metrics is the registry the runtime's instruments (drift-score
+	// distribution, checkpoint write latency) register into. Nil disables
+	// metrics.
+	Metrics *obs.Registry
+}
+
+// deployMetrics bundles the runtime's instruments; all obs instruments
+// are nil-safe, so the zero value records nothing.
+type deployMetrics struct {
+	driftScore  *obs.Histogram
+	ckptSeconds *obs.Histogram
+}
+
+func newDeployMetrics(r *obs.Registry) deployMetrics {
+	return deployMetrics{
+		driftScore: r.Histogram("coverage_deployment_drift_score",
+			"Drift scores observed by deployment drift checks.",
+			[]float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1}),
+		ckptSeconds: r.Histogram("coverage_deployment_checkpoint_write_seconds",
+			"Deployment checkpoint write latency.", obs.DefBuckets),
+	}
 }
 
 // Runtime owns the deployment table.
 type Runtime struct {
 	cfg Config
+	log *slog.Logger
+	met deployMetrics
 
 	mu     sync.Mutex
 	deps   map[string]*deployment
@@ -381,7 +414,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	rt := &Runtime{
 		cfg:  cfg,
+		log:  obs.Component(cfg.Logger, "deploy"),
 		deps: make(map[string]*deployment),
+	}
+	if cfg.Metrics != nil {
+		rt.met = newDeployMetrics(cfg.Metrics)
 	}
 	if cfg.Dir != "" {
 		if err := rt.loadCheckpoints(); err != nil {
@@ -458,6 +495,7 @@ func normalize(spec Spec) (Spec, error) {
 	// The warm start is owned by the runtime; drop anything smuggled in.
 	spec.Reopt.Options.InitialMatrix = nil
 	spec.Reopt.Options.OnProgress = nil
+	spec.Reopt.Options.OnIteration = nil
 	if len(spec.IncidentRates) == 1 && m > 1 {
 		uniform := make([]float64, m)
 		for i := range uniform {
@@ -542,6 +580,10 @@ func (rt *Runtime) Create(spec Spec) (View, error) {
 	v := d.view()
 	rt.mu.Unlock()
 
+	rt.log.InfoContext(obs.WithDeploymentID(context.Background(), id), "deployment created",
+		slog.String("scenario", spec.Scenario.Name),
+		slog.Float64("planCost", spec.Plan.Cost),
+		slog.Int("tickMillis", spec.TickMillis))
 	rt.persist(d, true)
 	return v, nil
 }
@@ -665,6 +707,8 @@ func (rt *Runtime) stopLocked(d *deployment) {
 		close(d.tickStop)
 		d.tickStop = nil
 	}
+	rt.log.InfoContext(obs.WithDeploymentID(context.Background(), d.id), "deployment stopped",
+		slog.Int("step", d.step))
 	d.emit(Event{Type: "stopped", Deployment: d.id, Step: d.step})
 	for _, ch := range d.subs {
 		close(ch)
@@ -845,6 +889,8 @@ func (rt *Runtime) checkDrift(d *deployment) {
 	}
 	rep.Step = d.step
 	d.driftChecks++
+	rt.met.driftScore.Observe(rep.Score)
+	lctx := obs.WithDeploymentID(context.Background(), d.id)
 
 	thr := d.spec.Drift.Threshold
 	canTrigger := rt.cfg.Jobs != nil && thr >= 0 && rep.Score >= thr &&
@@ -852,7 +898,7 @@ func (rt *Runtime) checkDrift(d *deployment) {
 	if canTrigger {
 		opts := d.spec.Reopt.Options
 		opts.InitialMatrix = estimate
-		v, err := rt.cfg.Jobs.Submit(jobs.Spec{
+		v, err := rt.cfg.Jobs.SubmitCtx(lctx, jobs.Spec{
 			Scenario:   d.spec.Scenario,
 			Objectives: d.spec.Objectives,
 			Options:    opts,
@@ -862,6 +908,8 @@ func (rt *Runtime) checkDrift(d *deployment) {
 			// Queue full or shutting down: report and retry at the next
 			// check rather than dropping the trigger permanently.
 			d.lastError = fmt.Sprintf("reopt submit: %v", err)
+			rt.log.WarnContext(lctx, "re-optimization submit failed",
+				slog.String("error", err.Error()))
 			d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
 		} else {
 			rep.Triggered = true
@@ -869,13 +917,34 @@ func (rt *Runtime) checkDrift(d *deployment) {
 			d.driftTriggers++
 			d.lastTrigger = d.step
 			d.lastError = ""
+			rt.log.InfoContext(obs.WithJobID(lctx, v.ID), "drift triggered re-optimization",
+				slog.Float64("score", rep.Score),
+				slog.Int("step", d.step))
 		}
 	}
 	d.lastDrift = rep
 	if rep.Triggered {
 		d.emit(Event{Type: "trigger", Deployment: d.id, Step: d.step, Data: rep})
 	} else {
+		rt.log.DebugContext(lctx, "drift check",
+			slog.Float64("score", rep.Score),
+			slog.Int("step", d.step))
 		d.emit(Event{Type: "drift", Deployment: d.id, Step: d.step, Data: rep})
+	}
+}
+
+// NoteJobProgress forwards a job progress sample onto the event stream
+// of the deployment waiting on that job (if any) as a "reopt-progress"
+// event. Wire it to jobs.Manager.SetProgressListener so subscribers
+// watching a drifting deployment see its re-optimization converge live.
+func (rt *Runtime) NoteJobProgress(jobID string, p coverage.Progress) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, d := range rt.deps {
+		if d.reoptJob == jobID {
+			d.emit(Event{Type: "reopt-progress", Deployment: d.id, Step: d.step, Data: p})
+			return
+		}
 	}
 }
 
@@ -937,6 +1006,11 @@ func (rt *Runtime) swapTo(d *deployment, plan *coverage.Plan, jobID string) {
 	d.winStart, d.winLen = 0, 0
 	d.lastDrift = nil
 	d.lastError = ""
+	lctx := obs.WithJobID(obs.WithDeploymentID(context.Background(), d.id), jobID)
+	rt.log.InfoContext(lctx, "plan hot-swapped",
+		slog.Int("step", d.step),
+		slog.Float64("oldCost", rec.OldCost),
+		slog.Float64("newCost", rec.NewCost))
 	d.emit(Event{Type: "swap", Deployment: d.id, Step: d.step, Data: rec})
 }
 

@@ -1,0 +1,90 @@
+package deploy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/coverage"
+)
+
+// FuzzLoadDeployment drives the checkpoint-restore decoder with
+// arbitrary metadata bytes against a directory holding one valid
+// scenario/plan pair. Restore must never panic, and anything it accepts
+// must come back with internally consistent statistics arrays and a
+// live executor.
+func FuzzLoadDeployment(f *testing.F) {
+	dir := f.TempDir()
+
+	// Build one real checkpointed deployment as the deep seed input.
+	scn, err := coverage.LineScenario("fuzz-deploy", 3, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		f.Fatalf("LineScenario: %v", err)
+	}
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	plan, err := coverage.Optimize(scn, obj, coverage.Options{MaxIters: 200, Seed: 3})
+	if err != nil {
+		f.Fatalf("Optimize: %v", err)
+	}
+	rt, err := New(Config{Dir: dir})
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
+	v, err := rt.Create(Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 9,
+		Drift: DriftConfig{Window: 64, CheckEvery: 32, MinSamples: 32, Threshold: 2},
+	})
+	if err != nil {
+		f.Fatalf("Create: %v", err)
+	}
+	if _, err := rt.Advance(v.ID, 40); err != nil {
+		f.Fatalf("Advance: %v", err)
+	}
+	rt.Shutdown()
+	seed, err := os.ReadFile(filepath.Join(dir, v.ID+".deploy.json"))
+	if err != nil {
+		f.Fatalf("read seed checkpoint: %v", err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"version":1,"kind":"deployment","deployment":null}`))
+	f.Add([]byte(`{"version":1,"kind":"deployment","deployment":{"id":"dep-000001","state":"active"}}`))
+	f.Add([]byte(`{"version":9,"kind":"deployment","deployment":{"id":"x","state":"bogus"}}`))
+	f.Add([]byte(`not json`))
+
+	// A bare runtime pointed at the same directory resolves the valid
+	// scenario/plan files; only the metadata under test varies.
+	loader := &Runtime{cfg: Config{Dir: dir}}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		metaPath := filepath.Join(t.TempDir(), "fuzz.deploy.json")
+		if err := os.WriteFile(metaPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := loader.loadDeployment(metaPath)
+		if err != nil {
+			if d != nil {
+				t.Fatalf("error %v with non-nil deployment", err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatal("nil deployment with nil error")
+		}
+		m := len(d.spec.Scenario.PoIs)
+		if len(d.visits) != m || len(d.lastVisit) != m ||
+			len(d.segCount) != m || len(d.segSum) != m || len(d.segMax) != m {
+			t.Fatalf("accepted deployment has inconsistent statistics arrays for %d PoIs", m)
+		}
+		if d.exec == nil {
+			t.Fatal("accepted deployment has no executor")
+		}
+		if d.winLen > len(d.window) {
+			t.Fatalf("window length %d exceeds capacity %d", d.winLen, len(d.window))
+		}
+		for i := 0; i < d.winLen; i++ {
+			if d.window[i] < 0 || d.window[i] >= m {
+				t.Fatalf("accepted window[%d] = %d outside [0, %d)", i, d.window[i], m)
+			}
+		}
+	})
+}

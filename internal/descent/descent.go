@@ -203,6 +203,12 @@ type IterRecord struct {
 	Step float64
 	// Accepted reports whether the candidate move was kept.
 	Accepted bool
+	// Probes counts the line-search cost evaluations behind this
+	// iteration's step choice (always 0 for the Basic variant's fixed
+	// step). The count is scheduling-dependent: the batched search may
+	// evaluate probes past the serial cutoff, so it can differ across
+	// Workers settings even though the chosen step is bit-identical.
+	Probes int
 }
 
 // Result is the outcome of an optimization run.
@@ -254,6 +260,10 @@ type Optimizer struct {
 	probeDelta []float64
 	probeU     []float64
 	ptask      probeTask
+
+	// probes counts φ evaluations of the current iteration's line search;
+	// reset on lineSearch entry, reported via IterRecord.Probes.
+	probes int
 }
 
 // New validates the options and builds an Optimizer.
@@ -502,6 +512,7 @@ func (o *Optimizer) runAdaptive(ctx context.Context) (*Result, error) {
 			o.record(res, IterRecord{
 				Iter: iter, U: curU, Objective: curObj,
 				DeltaC: curDC, EBar: curEB, Step: 0, Accepted: false,
+				Probes: o.probes,
 			}, p)
 			break
 		}
@@ -518,6 +529,7 @@ func (o *Optimizer) runAdaptive(ctx context.Context) (*Result, error) {
 		o.record(res, IterRecord{
 			Iter: iter, U: ev.U, Objective: ev.Objective,
 			DeltaC: ev.DeltaC, EBar: ev.EBar, Step: step, Accepted: true,
+			Probes: o.probes,
 		}, p)
 		if ev.U < res.Eval.U {
 			res.P = p.Clone()
@@ -657,6 +669,7 @@ func (o *Optimizer) runPerturbed(ctx context.Context) (*Result, error) {
 		o.record(res, IterRecord{
 			Iter: iter, U: curU, Objective: curObj,
 			DeltaC: curDC, EBar: curEB, Step: step, Accepted: accepted,
+			Probes: o.probes,
 		}, p)
 
 		if candEv.U < bestU-o.opts.Tolerance*math.Max(1, math.Abs(bestU)) {
@@ -715,6 +728,7 @@ func maxFeasibleStep(p, dir *mat.Matrix, floor float64) float64 {
 // chosen step, the cost at that step, and false when no positive step
 // improves on curU (the paper's Δt* = 0 case).
 func (o *Optimizer) lineSearch(p, dir *mat.Matrix, curU float64) (float64, float64, bool) {
+	o.probes = 0
 	bound := maxFeasibleStep(p, dir, o.opts.MinProb)
 	if bound <= 0 {
 		return 0, curU, false
@@ -872,6 +886,7 @@ func (t *probeTask) Run(w, lo, hi int) {
 // evalProbes computes φ(δ) for every δ in ds across the pool, writing
 // results to probeU[base:base+len(ds)].
 func (o *Optimizer) evalProbes(p, dir *mat.Matrix, ds []float64, base int) {
+	o.probes += len(ds)
 	o.ptask.p, o.ptask.dir, o.ptask.ds, o.ptask.base = p, dir, ds, base
 	o.pool.Run(len(ds), &o.ptask)
 }
@@ -880,6 +895,7 @@ func (o *Optimizer) evalProbes(p, dir *mat.Matrix, ds []float64, base int) {
 // buffer and workspace, allocating nothing. Infeasible or non-ergodic
 // probes evaluate to +Inf.
 func (o *Optimizer) phiEval(p, dir *mat.Matrix, delta float64) float64 {
+	o.probes++
 	return o.phiEvalIn(o.ws, o.cand, p, dir, delta)
 }
 

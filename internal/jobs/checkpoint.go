@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,7 +89,12 @@ func (m *Manager) persist(j *job, withScenario bool) {
 	plan := j.plan
 	m.mu.Unlock()
 
-	if err := m.writeCheckpoint(meta, scn, plan, withScenario); err != nil {
+	start := time.Now()
+	err := m.writeCheckpoint(meta, scn, plan, withScenario)
+	m.met.ckptSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.log.ErrorContext(j.logCtx(), "checkpoint write failed",
+			slog.String("error", err.Error()))
 		m.mu.Lock()
 		if j.errMsg == "" {
 			j.errMsg = fmt.Sprintf("checkpoint: %v", err)

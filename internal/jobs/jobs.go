@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/coverage"
+	"repro/internal/obs"
 )
 
 // Service errors, mapped onto HTTP statuses by the API layer.
@@ -139,6 +141,8 @@ type job struct {
 
 	state        State
 	created      time.Time
+	queuedAt     time.Time // last enqueue time, for queue-wait metrics
+	deployment   string    // deployment that submitted the job, if any
 	started      time.Time // start of the *current* running span
 	finished     time.Time
 	prog         Progress
@@ -203,6 +207,41 @@ type Config struct {
 	// Dir is the checkpoint directory; empty disables persistence (jobs
 	// are lost on process exit).
 	Dir string
+	// Logger receives structured job-lifecycle logs (submit, start,
+	// restart, checkpoint, finish), each carrying the job ID — and the
+	// deployment ID, when the submission context carries one — so a job's
+	// whole trail greps as one thread. Nil disables logging.
+	Logger *slog.Logger
+	// Metrics is the registry the manager's instruments (queue wait, run
+	// duration, descent iteration time, line-search probes, checkpoint
+	// write latency) register into. Nil disables metrics.
+	Metrics *obs.Registry
+}
+
+// jobMetrics bundles the manager's instruments. All obs instruments are
+// nil-safe, so the zero jobMetrics simply records nothing.
+type jobMetrics struct {
+	queueWait   *obs.Histogram
+	runSeconds  *obs.Histogram
+	iterSeconds *obs.Histogram
+	probes      *obs.Histogram
+	ckptSeconds *obs.Histogram
+}
+
+func newJobMetrics(r *obs.Registry) jobMetrics {
+	return jobMetrics{
+		queueWait: r.Histogram("coverage_job_queue_wait_seconds",
+			"Time jobs spend queued before a worker picks them up.", obs.DefBuckets),
+		runSeconds: r.Histogram("coverage_job_run_seconds",
+			"Cumulative wall-clock running time of finished jobs.", obs.DefBuckets),
+		iterSeconds: r.Histogram("coverage_descent_iteration_seconds",
+			"Wall-clock time between successive descent iterations.", obs.DefBuckets),
+		probes: r.Histogram("coverage_descent_line_search_probes",
+			"Line-search cost evaluations per descent iteration.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		ckptSeconds: r.Histogram("coverage_checkpoint_write_seconds",
+			"Job checkpoint write latency.", obs.DefBuckets),
+	}
 }
 
 // Manager owns the queue, the worker pool and the job table.
@@ -211,13 +250,16 @@ type Manager struct {
 	ctx  context.Context // pool context; cancelled by Shutdown
 	stop context.CancelFunc
 	wg   sync.WaitGroup
+	log  *slog.Logger
+	met  jobMetrics
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // submission order for List
-	queue  chan *job
-	seq    int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order for List
+	queue    chan *job
+	seq      int
+	closed   bool
+	progress func(jobID string, p coverage.Progress)
 }
 
 // New builds a Manager, resumes any checkpointed jobs found in cfg.Dir,
@@ -234,7 +276,11 @@ func New(cfg Config) (*Manager, error) {
 		cfg:  cfg,
 		ctx:  ctx,
 		stop: stop,
+		log:  obs.Component(cfg.Logger, "jobs"),
 		jobs: make(map[string]*job),
+	}
+	if cfg.Metrics != nil {
+		m.met = newJobMetrics(cfg.Metrics)
 	}
 	var resumed []*job
 	if cfg.Dir != "" {
@@ -261,6 +307,14 @@ func New(cfg Config) (*Manager, error) {
 
 // Submit validates the spec and enqueues a new job.
 func (m *Manager) Submit(spec Spec) (View, error) {
+	return m.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with a caller context carrying correlation IDs:
+// the submission log line inherits the context's request ID, and a
+// deployment ID on the context is remembered so every later lifecycle
+// line of the job carries it too — the drift → re-opt → swap trail.
+func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (View, error) {
 	if spec.Restarts == 0 {
 		spec.Restarts = 1
 	}
@@ -277,9 +331,10 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		(spec.Options.Workers == 0 || spec.Options.Workers > m.cfg.MaxJobWorkers) {
 		spec.Options.Workers = m.cfg.MaxJobWorkers
 	}
-	// The progress callback is owned by the worker; drop anything the
+	// The telemetry callbacks are owned by the worker; drop anything the
 	// caller smuggled in.
 	spec.Options.OnProgress = nil
+	spec.Options.OnIteration = nil
 
 	m.mu.Lock()
 	if m.closed {
@@ -291,12 +346,15 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		return View{}, ErrQueueFull
 	}
 	m.seq++
+	now := time.Now()
 	j := &job{
-		id:      fmt.Sprintf("job-%06d", m.seq),
-		spec:    spec,
-		state:   StateQueued,
-		created: time.Now(),
-		prog:    Progress{Restarts: spec.Restarts},
+		id:         fmt.Sprintf("job-%06d", m.seq),
+		spec:       spec,
+		state:      StateQueued,
+		created:    now,
+		queuedAt:   now,
+		deployment: obs.DeploymentID(ctx),
+		prog:       Progress{Restarts: spec.Restarts},
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -304,8 +362,32 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	v := j.view()
 	m.mu.Unlock()
 
+	m.log.InfoContext(obs.WithJobID(ctx, j.id), "job submitted",
+		slog.String("scenario", spec.Scenario.Name),
+		slog.Int("restarts", spec.Restarts),
+		slog.Int("maxIters", spec.Options.MaxIters))
 	m.persist(j, true)
 	return v, nil
+}
+
+// SetProgressListener registers fn to receive every sampled progress
+// snapshot of every running job, after the job's own record is updated.
+// Wire it once, before jobs run; the deploy runtime uses it to stream
+// re-optimization progress onto deployment event feeds.
+func (m *Manager) SetProgressListener(fn func(jobID string, p coverage.Progress)) {
+	m.mu.Lock()
+	m.progress = fn
+	m.mu.Unlock()
+}
+
+// logCtx builds the background context carrying a job's correlation IDs
+// for worker-side log lines.
+func (j *job) logCtx() context.Context {
+	ctx := obs.WithJobID(context.Background(), j.id)
+	if j.deployment != "" {
+		ctx = obs.WithDeploymentID(ctx, j.deployment)
+	}
+	return ctx
 }
 
 // Get returns a snapshot of one job.
@@ -362,12 +444,14 @@ func (m *Manager) Cancel(id string) error {
 		j.userCancel = true
 		j.finished = time.Now()
 		m.mu.Unlock()
+		m.log.InfoContext(j.logCtx(), "job cancelled before running")
 		m.persist(j, false)
 		return nil
 	case StateRunning:
 		j.userCancel = true
 		cancel := j.cancel
 		m.mu.Unlock()
+		m.log.InfoContext(j.logCtx(), "job cancel requested")
 		if cancel != nil {
 			cancel()
 		}
@@ -453,11 +537,19 @@ func (m *Manager) runJob(j *job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now()
+	wait := j.started.Sub(j.queuedAt).Seconds()
 	spec := j.spec
 	start := j.restartsDone
 	best := j.plan
 	m.mu.Unlock()
 	defer cancel()
+	if wait >= 0 {
+		m.met.queueWait.Observe(wait)
+	}
+	lctx := j.logCtx()
+	m.log.InfoContext(lctx, "job started",
+		slog.Int("fromRestart", start),
+		slog.Float64("queueWaitSec", wait))
 
 	// best holds the winner over *completed* restarts only. The paused
 	// checkpoint must exclude in-flight partial work: resuming re-runs the
@@ -474,6 +566,22 @@ func (m *Manager) runJob(j *job) {
 		restart := r
 		runOpts.OnProgress = func(p coverage.Progress) {
 			m.noteProgress(j, restart, p)
+		}
+		if m.met.iterSeconds != nil {
+			// Iteration timing lives here, not in the descent loop: the
+			// hook measures wall-clock between successive events, so the
+			// hot path itself never calls time.Now.
+			var lastIter time.Time
+			runOpts.OnIteration = func(ev coverage.IterationEvent) {
+				now := time.Now()
+				if !lastIter.IsZero() {
+					m.met.iterSeconds.Observe(now.Sub(lastIter).Seconds())
+				}
+				lastIter = now
+				if ev.Probes > 0 {
+					m.met.probes.Observe(float64(ev.Probes))
+				}
+			}
 		}
 		plan, err := coverage.OptimizeContext(ctx, spec.Scenario, spec.Objectives, runOpts)
 		if err != nil {
@@ -494,6 +602,12 @@ func (m *Manager) runJob(j *job) {
 			iters = plan.Iterations
 		}
 		m.completeRestart(j, r+1, best, iters)
+		if plan != nil {
+			m.log.InfoContext(lctx, "restart complete",
+				slog.Int("restart", r),
+				slog.Int("iterations", plan.Iterations),
+				slog.Float64("cost", plan.Cost))
+		}
 	}
 	if ctx.Err() != nil {
 		m.settleInterrupted(j, best, nil)
@@ -521,13 +635,19 @@ func (m *Manager) settleInterrupted(j *job, best, partial *coverage.Plan) {
 	m.pause(j, best)
 }
 
-// noteProgress records a sampled descent-trace point.
+// noteProgress records a sampled descent-trace point and fans it out to
+// the registered listener.
 func (m *Manager) noteProgress(j *job, restart int, p coverage.Progress) {
 	m.mu.Lock()
 	j.prog.Restart = restart
 	j.prog.Iteration = p.Iteration
 	j.prog.Cost = p.Cost
+	fn := m.progress
 	m.mu.Unlock()
+	if fn != nil {
+		p.Restart = restart
+		fn(j.id, p)
+	}
 }
 
 // completeRestart advances the job's checkpointable progress and writes
@@ -557,6 +677,7 @@ func (m *Manager) finish(j *job, state State, best *coverage.Plan, errMsg string
 	if !j.started.IsZero() {
 		j.ranSec += j.finished.Sub(j.started).Seconds()
 	}
+	ran := j.ranSec
 	j.plan = best
 	j.errMsg = errMsg
 	j.cancel = nil
@@ -565,6 +686,20 @@ func (m *Manager) finish(j *job, state State, best *coverage.Plan, errMsg string
 		j.prog.BestCost = &c
 	}
 	m.mu.Unlock()
+	m.met.runSeconds.Observe(ran)
+	attrs := []any{
+		slog.String("state", string(state)),
+		slog.Float64("ranSec", ran),
+	}
+	if best != nil {
+		attrs = append(attrs, slog.Float64("cost", best.Cost))
+	}
+	if errMsg != "" {
+		attrs = append(attrs, slog.String("error", errMsg))
+		m.log.ErrorContext(j.logCtx(), "job finished", attrs...)
+	} else {
+		m.log.InfoContext(j.logCtx(), "job finished", attrs...)
+	}
 	m.persist(j, false)
 }
 
@@ -582,7 +717,10 @@ func (m *Manager) pause(j *job, best *coverage.Plan) {
 		c := best.Cost
 		j.prog.BestCost = &c
 	}
+	done := j.restartsDone
 	m.mu.Unlock()
+	m.log.InfoContext(j.logCtx(), "job paused",
+		slog.Int("restartsDone", done))
 	m.persist(j, false)
 }
 

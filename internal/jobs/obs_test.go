@@ -1,0 +1,209 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe log sink: the HTTP handler and the
+// worker goroutine both write to the shared logger concurrently.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// parseLogLines decodes a buffer of JSON slog records.
+func parseLogLines(t *testing.T, raw string) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	for _, ln := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("bad log line %q: %v", ln, err)
+		}
+		lines = append(lines, rec)
+	}
+	return lines
+}
+
+// findLine returns the first record whose msg matches, or fails.
+func findLine(t *testing.T, lines []map[string]any, msg string) map[string]any {
+	t.Helper()
+	for _, rec := range lines {
+		if rec["msg"] == msg {
+			return rec
+		}
+	}
+	t.Fatalf("no log line with msg %q in:\n%s", msg, dumpMsgs(lines))
+	return nil
+}
+
+func dumpMsgs(lines []map[string]any) string {
+	var b strings.Builder
+	for _, rec := range lines {
+		b.WriteString("  ")
+		if s, ok := rec["msg"].(string); ok {
+			b.WriteString(s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCorrelatedLogTrail drives a job through the HTTP API from submit
+// to done and asserts the whole lifecycle is one correlated trail: the
+// request line and the submit line share the request ID, and every
+// lifecycle line carries the job ID.
+func TestCorrelatedLogTrail(t *testing.T) {
+	sink := &syncBuffer{}
+	logger, err := obs.NewLogger(sink, "debug", "json")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	reg := obs.NewRegistry()
+	m, err := New(Config{Workers: 1, Logger: logger, Metrics: reg})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer shutdown(t, m)
+
+	hist := reg.HistogramVec("http_request_duration_seconds",
+		"HTTP request latency.", obs.DefBuckets, "route", "status")
+	srv := httptest.NewServer(obs.Middleware(m.Handler(), logger, hist))
+	defer srv.Close()
+
+	body, err := json.Marshal(testSpec(t, 50, 1, 7))
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	reqID := resp.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		t.Fatal("response missing X-Request-ID header")
+	}
+	var view View
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decode view: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+
+	waitFor(t, 30*time.Second, func() bool {
+		got, err := m.Get(view.ID)
+		return err == nil && got.State == StateDone
+	}, "job to finish")
+
+	lines := parseLogLines(t, sink.String())
+
+	httpLine := findLine(t, lines, "http request")
+	if httpLine[obs.AttrRequestID] != reqID {
+		t.Errorf("http request line requestId = %v, want %q", httpLine[obs.AttrRequestID], reqID)
+	}
+	if httpLine["route"] != "POST /jobs" {
+		t.Errorf("http request route = %v, want POST /jobs", httpLine["route"])
+	}
+
+	submitted := findLine(t, lines, "job submitted")
+	if submitted[obs.AttrRequestID] != reqID {
+		t.Errorf("submit line requestId = %v, want %q (request/submit correlation broken)",
+			submitted[obs.AttrRequestID], reqID)
+	}
+	if submitted[obs.AttrJobID] != view.ID {
+		t.Errorf("submit line job = %v, want %q", submitted[obs.AttrJobID], view.ID)
+	}
+
+	for _, msg := range []string{"job started", "job finished"} {
+		rec := findLine(t, lines, msg)
+		if rec[obs.AttrJobID] != view.ID {
+			t.Errorf("%q line job = %v, want %q", msg, rec[obs.AttrJobID], view.ID)
+		}
+		if rec[obs.AttrComponent] != "jobs" {
+			t.Errorf("%q line component = %v, want jobs", msg, rec[obs.AttrComponent])
+		}
+	}
+
+	// The run should have fed the lifecycle histograms.
+	var metrics bytes.Buffer
+	if err := reg.WriteText(&metrics); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	for _, want := range []string{
+		"coverage_job_queue_wait_seconds_count 1",
+		"coverage_job_run_seconds_count 1",
+		`http_request_duration_seconds_count{route="POST /jobs",status="202"} 1`,
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Iteration timing fires once per accepted descent event.
+	if !strings.Contains(metrics.String(), "coverage_descent_iteration_seconds_count") {
+		t.Error("metrics output missing coverage_descent_iteration_seconds samples")
+	}
+}
+
+// TestDeploymentIDOnJobTrail submits a job with a deployment ID on the
+// context (as the deploy runtime does for drift-triggered re-opts) and
+// asserts every lifecycle line carries it.
+func TestDeploymentIDOnJobTrail(t *testing.T) {
+	sink := &syncBuffer{}
+	logger, err := obs.NewLogger(sink, "debug", "json")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	m, err := New(Config{Workers: 1, Logger: logger})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer shutdown(t, m)
+
+	ctx := obs.WithDeploymentID(context.Background(), "dep-000042")
+	v, err := m.SubmitCtx(ctx, testSpec(t, 50, 1, 11))
+	if err != nil {
+		t.Fatalf("SubmitCtx: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		got, err := m.Get(v.ID)
+		return err == nil && got.State == StateDone
+	}, "job to finish")
+
+	lines := parseLogLines(t, sink.String())
+	for _, msg := range []string{"job submitted", "job started", "job finished"} {
+		rec := findLine(t, lines, msg)
+		if rec[obs.AttrDeploymentID] != "dep-000042" {
+			t.Errorf("%q line deployment = %v, want dep-000042", msg, rec[obs.AttrDeploymentID])
+		}
+		if rec[obs.AttrJobID] != v.ID {
+			t.Errorf("%q line job = %v, want %q", msg, rec[obs.AttrJobID], v.ID)
+		}
+	}
+}

@@ -73,7 +73,7 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.Join(ErrSpec, err))
 		return
 	}
-	view, err := m.Submit(spec)
+	view, err := m.SubmitCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, err)
 		return

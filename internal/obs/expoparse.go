@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExpositionText is a minimal parser for the Prometheus text
+// exposition format this package emits. It returns the # TYPE map
+// (family name → type), the # HELP map (family name → help text), and
+// the set of families that have at least one sample line (histogram
+// child series — _bucket/_sum/_count — count toward their family).
+//
+// It exists so tests in other packages (e.g. cmd/serve's metric-catalog
+// test) can assert on scrapes without a client library; it validates
+// line shape and sample values and reports the first malformed line.
+func ParseExpositionText(text string) (types, helps map[string]string, samples map[string]bool, err error) {
+	types = make(map[string]string)
+	helps = make(map[string]string)
+	samples = make(map[string]bool)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, nil, nil, fmt.Errorf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				return nil, nil, nil, fmt.Errorf("malformed HELP line: %q", line)
+			}
+			helps[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name{labels} value  or  name value.
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		var value string
+		if i := strings.LastIndexByte(line, ' '); i >= 0 {
+			value = line[i+1:]
+		}
+		if value == "" {
+			return nil, nil, nil, fmt.Errorf("sample line without value: %q", line)
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, ferr := strconv.ParseFloat(value, 64); ferr != nil {
+				return nil, nil, nil, fmt.Errorf("sample line %q: bad value: %w", line, ferr)
+			}
+		}
+		// Histogram child series map back to their family name.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == TypeHistogram {
+				name = base
+				break
+			}
+		}
+		samples[name] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	return types, helps, samples, nil
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") == "missing" {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func TestMiddlewareRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	hist := r.HistogramVec("http_request_duration_seconds", "Latency.", DefBuckets, "route", "status")
+	h := Middleware(newTestMux(), log, hist)
+
+	// Generated ID appears in the header and the log line.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/abc", nil))
+	id := rec.Header().Get(RequestIDHeader)
+	if len(id) != 16 {
+		t.Fatalf("generated request ID %q, want 16 hex chars", id)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if got, _ := line[AttrRequestID].(string); got != id {
+		t.Errorf("log requestId = %q, header = %q", got, id)
+	}
+	if got, _ := line["route"].(string); got != "GET /jobs/{id}" {
+		t.Errorf("route = %q, want pattern", got)
+	}
+	if got, _ := line["status"].(float64); got != 200 {
+		t.Errorf("status = %v, want 200", got)
+	}
+	if got, _ := line["bytes"].(float64); got != 2 {
+		t.Errorf("bytes = %v, want 2", got)
+	}
+
+	// Inbound ID is honored verbatim.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/jobs/abc", nil)
+	req.Header.Set(RequestIDHeader, "client-chosen")
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "client-chosen" {
+		t.Errorf("inbound request ID not echoed: %q", got)
+	}
+}
+
+func TestMiddlewareLogsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	hist := r.HistogramVec("http_request_duration_seconds", "Latency.", DefBuckets, "route", "status")
+	h := Middleware(newTestMux(), log, hist)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/jobs/missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := line["level"].(string); got != "WARN" {
+		t.Errorf("4xx logged at %q, want WARN", got)
+	}
+	if got, _ := line["status"].(float64); got != 404 {
+		t.Errorf("status = %v, want 404", got)
+	}
+
+	// The latency histogram got a sample labeled with route and status.
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `http_request_duration_seconds_count{route="GET /jobs/{id}",status="404"} 1`) {
+		t.Errorf("histogram sample missing:\n%s", b.String())
+	}
+}
+
+func TestMiddlewareUnmatchedRoute(t *testing.T) {
+	r := NewRegistry()
+	hist := r.HistogramVec("http_request_duration_seconds", "Latency.", DefBuckets, "route", "status")
+	h := Middleware(newTestMux(), nil, hist)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `route="unmatched"`) {
+		t.Errorf("unmatched route label missing:\n%s", b.String())
+	}
+}
+
+// TestMiddlewarePreservesFlusher pins that wrapping does not hide the
+// Flusher capability the SSE event stream depends on.
+func TestMiddlewarePreservesFlusher(t *testing.T) {
+	flushed := false
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware hid http.Flusher")
+		}
+		_, _ = w.Write([]byte("data: x\n\n"))
+		f.Flush()
+		flushed = true
+	})
+	h := Middleware(inner, nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/events", nil))
+	if !flushed {
+		t.Fatal("handler did not run to completion")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Context keys for correlation IDs. Each runtime surface stamps its ID
+// into the request context once; every log line emitted below that point
+// carries it automatically, so one job's lifecycle greps as a single
+// trail across serve, jobs, and deploy components.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyJobID
+	ctxKeyDeploymentID
+)
+
+// Attribute names used for the propagated IDs.
+const (
+	AttrRequestID    = "requestId"
+	AttrJobID        = "job"
+	AttrDeploymentID = "deployment"
+	AttrComponent    = "component"
+)
+
+// WithRequestID returns ctx carrying an HTTP request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// WithJobID returns ctx carrying an optimization job ID.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyJobID, id)
+}
+
+// JobID returns the job ID carried by ctx, or "".
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyJobID).(string)
+	return id
+}
+
+// WithDeploymentID returns ctx carrying a deployment ID.
+func WithDeploymentID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKeyDeploymentID, id)
+}
+
+// DeploymentID returns the deployment ID carried by ctx, or "".
+func DeploymentID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyDeploymentID).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed
+		// fallback keeps logging usable rather than panicking.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxHandler is a slog.Handler wrapper that copies correlation IDs from
+// the record's context into its attributes.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if ctx != nil {
+		if id := RequestID(ctx); id != "" {
+			rec.AddAttrs(slog.String(AttrRequestID, id))
+		}
+		if id := JobID(ctx); id != "" {
+			rec.AddAttrs(slog.String(AttrJobID, id))
+		}
+		if id := DeploymentID(ctx); id != "" {
+			rec.AddAttrs(slog.String(AttrDeploymentID, id))
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the shared logger. level is one of debug, info, warn,
+// error; format is text or json. The returned logger injects any
+// context-carried request/job/deployment IDs into every record.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var inner slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		inner = slog.NewTextHandler(w, opts)
+	case "json":
+		inner = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+	return slog.New(ctxHandler{inner: inner}), nil
+}
+
+// Component returns a child logger tagged with a component attribute
+// ("serve", "jobs", "deploy", ...). Nil-safe: a nil base yields the
+// no-op logger.
+func Component(base *slog.Logger, name string) *slog.Logger {
+	if base == nil {
+		return NopLogger()
+	}
+	return base.With(slog.String(AttrComponent, name))
+}
+
+// nopHandler discards everything without formatting anything.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns a logger that drops every record. Components fall
+// back to it when no logger is configured, so call sites never need nil
+// checks.
+func NopLogger() *slog.Logger { return nopLogger }

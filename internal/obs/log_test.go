@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info line leaked through warn level")
+	}
+	if !strings.Contains(out, "visible") {
+		t.Error("warn line missing")
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestContextIDsInjected(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithRequestID(context.Background(), "req-1")
+	ctx = WithJobID(ctx, "job-7")
+	ctx = WithDeploymentID(ctx, "dep-3")
+	Component(log, "jobs").InfoContext(ctx, "worker picked up job")
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	for attr, want := range map[string]string{
+		AttrRequestID:    "req-1",
+		AttrJobID:        "job-7",
+		AttrDeploymentID: "dep-3",
+		AttrComponent:    "jobs",
+	} {
+		if got, _ := rec[attr].(string); got != want {
+			t.Errorf("%s = %q, want %q", attr, got, want)
+		}
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" || JobID(ctx) != "" || DeploymentID(ctx) != "" {
+		t.Fatal("empty context should carry no IDs")
+	}
+	ctx = WithRequestID(ctx, "r")
+	if RequestID(ctx) != "r" {
+		t.Fatal("request ID round trip failed")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("want 16 hex chars, got %q %q", a, b)
+	}
+	if a == b {
+		t.Fatal("two request IDs collided")
+	}
+}
+
+func TestNopLoggerAndNilComponent(t *testing.T) {
+	// Must not panic, must not write anywhere.
+	NopLogger().Error("dropped")
+	Component(nil, "x").Info("dropped")
+	if NopLogger().Enabled(context.Background(), 12) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("queue_depth", "Queue depth.")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	// Re-registering the same name/type returns the same instrument.
+	if r.Counter("requests_total", "Total requests.") != c {
+		t.Fatal("re-registration created a second counter")
+	}
+}
+
+func TestNilInstrumentsSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	cv.With("a").Inc()
+	hv.With("a").Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments should read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Cumulative buckets: le=0.1 holds 0.05 and 0.1 (bounds are
+	// inclusive), le=1 adds 0.5, le=10 adds 5, +Inf adds 50.
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 55.65`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecsAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("http_errors_total", "Errors by route.", "route", "status")
+	cv.With("/jobs", "500").Inc()
+	cv.With("/jobs", "500").Inc()
+	cv.With("/healthz", "404").Inc()
+	r.GaugeFunc("workers", "Worker count.", func() float64 { return 3 })
+	r.GaugeMapFunc("jobs", "Jobs by state.", "state", func() map[string]float64 {
+		return map[string]float64{"running": 2, "done": 7}
+	})
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`http_errors_total{route="/healthz",status="404"} 1`,
+		`http_errors_total{route="/jobs",status="500"} 2`,
+		"workers 3",
+		`jobs{state="done"} 7`,
+		`jobs{state="running"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExporterMatchesRegistry parses the full text exposition and checks
+// every registered family appears with a # TYPE line matching its
+// registered type and at least the HELP preamble — the registry and the
+// exporter cannot drift apart.
+func TestExporterMatchesRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Inc()
+	r.Gauge("b", "B.").Set(1)
+	r.Histogram("c_seconds", "C.", DefBuckets).Observe(0.2)
+	r.CounterVec("d_total", "D.", "k").With("v").Inc()
+	r.HistogramVec("e_seconds", "E.", []float64{1}, "k").With("v").Observe(2)
+	r.GaugeFunc("f", "F.", func() float64 { return 0 })
+	r.GaugeMapFunc("g", "G.", "state", func() map[string]float64 { return map[string]float64{"x": 1} })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	types, helps, samples := ParseExposition(t, b.String())
+
+	infos := r.Registered()
+	if len(infos) != 7 {
+		t.Fatalf("Registered() returned %d families, want 7", len(infos))
+	}
+	for _, info := range infos {
+		if got := types[info.Name]; got != info.Type {
+			t.Errorf("family %s: # TYPE says %q, registry says %q", info.Name, got, info.Type)
+		}
+		if _, ok := helps[info.Name]; !ok {
+			t.Errorf("family %s: no # HELP line", info.Name)
+		}
+		if !samples[info.Name] {
+			t.Errorf("family %s: no samples in output", info.Name)
+		}
+	}
+}
+
+// ParseExposition wraps ParseExpositionText for in-package tests.
+func ParseExposition(t *testing.T, text string) (types, helps map[string]string, samples map[string]bool) {
+	t.Helper()
+	types, helps, samples, err := ParseExpositionText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return types, helps, samples
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "N.")
+	h := r.Histogram("h_seconds", "H.", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %v, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

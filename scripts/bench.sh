@@ -14,6 +14,13 @@
 # the comparison. A missing prior snapshot is tolerated: fresh clones
 # have nothing to diff yet.
 #
+# The comparison doubles as a regression gate: the script exits nonzero
+# when any benchmark's ns/op regressed by more than
+# BENCH_FAIL_THRESHOLD percent (default 20) against the prior snapshot.
+# CI sets BENCH_FAIL_THRESHOLD=100 (only a 2x slowdown fails) because
+# shared runners are noisy; locally the tighter default catches real
+# regressions before they are committed.
+#
 # The second form runs nothing: it joins two flat snapshots by benchmark
 # name into the checked-in BENCH_pr*.json schema, where each entry has
 # nullable "before" and "after" objects (null = the benchmark did not
@@ -134,13 +141,13 @@ if [ -z "$prev" ] || [ ! -r "$prev" ]; then
 	exit 0
 fi
 
-echo "comparing against $prev"
+echo "comparing against $prev (fail threshold ${BENCH_FAIL_THRESHOLD:-20}%)"
 # Flatten each snapshot to "name ns b allocs" lines and join on name.
 # Snapshots are small, so a nested read is fine.
 pflat=$(mktemp)
 trap 'rm -f "$tmp" "$pflat"' EXIT
 flatten_json "$prev" >"$pflat"
-flatten_json "$out" | awk -v prevfile="$pflat" '
+flatten_json "$out" | awk -v prevfile="$pflat" -v prevname="$prev" -v thr="${BENCH_FAIL_THRESHOLD:-20}" '
 	BEGIN {
 		while ((getline line < prevfile) > 0) {
 			split(line, f, " ")
@@ -150,9 +157,22 @@ flatten_json "$out" | awk -v prevfile="$pflat" '
 		printf "%-40s %12s %12s %8s\n", "benchmark", "prev ns/op", "now ns/op", "allocs"
 	}
 	{
-		if ($1 in pns)
-			printf "%-40s %12s %12s %4s->%s\n", $1, pns[$1], $2, pal[$1], $4
-		else
+		if ($1 in pns) {
+			flag = ""
+			if (pns[$1] + 0 > 0 && $2 / pns[$1] > 1 + thr / 100) {
+				flag = "  << REGRESSION"
+				bad++
+			}
+			printf "%-40s %12s %12s %4s->%s%s\n", $1, pns[$1], $2, pal[$1], $4, flag
+		} else {
 			printf "%-40s %12s %12s %8s (new)\n", $1, "-", $2, $4
+		}
+	}
+	END {
+		if (bad > 0) {
+			printf "FAIL: %d benchmark(s) regressed more than %s%% vs %s\n", bad, thr, prevname
+			exit 1
+		}
+		printf "OK: no benchmark regressed more than %s%%\n", thr
 	}
 '
