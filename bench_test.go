@@ -13,6 +13,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	"repro/coverage"
@@ -313,6 +315,105 @@ func BenchmarkGradientAlloc(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// largeBenchFixtures caches the city-scale models and matrices: the
+// M=512 topology and its kNN transition matrix are expensive to build,
+// so each size is constructed once per process and shared by the dense
+// and sparse sub-benches (the dense path's lazy cover table likewise
+// builds once and stays cached on the model).
+var largeBenchFixtures = map[int]struct {
+	model *cost.Model
+	p     *mat.Matrix
+}{}
+
+// benchLargeFixture builds a random-geometric topology with a kNN
+// support-restricted transition matrix: each row keeps its self-loop,
+// its ring successor, and its 8 nearest neighbors, uniformly weighted,
+// with exact zeros off support — the city-scale sparsity the sparse
+// solver path exists for.
+func benchLargeFixture(b *testing.B, m int) (*cost.Model, *mat.Matrix) {
+	b.Helper()
+	if f, ok := largeBenchFixtures[m]; ok {
+		return f.model, f.p
+	}
+	top, err := topology.Random(rng.New(uint64(m)), topology.RandomConfig{
+		M: m, Width: 40 * float64(m), Height: 40 * float64(m),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := cost.NewModel(top, cost.Uniform(m, 1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 8
+	p := mat.New(m, m)
+	pd := p.Data()
+	for i := 0; i < m; i++ {
+		row := pd[i*m : (i+1)*m]
+		row[i] = 1
+		row[(i+1)%m] = 1
+		drow := top.DistanceRow(i)
+		for s := 0; s < k; s++ {
+			best, bestD := -1, math.Inf(1)
+			for j := 0; j < m; j++ {
+				if j == i || row[j] != 0 {
+					continue
+				}
+				if drow[j] < bestD {
+					best, bestD = j, drow[j]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			row[best] = 1
+		}
+		var cnt float64
+		for _, v := range row {
+			cnt += v
+		}
+		for j := range row {
+			row[j] /= cnt
+		}
+	}
+	largeBenchFixtures[m] = struct {
+		model *cost.Model
+		p     *mat.Matrix
+	}{model, p}
+	return model, p
+}
+
+// BenchmarkGradientLarge pits the dense and sparse solver paths against
+// each other at city scale (M=256, M=512) on kNN support-restricted
+// chains. DESIGN.md §11 records the measured crossover; the CI bench
+// gate tracks both paths so a regression in either is caught.
+func BenchmarkGradientLarge(b *testing.B) {
+	for _, m := range []int{256, 512} {
+		for _, sv := range []struct {
+			name   string
+			method markov.Method
+		}{{"dense", markov.MethodDense}, {"sparse", markov.MethodSparse}} {
+			b.Run(fmt.Sprintf("M%d/%s", m, sv.name), func(b *testing.B) {
+				model, p := benchLargeFixture(b, m)
+				ws := model.NewWorkspace()
+				ws.SetSolver(sv.method)
+				// Warm-up builds the model's lazy tables outside the
+				// timed region.
+				if _, _, err := model.GradientIn(ws, p); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := model.GradientIn(ws, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -140,6 +140,12 @@ type Options struct {
 	// across them). Results are bit-for-bit identical for every value.
 	// Zero selects GOMAXPROCS; one forces the serial path.
 	Workers int `json:"workers,omitempty"`
+	// Solver selects the linear-algebra backend: "" or "dense" for the
+	// bit-exact dense reference, "sparse" for the factor-fill path that
+	// makes city-scale PoI sets (M ≥ ~256) tractable. Sparse results
+	// agree with dense to the documented tolerance (DESIGN.md §11) and
+	// fall back to dense automatically on near-singular systems.
+	Solver string `json:"solver,omitempty"`
 }
 
 // TracePoint is one optimizer iteration in a Plan's history.
@@ -255,6 +261,15 @@ func (o Options) descentOptions(restart int) (descent.Options, error) {
 			return descent.Options{}, fmt.Errorf("coverage: initial matrix: %w", err)
 		}
 	}
+	var solver markov.Method
+	switch o.Solver {
+	case "", "dense":
+		solver = markov.MethodDense
+	case "sparse":
+		solver = markov.MethodSparse
+	default:
+		return descent.Options{}, fmt.Errorf("coverage: unknown solver %q (want \"dense\" or \"sparse\")", o.Solver)
+	}
 	d := descent.Options{
 		Variant:     o.variant(),
 		MaxIters:    o.MaxIters,
@@ -264,6 +279,7 @@ func (o Options) descentOptions(restart int) (descent.Options, error) {
 		RecordTrace: o.RecordTrace,
 		InitialP:    initial,
 		Workers:     o.Workers,
+		Solver:      solver,
 	}
 	if o.OnProgress != nil || o.OnIteration != nil {
 		every := o.ProgressEvery

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/markov"
 	"repro/internal/mat"
@@ -94,13 +95,26 @@ type Model struct {
 	top *topology.Topology
 	w   Weights
 	// at[(j*m+k)*m+i] = T_{jk,i} − Φ_i·T_jk, the per-PoI coverage
-	// discrepancy coefficients, precomputed once. The layout is
-	// transition-major with the PoI index i contiguous, so the O(M³)
-	// coverage loops in evaluateInto and gradientRows stream the
-	// innermost dimension instead of striding by M².
-	at []float64
+	// discrepancy coefficients. The layout is transition-major with the
+	// PoI index i contiguous, so the O(M³) coverage loops in evaluateInto
+	// and gradientRows stream the innermost dimension instead of striding
+	// by M². Built lazily on first dense-path use (see atTable): the
+	// sparse path never touches it, which at city scale (M = 512 the
+	// table is M³ doubles ≈ 1 GiB) is most of that path's memory win.
+	at     []float64
+	atOnce sync.Once
 	// travelRow[j*m+k] = T_jk for the denominator of C̄.
 	travel []float64
+
+	// Sparse coverage lists: for transition slot j*m+k, the PoIs with
+	// nonzero cover time live in covIdx/covVal[covPtr[j*m+k]:covPtr[j*m+k+1]].
+	// Geometric topologies cover only the PoIs near the j→k path, so these
+	// lists hold a small multiple of M² entries where the at table holds
+	// M³. Built lazily on first sparse-path gradient (see coverLists).
+	covPtr  []int
+	covIdx  []int32
+	covVal  []float64
+	covOnce sync.Once
 }
 
 // NewModel validates the weights and precomputes the coverage coefficient
@@ -121,7 +135,6 @@ func NewModel(top *topology.Topology, w Weights) (*Model, error) {
 	mod := &Model{
 		top:    top,
 		w:      w,
-		at:     make([]float64, m*m*m),
 		travel: make([]float64, m*m),
 	}
 	for j := 0; j < m; j++ {
@@ -129,19 +142,53 @@ func NewModel(top *topology.Topology, w Weights) (*Model, error) {
 			mod.travel[j*m+k] = top.TravelTime(j, k)
 		}
 	}
-	// Each entry is computed with the same expression regardless of
-	// layout, so the table holds the same doubles as the historic i-major
-	// one — reading at[(j*m+k)*m+i] where the old code read a[i][j*m+k]
-	// cannot move any bits.
-	for i := 0; i < m; i++ {
-		phi := top.TargetAt(i)
-		for j := 0; j < m; j++ {
-			for k := 0; k < m; k++ {
-				mod.at[(j*m+k)*m+i] = top.CoverTime(j, k, i) - phi*top.TravelTime(j, k)
+	return mod, nil
+}
+
+// atTable returns the dense coverage-coefficient table, building it on
+// first use (safe under concurrent gradient workers). Each entry is
+// computed with the same expression the eager constructor used, so the
+// table holds the same doubles as always — the laziness cannot move any
+// bits on the dense path; it only lets the sparse path skip the build.
+func (m *Model) atTable() []float64 {
+	m.atOnce.Do(func() {
+		n := m.top.M()
+		at := make([]float64, n*n*n)
+		for i := 0; i < n; i++ {
+			phi := m.top.TargetAt(i)
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					at[(j*n+k)*n+i] = m.top.CoverTime(j, k, i) - phi*m.top.TravelTime(j, k)
+				}
 			}
 		}
-	}
-	return mod, nil
+		m.at = at
+	})
+	return m.at
+}
+
+// coverLists returns the sparse per-transition cover lists, scanning the
+// topology's cover table once on first use.
+func (m *Model) coverLists() ([]int, []int32, []float64) {
+	m.covOnce.Do(func() {
+		n := m.top.M()
+		ptr := make([]int, n*n+1)
+		var idx []int32
+		var val []float64
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for i, v := range m.top.CoverRow(j, k) {
+					if v != 0 {
+						idx = append(idx, int32(i))
+						val = append(val, v)
+					}
+				}
+				ptr[j*n+k+1] = len(val)
+			}
+		}
+		m.covPtr, m.covIdx, m.covVal = ptr, idx, val
+	})
+	return m.covPtr, m.covIdx, m.covVal
 }
 
 // Topology returns the model's topology.
@@ -237,9 +284,18 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 	p := sol.P
 
 	// Coverage: G_i = Σ_{j,k} π_j p_jk a^{(i)}_{jk}; C̄_i from Eq. 2.
-	// The inner loop streams the i-contiguous rows of the coverage tables
+	// The dense path streams the i-contiguous rows of the coverage tables
 	// (same per-(j,k) visit order and per-slot fold as the historic
-	// accessor-based loop, so the sums carry identical bits).
+	// accessor-based loop, so the sums carry identical bits). The sparse
+	// path (solutions whose Z² was elided) never touches the M³ at table:
+	// it uses the identity G_i = coverNum_i − Φ_i·Σ π_j p_jk T_jk, which
+	// is the same sum reassociated — exact in exact arithmetic, within
+	// markov.SparseTol in floating point.
+	sparseMode := sol.Z2 == nil
+	var at []float64
+	if !sparseMode {
+		at = m.atTable()
+	}
 	var totalTime float64 // Σ π_j p_jk T_jk
 	pd := p.Data()
 	for j := 0; j < n; j++ {
@@ -252,11 +308,22 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 			}
 			totalTime += w * m.travel[j*n+k]
 			crow := m.top.CoverRow(j, k)
-			arow := m.at[(j*n+k)*n : (j*n+k+1)*n]
+			if sparseMode {
+				for i := 0; i < n; i++ {
+					coverNum[i] += w * crow[i]
+				}
+				continue
+			}
+			arow := at[(j*n+k)*n : (j*n+k+1)*n]
 			for i := 0; i < n; i++ {
 				coverNum[i] += w * crow[i]
 				g[i] += w * arow[i]
 			}
+		}
+	}
+	if sparseMode {
+		for i := 0; i < n; i++ {
+			g[i] = coverNum[i] - m.top.TargetAt(i)*totalTime
 		}
 	}
 	for i := 0; i < n; i++ {

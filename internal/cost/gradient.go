@@ -99,6 +99,18 @@ func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error)
 			ws.anyCover = true
 		}
 	}
+	// Sparse solutions (Z² elided) flip the coverage partials to the
+	// cover-list form and the Eq. 10 contractions to factor solves.
+	sparseMode := sol.Z2 == nil
+	ws.sparseCover = sparseMode
+	if sparseMode && ws.anyCover {
+		var cphi float64 // Σ_i c_i Φ_i, the travel-time coefficient
+		for i := 0; i < n; i++ {
+			cphi += carr[i] * m.top.TargetAt(i)
+		}
+		ws.cphi = cphi
+		m.coverLists() // build outside the worker fan-out
+	}
 	for w := 0; w < width; w++ {
 		ws.errIdx[w] = -1
 	}
@@ -130,21 +142,33 @@ func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error)
 		return nil, fmt.Errorf("%w: p_%d%d = 1", markov.ErrNotErgodic, errAt, errAt)
 	}
 
-	// --- Assemble Eq. 10 with O(M³) contractions. ---
+	// --- Assemble Eq. 10 contractions. ---
 	// term1_kl = π_k (Z·dUdPi)_l.
 	if err := mat.MulVecTo(ws.q, sol.Z, dUdPi); err != nil {
 		return nil, err
 	}
-	// term2a = Zᵀ · dUdZ · Zᵀ. The two products dominate the assembly cost
-	// and row-partition cleanly (row i of a product depends only on row i
-	// of its left factor), so they run on the pool.
+	// term2a = Zᵀ · dUdZ · Zᵀ. On the dense path the two O(M³) products
+	// dominate the assembly cost and row-partition cleanly (row i of a
+	// product depends only on row i of its left factor), so they run on
+	// the pool. On the sparse path the left product is cheap anyway —
+	// dUdZ only has entries on the exposure support, and MulTo skips zero
+	// left-factor entries — and the right product is replaced by one
+	// blocked M-rhs transpose solve against the sparse factorization
+	// (Zᵀ = A⁻ᵀ), which costs factor fill per column instead of M² and
+	// streams the factor once. The multi-RHS block layout (rhs r in
+	// column r) coincides with the matrices' own row-major layout, so
+	// tmp solves straight into term2a with no gather/scatter.
 	if err := mat.TransposeTo(ws.zt, sol.Z); err != nil {
 		return nil, err
 	}
 	if err := ws.mulRows(ws.tmp, ws.dUdZ, ws.zt, width); err != nil {
 		return nil, err
 	}
-	if err := ws.mulRows(ws.term2a, ws.zt, ws.tmp, width); err != nil {
+	if sf := sol.Sparse(); sparseMode && sf != nil {
+		if err := sf.SolveTransposeMulti(ws.term2a.Data(), ws.tmp.Data(), n); err != nil {
+			return nil, err
+		}
+	} else if err := ws.mulRows(ws.term2a, ws.zt, ws.tmp, width); err != nil {
 		return nil, err
 	}
 	// term2b_kl = π_k (Z²·colsums(dUdZ))_l.
@@ -159,7 +183,15 @@ func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error)
 			colsum[j] += v
 		}
 	}
-	if err := mat.MulVecTo(ws.r, sol.Z2, colsum); err != nil {
+	if sol.Z2 == nil {
+		// Z² was elided: fold the vector through Z twice instead.
+		if err := mat.MulVecTo(ws.r2, sol.Z, colsum); err != nil {
+			return nil, err
+		}
+		if err := mat.MulVecTo(ws.r, sol.Z, ws.r2); err != nil {
+			return nil, err
+		}
+	} else if err := mat.MulVecTo(ws.r, sol.Z2, colsum); err != nil {
 		return nil, err
 	}
 
@@ -216,7 +248,35 @@ func (m *Model) gradientRows(ws *Workspace, ev *Evaluation, w, lo, hi int) {
 	carr := ws.carr
 
 	// --- Coverage term: ½ Σ_i α_i G_i². ---
-	if ws.anyCover {
+	switch {
+	case ws.anyCover && ws.sparseCover:
+		// Sparse form: S_jk = Σ_i c_i T_{jk,i} − (Σ_i c_i Φ_i)·T_jk, so
+		// dUdP_jk = π_j S_jk and the dUdPi fold is Σ_k p_jk S_jk. The
+		// per-(j,k) dot runs over the nonzero cover list instead of all M
+		// PoIs, and the M³ at table is never touched.
+		covPtr, covIdx, covVal := m.covPtr, m.covIdx, m.covVal
+		cphi := ws.cphi
+		for j := lo; j < hi; j++ {
+			pij := sol.Pi[j]
+			prow := pd[j*n : (j+1)*n]
+			dprow := dpd[j*n : (j+1)*n]
+			var acc float64
+			for k := 0; k < n; k++ {
+				slot := j*n + k
+				var s float64
+				for t := covPtr[slot]; t < covPtr[slot+1]; t++ {
+					s += carr[covIdx[t]] * covVal[t]
+				}
+				s -= cphi * m.travel[slot]
+				dprow[k] = pij * s
+				if pjk := prow[k]; pjk != 0 {
+					acc += pjk * s
+				}
+			}
+			dUdPi[j] = acc
+		}
+	case ws.anyCover:
+		at := m.atTable()
 		rowAcc := ws.rowAcc[w]
 		cpj := ws.cpj[w]
 		for j := lo; j < hi; j++ {
@@ -229,7 +289,7 @@ func (m *Model) gradientRows(ws *Workspace, ev *Evaluation, w, lo, hi int) {
 			}
 			for k := 0; k < n; k++ {
 				pjk := prow[k]
-				arow := m.at[(j*n+k)*n : (j*n+k+1)*n]
+				arow := at[(j*n+k)*n : (j*n+k+1)*n]
 				var s float64 // the dUdP_jk fold over ascending i
 				for i := 0; i < n; i++ {
 					if carr[i] == 0 {

@@ -31,12 +31,16 @@ type Workspace struct {
 
 	// Gradient scratch, allocated on first GradientIn so evaluate-only
 	// workspaces stay small.
-	dUdPi  []float64
-	colsum []float64
-	q      []float64
-	r      []float64
-	carr   []float64 // coverage coefficients c_i = α_i G_i
-	dUdZ   *mat.Matrix
+	dUdPi   []float64
+	colsum  []float64
+	q       []float64
+	r       []float64
+	r2      []float64 // Z·colsum staging when Z² is elided (sparse path)
+	carr    []float64 // coverage coefficients c_i = α_i G_i
+	// Sparse-path coverage state for the current gradient pass.
+	sparseCover bool
+	cphi        float64 // Σ_i c_i Φ_i
+	dUdZ        *mat.Matrix
 	dUdP   *mat.Matrix
 	zt     *mat.Matrix
 	tmp    *mat.Matrix
@@ -74,6 +78,18 @@ func (ws *Workspace) SetPool(p *par.Pool) {
 	ws.pool = p
 }
 
+// SetSolver selects the markov backend for the workspace's chain solves.
+// markov.MethodDense (the default) is the bit-exact reference;
+// markov.MethodSparse trades bit-identity for factor-fill scaling at
+// city-size M, agreeing with the dense results to markov.SparseTol (and
+// transparently falling back to dense on near-singular systems).
+func (ws *Workspace) SetSolver(method markov.Method) {
+	ws.solver.SetMethod(method)
+}
+
+// Solver returns the workspace's current markov backend.
+func (ws *Workspace) Solver() markov.Method { return ws.solver.Method() }
+
 // ensureGradient lazily allocates the gradient-side scratch.
 func (ws *Workspace) ensureGradient() {
 	if ws.grad != nil {
@@ -84,6 +100,7 @@ func (ws *Workspace) ensureGradient() {
 	ws.colsum = make([]float64, n)
 	ws.q = make([]float64, n)
 	ws.r = make([]float64, n)
+	ws.r2 = make([]float64, n)
 	ws.carr = make([]float64, n)
 	ws.dUdZ = mat.New(n, n)
 	ws.dUdP = mat.New(n, n)

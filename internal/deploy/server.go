@@ -140,16 +140,24 @@ func (rt *Runtime) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	flusher, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		writeError(w, errors.New("deploy: response writer does not support streaming"))
 		return
 	}
+	// The controller surfaces flush errors that a bare http.Flusher
+	// swallows. A peer that vanished without the request context firing
+	// (half-closed proxy hop, dead TCP session) shows up as a failed
+	// write or flush; returning on the first one lets the deferred
+	// cancel detach the subscriber instead of streaming into the void
+	// until the deployment stops.
+	rc := http.NewResponseController(w)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
-	flusher.Flush()
+	if err := rc.Flush(); err != nil {
+		return
+	}
 
 	for {
 		select {
@@ -166,7 +174,9 @@ func (rt *Runtime) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, blob); err != nil {
 				return
 			}
-			flusher.Flush()
+			if err := rc.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }

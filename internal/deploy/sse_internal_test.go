@@ -1,0 +1,136 @@
+package deploy
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/coverage"
+)
+
+var errBrokenPipe = errors.New("simulated broken pipe")
+
+// brokenPipeWriter is a streaming ResponseWriter whose connection
+// "breaks" after the headers go out: every later flush fails, but the
+// request context never fires — the shape of a half-closed proxy hop or
+// a dead TCP peer. Flush satisfies the handler's upfront streaming
+// check; FlushError is what http.NewResponseController consults, so the
+// failure surfaces exactly where a real kernel send buffer would report
+// it.
+type brokenPipeWriter struct {
+	mu      sync.Mutex
+	header  http.Header
+	flushes int
+}
+
+func (w *brokenPipeWriter) Header() http.Header {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+
+func (w *brokenPipeWriter) WriteHeader(int) {}
+
+func (w *brokenPipeWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+func (w *brokenPipeWriter) Flush() {}
+
+func (w *brokenPipeWriter) FlushError() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.flushes++
+	if w.flushes > 1 { // the first flush pushes the SSE headers out
+		return errBrokenPipe
+	}
+	return nil
+}
+
+// TestEventStreamDetachesOnFlushError: a subscriber whose writes stop
+// reaching the client must be torn down on the first failed flush —
+// handler goroutine gone, subscriber channel detached — not kept
+// streaming into the void until the deployment stops.
+func TestEventStreamDetachesOnFlushError(t *testing.T) {
+	scn, err := coverage.LineScenario("deploy-sse", 3, []float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	plan, err := coverage.Optimize(scn, obj, coverage.Options{MaxIters: 400, Seed: 11})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	rt, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Shutdown()
+	v, err := rt.Create(Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 9,
+		Drift: DriftConfig{Window: 128, CheckEvery: 32, MinSamples: 64, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	subCount := func() int {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return len(rt.deps[v.ID].subs)
+	}
+
+	before := runtime.NumGoroutine()
+	w := &brokenPipeWriter{}
+	req := httptest.NewRequest(http.MethodGet, "/deployments/"+v.ID+"/events", nil)
+	req.SetPathValue("id", v.ID)
+	done := make(chan struct{})
+	go func() {
+		rt.handleEvents(w, req)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for subCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if subCount() != 1 {
+		t.Fatal("handler never subscribed")
+	}
+
+	// Each Advance crosses drift checkpoints and emits events; the first
+	// one the handler relays hits the broken flush and must end the
+	// stream.
+	for {
+		select {
+		case <-done:
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("handler still streaming after flush errors")
+			}
+			if _, err := rt.Advance(v.ID, 64); err != nil {
+				t.Fatalf("Advance: %v", err)
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		break
+	}
+
+	if n := subCount(); n != 0 {
+		t.Errorf("subscriber channels still attached after detach: %d", n)
+	}
+	after := runtime.NumGoroutine()
+	for i := 0; i < 100 && after > before; i++ {
+		time.Sleep(10 * time.Millisecond)
+		after = runtime.NumGoroutine()
+	}
+	if after > before {
+		t.Errorf("goroutines: %d before handler, %d after detach", before, after)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/cost"
+	"repro/internal/markov"
 	"repro/internal/mat"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -127,6 +128,14 @@ type Options struct {
 	// scheduling, never arithmetic order. Zero selects GOMAXPROCS; one
 	// forces the exact serial code path (no pool, no extra goroutines).
 	Workers int
+	// Solver selects the markov linear-algebra backend for every chain
+	// solve the run performs (iterate evaluations, gradients, and all
+	// line-search probes). The zero value, markov.MethodDense, is the
+	// bit-exact reference the golden traces pin; markov.MethodSparse
+	// scales with the factor fill instead of M³ and agrees with dense to
+	// markov.SparseTol (see DESIGN.md §11), falling back to the dense
+	// path automatically on near-singular systems.
+	Solver markov.Method
 	// RecordTrace captures one IterRecord per iteration in the result.
 	RecordTrace bool
 	// OnIteration, when non-nil, is invoked after every iteration with the
@@ -183,6 +192,11 @@ func (o Options) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("%w: negative Workers %d", ErrOptions, o.Workers)
+	}
+	switch o.Solver {
+	case markov.MethodDense, markov.MethodSparse:
+	default:
+		return fmt.Errorf("%w: unknown solver method %d", ErrOptions, int(o.Solver))
 	}
 	return nil
 }
@@ -282,6 +296,7 @@ func New(model *cost.Model, opts Options) (*Optimizer, error) {
 		noisy: mat.New(n, n),
 		cand:  mat.New(n, n),
 	}
+	o.ws.SetSolver(opts.Solver)
 	if w := opts.Workers; w > 1 {
 		o.pool = par.New(w)
 		o.ws.SetPool(o.pool)
@@ -289,6 +304,7 @@ func New(model *cost.Model, opts Options) (*Optimizer, error) {
 		o.probeCand = make([]*mat.Matrix, w)
 		for i := 0; i < w; i++ {
 			o.probeWS[i] = model.NewWorkspace()
+			o.probeWS[i].SetSolver(opts.Solver)
 			o.probeCand[i] = mat.New(n, n)
 		}
 		o.probeDelta = make([]float64, 0, lsMaxProbes)

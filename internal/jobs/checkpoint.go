@@ -159,7 +159,15 @@ func (m *Manager) loadCheckpoints() ([]*job, error) {
 		}
 		j, err := m.loadJob(filepath.Join(m.cfg.Dir, e.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("jobs: checkpoint %s: %w", e.Name(), err)
+			// A torn or corrupt checkpoint (crash mid-write, disk trouble,
+			// manual edits) must not take every other job down with it:
+			// skip the bad file, keep it on disk for inspection, and load
+			// the rest. The write path's temp+rename makes this rare, but
+			// startup must tolerate whatever it finds.
+			m.log.Error("skipping unreadable checkpoint",
+				slog.String("file", e.Name()),
+				slog.String("error", err.Error()))
+			continue
 		}
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)

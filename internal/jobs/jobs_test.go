@@ -5,10 +5,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -467,13 +469,75 @@ func TestResumeAfterHardKill(t *testing.T) {
 	}
 }
 
-func TestLoadCheckpointsRejectsMalformed(t *testing.T) {
+// TestLoadCheckpointsSkipsTorn: a torn or corrupt checkpoint (a crash
+// mid-write, disk trouble) must not poison startup — the manager skips
+// and logs the bad file and loads every healthy job around it.
+func TestLoadCheckpointsSkipsTorn(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(dir+"/job-000001.job.json", []byte(`{"version":1,"kind":"plan"}`), 0o644); err != nil {
-		t.Fatalf("write: %v", err)
+	spec := testSpec(t, 200, 1, 11)
+
+	m1, err := New(Config{Workers: 1, Dir: dir})
+	if err != nil {
+		t.Fatalf("New m1: %v", err)
 	}
-	if _, err := New(Config{Dir: dir}); err == nil {
-		t.Fatal("malformed checkpoint accepted")
+	v, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		got, _ := m1.Get(v.ID)
+		return got.State == StateDone
+	}, "job to finish")
+	shutdown(t, m1)
+
+	// Forge a torn metadata file — the front half of a valid envelope, as
+	// a crash mid-write without the temp+rename dance would leave — plus a
+	// wrong-kind file, a la manual edits.
+	blob, err := os.ReadFile(m1.jobPath(v.ID))
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	if err := os.WriteFile(dir+"/job-000098.job.json", blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatalf("write torn: %v", err)
+	}
+	if err := os.WriteFile(dir+"/job-000099.job.json", []byte(`{"version":1,"kind":"plan"}`), 0o644); err != nil {
+		t.Fatalf("write wrong-kind: %v", err)
+	}
+
+	var logBuf bytes.Buffer
+	m2, err := New(Config{Workers: 1, Dir: dir,
+		Logger: slog.New(slog.NewTextHandler(&logBuf, nil))})
+	if err != nil {
+		t.Fatalf("New with torn checkpoints: %v", err)
+	}
+	defer shutdown(t, m2)
+
+	got, err := m2.Get(v.ID)
+	if err != nil {
+		t.Fatalf("healthy job lost: %v", err)
+	}
+	if got.State != StateDone {
+		t.Errorf("healthy job state = %s, want %s", got.State, StateDone)
+	}
+	if _, err := m2.Plan(v.ID); err != nil {
+		t.Errorf("healthy job plan lost: %v", err)
+	}
+	for _, bad := range []string{"job-000098", "job-000099"} {
+		if _, err := m2.Get(bad); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%s) err = %v, want ErrNotFound", bad, err)
+		}
+	}
+	if jobs := m2.List(); len(jobs) != 1 {
+		t.Errorf("List returned %d jobs, want 1", len(jobs))
+	}
+	if n := strings.Count(logBuf.String(), "skipping unreadable checkpoint"); n != 2 {
+		t.Errorf("skip log emitted %d times, want 2\nlogs:\n%s", n, logBuf.String())
+	}
+	// The bad files stay on disk for inspection.
+	for _, bad := range []string{"job-000098", "job-000099"} {
+		if _, err := os.Stat(dir + "/" + bad + ".job.json"); err != nil {
+			t.Errorf("bad checkpoint %s removed: %v", bad, err)
+		}
 	}
 }
 

@@ -21,13 +21,20 @@ type Solution struct {
 	W *mat.Matrix
 	// Z is the fundamental matrix (I - P + W)^{-1} (Eq. 7).
 	Z *mat.Matrix
-	// Z2 is Z*Z, needed by the perturbation formula for dZ/dt.
+	// Z2 is Z*Z, needed by the perturbation formula for dZ/dt. Sparse
+	// solves (MethodSparse) leave it nil — consumers that only fold Z²
+	// against a vector compute Z·(Z·v) instead, and DZ rebuilds it on
+	// demand.
 	Z2 *mat.Matrix
 	// R is the mean first-passage time matrix: R_ij is the expected number
 	// of transitions to first reach j starting from i, with
 	// R_ii = 1/π_i the mean return time (Eq. 8 with the column-scaling
 	// reading of R = (I - Z + J Z_dg) D; see DESIGN.md errata).
 	R *mat.Matrix
+
+	// sparse holds the factorization handle of a MethodSparse solve, nil
+	// on the dense path and after Clone. Access via Sparse().
+	sparse *SparseFactors
 }
 
 // Solve computes the stationary distribution and the derived matrices.
@@ -151,7 +158,16 @@ func (s *Solution) DZ(v *mat.Matrix) (*mat.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	wvz2, err := mat.Mul(wv, s.Z2)
+	z2 := s.Z2
+	if z2 == nil {
+		// Sparse solves elide Z²; rebuild it here (DZ is an off-hot-path
+		// diagnostic, so the extra product is acceptable).
+		z2, err = mat.Mul(s.Z, s.Z)
+		if err != nil {
+			return nil, err
+		}
+	}
+	wvz2, err := mat.Mul(wv, z2)
 	if err != nil {
 		return nil, err
 	}

@@ -16,12 +16,16 @@ import (
 // call must Clone it. A Solver is not safe for concurrent use; give each
 // goroutine its own (the descent package allocates one per optimizer).
 type Solver struct {
-	n   int
-	sol Solution
+	n      int
+	sol    Solution
+	method Method
 
 	lu  *mat.LU
 	zin *mat.Matrix // holds I - P + W, then the stationary system (I-P)^T
 	b   []float64   // right-hand side of the stationary system
+
+	// Sparse-path assembly scratch, allocated on first sparse solve.
+	sp *sparseScratch
 
 	// Graph-check scratch for the ergodicity test.
 	seen  []bool
@@ -70,6 +74,28 @@ func (s *Solver) Solve(p *mat.Matrix) (*Solution, error) {
 		c := &Chain{p: p}
 		return nil, fmt.Errorf("%w: irreducible=%v period=%d",
 			ErrNotErgodic, c.IsIrreducible(), c.Period())
+	}
+	if s.method == MethodSparse {
+		sol, err := s.solveSparse(p)
+		if err == nil {
+			return sol, nil
+		}
+		if !errors.Is(err, mat.ErrSingular) {
+			return nil, err
+		}
+		// Near-singular pivot in the no-pivoting sparse factorization:
+		// fall back to the pivoted dense reference for this solve.
+	}
+	return s.solveDense(p)
+}
+
+// solveDense is the bit-exact dense reference path.
+func (s *Solver) solveDense(p *mat.Matrix) (*Solution, error) {
+	n := s.n
+	s.sol.sparse = nil
+	if s.sol.Z2 == nil {
+		// A prior sparse solve elided Z²; the dense contract includes it.
+		s.sol.Z2 = mat.New(n, n)
 	}
 	if err := s.stationary(p); err != nil {
 		return nil, err
@@ -254,14 +280,18 @@ func checkPositive(pi []float64) error {
 
 // Clone returns a deep copy of the Solution, detaching it from whatever
 // Solver buffers back it. Use it to retain a Solution past the next Solve
-// call on the owning Solver.
+// call on the owning Solver. The sparse factorization handle, when
+// present, is not carried over: it aliases solver-owned factor storage.
 func (s *Solution) Clone() *Solution {
-	return &Solution{
+	c := &Solution{
 		P:  s.P.Clone(),
 		Pi: append([]float64(nil), s.Pi...),
 		W:  s.W.Clone(),
 		Z:  s.Z.Clone(),
-		Z2: s.Z2.Clone(),
 		R:  s.R.Clone(),
 	}
+	if s.Z2 != nil {
+		c.Z2 = s.Z2.Clone()
+	}
+	return c
 }

@@ -1,0 +1,226 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// sparseRingP builds an n-state chain whose support is a ring plus k
+// random shortcuts per row, with exact zeros off-support — the structural
+// shape of city-scale topologies the sparse path targets.
+func sparseRingP(src *rng.Source, n, k int) *mat.Matrix {
+	p := mat.New(n, n)
+	pd := p.Data()
+	for i := 0; i < n; i++ {
+		row := pd[i*n : (i+1)*n]
+		row[i] = 1
+		row[(i+1)%n] = 1
+		for s := 0; s < k; s++ {
+			row[src.IntN(n)] = 1
+		}
+		cnt := 0.0
+		for _, v := range row {
+			cnt += v
+		}
+		for j := range row {
+			row[j] /= cnt
+		}
+	}
+	return p
+}
+
+func maxRelDiff(a, b *mat.Matrix) float64 {
+	ad, bd := a.Data(), b.Data()
+	scale := 0.0
+	for _, v := range bd {
+		if m := math.Abs(v); m > scale {
+			scale = m
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	worst := 0.0
+	for i := range ad {
+		if d := math.Abs(ad[i]-bd[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func solveBoth(t *testing.T, p *mat.Matrix) (dense, sparse *Solution) {
+	t.Helper()
+	n := p.Rows()
+	ds := NewSolver(n)
+	dsol, err := ds.Solve(p)
+	if err != nil {
+		t.Fatalf("dense solve: %v", err)
+	}
+	ss := NewSolver(n)
+	ss.SetMethod(MethodSparse)
+	ssol, err := ss.Solve(p)
+	if err != nil {
+		t.Fatalf("sparse solve: %v", err)
+	}
+	return dsol, ssol
+}
+
+func TestSparseSolveMatchesDense(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *mat.Matrix
+	}{
+		{"dense-random-12", randomErgodic(rng.New(7), 12).P()},
+		{"dense-random-40", randomErgodic(rng.New(11), 40).P()},
+		{"sparse-ring-64", sparseRingP(rng.New(3), 64, 3)},
+		{"sparse-ring-128", sparseRingP(rng.New(5), 128, 4)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dsol, ssol := solveBoth(t, tc.p)
+			piScale := 0.0
+			for _, v := range dsol.Pi {
+				if m := math.Abs(v); m > piScale {
+					piScale = m
+				}
+			}
+			for i := range dsol.Pi {
+				if d := math.Abs(dsol.Pi[i]-ssol.Pi[i]) / piScale; d > SparseTol {
+					t.Fatalf("π_%d differs by %g (> %g)", i, d, SparseTol)
+				}
+			}
+			if d := maxRelDiff(ssol.Z, dsol.Z); d > SparseTol {
+				t.Fatalf("Z differs by %g (> %g)", d, SparseTol)
+			}
+			if d := maxRelDiff(ssol.R, dsol.R); d > SparseTol {
+				t.Fatalf("R differs by %g (> %g)", d, SparseTol)
+			}
+			if ssol.Z2 != nil {
+				t.Fatalf("sparse solve materialized Z2")
+			}
+			if ssol.Sparse() == nil {
+				t.Fatalf("sparse solve did not attach factors")
+			}
+			if dsol.Sparse() != nil {
+				t.Fatalf("dense solve attached sparse factors")
+			}
+		})
+	}
+}
+
+func TestSparseFactorsSolveTranspose(t *testing.T) {
+	p := sparseRingP(rng.New(9), 48, 3)
+	dsol, ssol := solveBoth(t, p)
+	n := p.Rows()
+	src := rng.New(17)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = src.Float64() - 0.5
+	}
+	x := make([]float64, n)
+	if err := ssol.Sparse().SolveTranspose(x, b); err != nil {
+		t.Fatalf("SolveTranspose: %v", err)
+	}
+	// x should equal Zᵀ b.
+	want := make([]float64, n)
+	zd := dsol.Z.Data()
+	for j := 0; j < n; j++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += zd[i*n+j] * b[i]
+		}
+		want[j] = acc
+	}
+	for i := range x {
+		if d := math.Abs(x[i] - want[i]); d > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g (diff %g)", i, x[i], want[i], d)
+		}
+	}
+	// And the non-transposed solve should reproduce Z b.
+	if err := ssol.Sparse().Solve(x, b); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := mat.MulVecTo(want, dsol.Z, b); err != nil {
+		t.Fatalf("dense Z b: %v", err)
+	}
+	for i := range x {
+		if d := math.Abs(x[i] - want[i]); d > 1e-8 {
+			t.Fatalf("Zb[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSparseSolutionCloneAndDZ(t *testing.T) {
+	p := sparseRingP(rng.New(21), 24, 2)
+	dsol, ssol := solveBoth(t, p)
+
+	c := ssol.Clone()
+	if c.Z2 != nil {
+		t.Fatalf("clone of sparse solution grew a Z2")
+	}
+	if c.Sparse() != nil {
+		t.Fatalf("clone carried the solver-owned sparse factors")
+	}
+
+	// DZ must work without Z2 and agree with the dense solution's DZ.
+	n := p.Rows()
+	v := mat.New(n, n)
+	vd := v.Data()
+	src := rng.New(33)
+	for i := 0; i < n; i++ {
+		row := vd[i*n : (i+1)*n]
+		var sum float64
+		for j := 0; j < n-1; j++ {
+			row[j] = src.Float64() - 0.5
+			sum += row[j]
+		}
+		row[n-1] = -sum
+	}
+	got, err := ssol.DZ(v)
+	if err != nil {
+		t.Fatalf("sparse DZ: %v", err)
+	}
+	want, err := dsol.DZ(v)
+	if err != nil {
+		t.Fatalf("dense DZ: %v", err)
+	}
+	if d := maxRelDiff(got, want); d > 1e-7 {
+		t.Fatalf("DZ differs by %g", d)
+	}
+}
+
+func TestSolverMethodSwitchRestoresDense(t *testing.T) {
+	p := sparseRingP(rng.New(41), 16, 2)
+	s := NewSolver(16)
+	s.SetMethod(MethodSparse)
+	sol, err := s.Solve(p)
+	if err != nil {
+		t.Fatalf("sparse solve: %v", err)
+	}
+	if sol.Z2 != nil {
+		t.Fatalf("sparse solve materialized Z2")
+	}
+	s.SetMethod(MethodDense)
+	sol, err = s.Solve(p)
+	if err != nil {
+		t.Fatalf("dense solve after sparse: %v", err)
+	}
+	if sol.Z2 == nil {
+		t.Fatalf("dense solve did not restore Z2")
+	}
+	if sol.Sparse() != nil {
+		t.Fatalf("dense solve kept stale sparse factors")
+	}
+	// Z·Z² consistency: Z2 must equal Z*Z on the restored dense path.
+	zz, err := mat.Mul(sol.Z, sol.Z)
+	if err != nil {
+		t.Fatalf("Z*Z: %v", err)
+	}
+	if d := maxRelDiff(sol.Z2, zz); d != 0 {
+		t.Fatalf("restored Z2 differs from Z*Z by %g", d)
+	}
+}

@@ -23,7 +23,18 @@ type LU struct {
 	sign  float64   // +1 or -1 with the parity of the permutation
 	col   []float64 // per-column scratch for SolveTo/InverseTo
 	batch []float64 // packed multi-column scratch, lazily sized n*luBatchCols
+	scale []float64 // per-row input max magnitudes for the pivot guard
 }
+
+// MinPivotRatio is the scaled near-singularity threshold of Refactor: a
+// selected pivot whose magnitude falls below this fraction of its row's
+// largest input magnitude is rejected as numerically singular. An
+// exactly-zero test alone lets pivots like 1e-18 (the floating-point
+// residue of a structurally singular system) through, and the resulting
+// "solutions" are garbage that downstream conditioning checks may miss.
+// The ratio compares against the pivot row's own scale, so well-scaled
+// tiny systems (e.g. a diagonal of 1e-20s) still factor.
+const MinPivotRatio = 1e-14
 
 // luBatchCols is the number of right-hand-side columns substituted
 // together by the blocked SolveTo/InverseTo path: each batch streams the
@@ -45,13 +56,15 @@ func NewLU(n int) *LU {
 		pivot: make([]int, n),
 		sign:  1,
 		col:   make([]float64, n),
+		scale: make([]float64, n),
 	}
 }
 
 // Factor computes the LU decomposition of a square matrix with partial
-// (row) pivoting. It returns ErrSingular if a pivot is exactly zero; near
-// singularity surfaces later as large residuals, which callers guard with
-// their own conditioning checks.
+// (row) pivoting. It returns ErrSingular if a pivot is exactly zero or
+// collapses below MinPivotRatio of its row's input magnitude — the
+// near-singular systems that would otherwise factor "successfully" and
+// produce garbage solutions.
 func Factor(a *Matrix) (*LU, error) {
 	if !a.IsSquare() {
 		return nil, fmt.Errorf("%w: LU of %dx%d", ErrDimension, a.rows, a.cols)
@@ -77,6 +90,20 @@ func (f *LU) Refactor(a *Matrix) error {
 	for i := range f.pivot {
 		f.pivot[i] = i
 	}
+	// Input row scales for the near-singular guard. The scales permute
+	// alongside the rows so the selected pivot is always judged against
+	// its own row's original magnitude; they never influence pivot
+	// *selection*, which keeps accepted factorizations bit-identical to
+	// the historic exact-zero-guard code.
+	for i := 0; i < n; i++ {
+		var m float64
+		for _, v := range d[i*n : (i+1)*n] {
+			if av := math.Abs(v); av > m {
+				m = av
+			}
+		}
+		f.scale[i] = m
+	}
 	for k := 0; k < n; k++ {
 		// Select the pivot row: largest magnitude in column k at or below
 		// the diagonal.
@@ -91,12 +118,17 @@ func (f *LU) Refactor(a *Matrix) error {
 		if maxAbs == 0 {
 			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
+		if maxAbs < MinPivotRatio*f.scale[p] {
+			return fmt.Errorf("%w: pivot %g at column %d below %g of row magnitude %g",
+				ErrSingular, maxAbs, k, MinPivotRatio, f.scale[p])
+		}
 		if p != k {
 			for j := 0; j < n; j++ {
 				d[p*n+j], d[k*n+j] = d[k*n+j], d[p*n+j]
 			}
 			f.pivot[p], f.pivot[k] = f.pivot[k], f.pivot[p]
 			f.sign = -f.sign
+			f.scale[p], f.scale[k] = f.scale[k], f.scale[p]
 		}
 		inv := 1 / d[k*n+k]
 		for i := k + 1; i < n; i++ {

@@ -163,6 +163,47 @@ func TestDetProductProperty(t *testing.T) {
 	}
 }
 
+func TestFactorNearSingular(t *testing.T) {
+	// Rows differ by ~machine epsilon: the second pivot survives exact
+	// cancellation but collapses to ~1e-16 of the row magnitude. The old
+	// exact-zero check accepted this and produced garbage solutions; the
+	// scaled threshold must reject it.
+	a, _ := NewFromRows([][]float64{{1, 1}, {1, 1 + 1e-16}})
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("near-singular err = %v, want ErrSingular", err)
+	}
+	// Same shape at a large scale: the threshold is relative to row
+	// magnitude, not absolute.
+	b, _ := NewFromRows([][]float64{{1e12, 1e12}, {1e12, 1e12 * (1 + 1e-16)}})
+	if _, err := Factor(b); !errors.Is(err, ErrSingular) {
+		t.Fatalf("scaled near-singular err = %v, want ErrSingular", err)
+	}
+}
+
+func TestFactorTinyButWellConditioned(t *testing.T) {
+	// A uniformly tiny matrix is perfectly conditioned; the scaled
+	// threshold must not reject it the way an absolute floor would.
+	n := 6
+	a := Identity(n)
+	for i, v := range a.Data() {
+		a.Data()[i] = v * 1e-20
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatalf("tiny identity rejected: %v", err)
+	}
+	x, err := f.SolveVec([]float64{1e-20, 2e-20, 3e-20, 4e-20, 5e-20, 6e-20})
+	if err != nil {
+		t.Fatalf("SolveVec: %v", err)
+	}
+	for i := range x {
+		want := float64(i + 1)
+		if math.Abs(x[i]-want) > 1e-10 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
 func TestSolveResidualProperty(t *testing.T) {
 	r := rand.New(rand.NewPCG(19, 23))
 	for trial := 0; trial < 100; trial++ {

@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomSparseDense returns a dense n×n matrix with roughly density·n²
+// nonzeros at random positions.
+func randomSparseDense(src *rng.Source, n int, density float64) *Matrix {
+	a := New(n, n)
+	d := a.Data()
+	for i := range d {
+		if src.Float64() < density {
+			d[i] = src.Float64()*2 - 1
+		}
+	}
+	return a
+}
+
+func TestSparseRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	for _, n := range []int{1, 3, 8, 33} {
+		a := randomSparseDense(src, n, 0.2)
+		s := FromDense(a, 0)
+		back := s.Dense()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if back.At(i, j) != a.At(i, j) {
+					t.Fatalf("n=%d: round trip changed (%d,%d): %g != %g",
+						n, i, j, back.At(i, j), a.At(i, j))
+				}
+				if s.At(i, j) != a.At(i, j) {
+					t.Fatalf("n=%d: At(%d,%d) = %g, want %g", n, i, j, s.At(i, j), a.At(i, j))
+				}
+			}
+		}
+		nnz := 0
+		for _, v := range a.Data() {
+			if v != 0 {
+				nnz++
+			}
+		}
+		if s.NNZ() != nnz {
+			t.Fatalf("n=%d: NNZ = %d, want %d", n, s.NNZ(), nnz)
+		}
+	}
+}
+
+func TestSparseFromDenseMask(t *testing.T) {
+	a, _ := NewFromRows([][]float64{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}})
+	mask, _ := NewFromRows([][]float64{{1, 1, 0}, {0, 1, 0}, {1, 0, 0}})
+	s, err := FromDenseMask(a, mask)
+	if err != nil {
+		t.Fatalf("FromDenseMask: %v", err)
+	}
+	// Support follows the mask: explicit zero at (0,1) and (1,1), entry
+	// (0,2)=2 and (2,1)=4 dropped because the mask is zero there.
+	if s.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4 (mask support)", s.NNZ())
+	}
+	if s.At(0, 1) != 0 || s.At(0, 0) != 1 || s.At(2, 0) != 3 {
+		t.Fatalf("masked values wrong: %v %v %v", s.At(0, 1), s.At(0, 0), s.At(2, 0))
+	}
+	if s.At(0, 2) != 0 || s.At(2, 1) != 0 {
+		t.Fatalf("entries outside mask kept")
+	}
+	cols, _ := s.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Fatalf("row 0 support = %v, want [0 1]", cols)
+	}
+	if _, err := FromDenseMask(a, New(2, 3)); err == nil {
+		t.Fatalf("mismatched mask accepted")
+	}
+}
+
+func TestSparseMulVec(t *testing.T) {
+	src := rng.New(2)
+	n := 17
+	a := randomSparseDense(src, n, 0.3)
+	s := FromDense(a, 0)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.Float64() - 0.5
+	}
+	got := make([]float64, n)
+	want := make([]float64, n)
+	if err := s.MulVecTo(got, x); err != nil {
+		t.Fatalf("MulVecTo: %v", err)
+	}
+	if err := MulVecTo(want, a, x); err != nil {
+		t.Fatalf("dense MulVecTo: %v", err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("spmv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Transposed product against the dense transpose.
+	if err := s.MulVecTransTo(got, x); err != nil {
+		t.Fatalf("MulVecTransTo: %v", err)
+	}
+	at := New(n, n)
+	if err := TransposeTo(at, a); err != nil {
+		t.Fatalf("TransposeTo: %v", err)
+	}
+	if err := MulVecTo(want, at, x); err != nil {
+		t.Fatalf("dense tranposed MulVecTo: %v", err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("spmv-t[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if err := s.MulVecTo(got, x[:n-1]); err == nil {
+		t.Fatalf("dimension mismatch accepted")
+	}
+}
+
+func TestSparseTranspose(t *testing.T) {
+	src := rng.New(3)
+	a := randomSparseDense(src, 21, 0.25)
+	s := FromDense(a, 0)
+	tr := s.Transpose()
+	for i := 0; i < 21; i++ {
+		cols, _ := tr.Row(i)
+		prev := int32(-1)
+		for _, c := range cols {
+			if c <= prev {
+				t.Fatalf("transpose row %d not strictly ascending: %v", i, cols)
+			}
+			prev = c
+		}
+		for j := 0; j < 21; j++ {
+			if tr.At(i, j) != a.At(j, i) {
+				t.Fatalf("transpose (%d,%d) = %g, want %g", i, j, tr.At(i, j), a.At(j, i))
+			}
+		}
+	}
+	// Double transpose is the identity.
+	back := tr.Transpose().Dense()
+	for i, v := range back.Data() {
+		if v != a.Data()[i] {
+			t.Fatalf("double transpose changed entry %d", i)
+		}
+	}
+}
+
+func TestNewSparseFromRowsValidates(t *testing.T) {
+	if _, err := NewSparseFromRows(2, 2, [][]int32{{0, 0}, {}}, [][]float64{{1, 2}, {}}); err == nil {
+		t.Fatalf("duplicate column accepted")
+	}
+	if _, err := NewSparseFromRows(2, 2, [][]int32{{1, 0}, {}}, [][]float64{{1, 2}, {}}); err == nil {
+		t.Fatalf("descending columns accepted")
+	}
+	if _, err := NewSparseFromRows(2, 2, [][]int32{{2}, {}}, [][]float64{{1}, {}}); err == nil {
+		t.Fatalf("out-of-range column accepted")
+	}
+	if _, err := NewSparseFromRows(2, 2, [][]int32{{0}}, [][]float64{{1}}); err == nil {
+		t.Fatalf("short row set accepted")
+	}
+	s, err := NewSparseFromRows(2, 3, [][]int32{{0, 2}, {1}}, [][]float64{{1, 2}, {3}})
+	if err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if s.At(0, 2) != 2 || s.At(1, 1) != 3 {
+		t.Fatalf("values misplaced")
+	}
+}
+
+// FuzzSparseRoundTrip checks dense→sparse→dense is lossless for random
+// support masks and values (the CI fuzz-smoke target for the sparse
+// path).
+func FuzzSparseRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 4)
+	f.Add(uint64(42), 9)
+	f.Add(uint64(7), 1)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n <= 0 || n > 64 {
+			t.Skip()
+		}
+		src := rng.New(seed)
+		a := New(n, n)
+		mask := New(n, n)
+		ad, md := a.Data(), mask.Data()
+		for i := range ad {
+			if src.Float64() < 0.3 {
+				md[i] = 1
+				// Keep some explicit zeros inside the support.
+				if src.Float64() < 0.8 {
+					ad[i] = src.Float64()*2 - 1
+				}
+			}
+		}
+		s, err := FromDenseMask(a, mask)
+		if err != nil {
+			t.Fatalf("FromDenseMask: %v", err)
+		}
+		back := New(n, n)
+		if err := s.ToDense(back); err != nil {
+			t.Fatalf("ToDense: %v", err)
+		}
+		bd := back.Data()
+		for i := range ad {
+			want := ad[i]
+			if md[i] == 0 {
+				want = 0
+			}
+			if bd[i] != want {
+				t.Fatalf("entry %d: %g != %g", i, bd[i], want)
+			}
+		}
+		// FromDense (value support) round trip on the same matrix.
+		s2 := FromDense(a, 0)
+		back2 := s2.Dense()
+		for i := range ad {
+			if back2.Data()[i] != ad[i] {
+				t.Fatalf("FromDense round trip changed entry %d", i)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@
 #
 # Usage:
 #   scripts/bench.sh [out.json [prev.json]]
+#   scripts/bench.sh compare now.json prev.json
 #   scripts/bench.sh merge before.json after.json out.json [pr [title [note]]]
 #
 # The first form runs the suite, writes out.json, and prints a
@@ -53,6 +54,58 @@ flatten_json() {
 	' "$1"
 }
 
+# compare_snapshots <now.json> <prev.json>: print the prev-vs-now table
+# and return nonzero when any benchmark's ns/op regressed past
+# BENCH_FAIL_THRESHOLD percent. A prior entry with a zero or unparsable
+# ns/op is reported as informational and never gates: dividing by it is
+# meaningless, and a zero almost always means a truncated or hand-edited
+# snapshot rather than an infinitely fast benchmark.
+compare_snapshots() {
+	cnow=$1 cprev=$2 crc=0
+	echo "comparing against $cprev (fail threshold ${BENCH_FAIL_THRESHOLD:-20}%)"
+	cflat=$(mktemp)
+	flatten_json "$cprev" >"$cflat"
+	flatten_json "$cnow" | awk -v prevfile="$cflat" -v prevname="$cprev" -v thr="${BENCH_FAIL_THRESHOLD:-20}" '
+		BEGIN {
+			while ((getline line < prevfile) > 0) {
+				split(line, f, " ")
+				pns[f[1]] = f[2]; pal[f[1]] = f[4]
+			}
+			close(prevfile)
+			printf "%-40s %12s %12s %8s\n", "benchmark", "prev ns/op", "now ns/op", "allocs"
+		}
+		{
+			if ($1 in pns) {
+				flag = ""
+				if (pns[$1] + 0 <= 0) {
+					flag = "  (prior ns/op missing or 0; informational)"
+				} else if ($2 / pns[$1] > 1 + thr / 100) {
+					flag = "  << REGRESSION"
+					bad++
+				}
+				printf "%-40s %12s %12s %4s->%s%s\n", $1, pns[$1], $2, pal[$1], $4, flag
+			} else {
+				printf "%-40s %12s %12s %8s (new)\n", $1, "-", $2, $4
+			}
+		}
+		END {
+			if (bad > 0) {
+				printf "FAIL: %d benchmark(s) regressed more than %s%% vs %s\n", bad, thr, prevname
+				exit 1
+			}
+			printf "OK: no benchmark regressed more than %s%%\n", thr
+		}
+	' || crc=$?
+	rm -f "$cflat"
+	return $crc
+}
+
+if [ "${1:-}" = "compare" ]; then
+	[ $# -eq 3 ] || { echo "usage: $0 compare now.json prev.json" >&2; exit 2; }
+	compare_snapshots "$2" "$3"
+	exit $?
+fi
+
 if [ "${1:-}" = "merge" ]; then
 	[ $# -ge 4 ] || { echo "usage: $0 merge before.json after.json out.json [pr [title [note]]]" >&2; exit 2; }
 	before=$2 after=$3 out=$4 pr=${5:-0} title=${6:-} note=${7:-}
@@ -97,7 +150,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -benchmem -benchtime 300ms \
-	-bench 'BenchmarkEvaluate$|BenchmarkEvaluateAlloc$|BenchmarkGradient$|BenchmarkGradientAlloc$|BenchmarkChainSolve$|BenchmarkOptimizerIteration$' \
+	-bench 'BenchmarkEvaluate$|BenchmarkEvaluateAlloc$|BenchmarkGradient$|BenchmarkGradientAlloc$|BenchmarkGradientLarge$|BenchmarkChainSolve$|BenchmarkOptimizerIteration$' \
 	. >"$tmp"
 go test -run '^$' -benchmem -benchtime 300ms \
 	-bench 'BenchmarkLineSearchStep' ./internal/descent/ >>"$tmp"
@@ -141,38 +194,4 @@ if [ -z "$prev" ] || [ ! -r "$prev" ]; then
 	exit 0
 fi
 
-echo "comparing against $prev (fail threshold ${BENCH_FAIL_THRESHOLD:-20}%)"
-# Flatten each snapshot to "name ns b allocs" lines and join on name.
-# Snapshots are small, so a nested read is fine.
-pflat=$(mktemp)
-trap 'rm -f "$tmp" "$pflat"' EXIT
-flatten_json "$prev" >"$pflat"
-flatten_json "$out" | awk -v prevfile="$pflat" -v prevname="$prev" -v thr="${BENCH_FAIL_THRESHOLD:-20}" '
-	BEGIN {
-		while ((getline line < prevfile) > 0) {
-			split(line, f, " ")
-			pns[f[1]] = f[2]; pal[f[1]] = f[4]
-		}
-		close(prevfile)
-		printf "%-40s %12s %12s %8s\n", "benchmark", "prev ns/op", "now ns/op", "allocs"
-	}
-	{
-		if ($1 in pns) {
-			flag = ""
-			if (pns[$1] + 0 > 0 && $2 / pns[$1] > 1 + thr / 100) {
-				flag = "  << REGRESSION"
-				bad++
-			}
-			printf "%-40s %12s %12s %4s->%s%s\n", $1, pns[$1], $2, pal[$1], $4, flag
-		} else {
-			printf "%-40s %12s %12s %8s (new)\n", $1, "-", $2, $4
-		}
-	}
-	END {
-		if (bad > 0) {
-			printf "FAIL: %d benchmark(s) regressed more than %s%% vs %s\n", bad, thr, prevname
-			exit 1
-		}
-		printf "OK: no benchmark regressed more than %s%%\n", thr
-	}
-'
+compare_snapshots "$out" "$prev"
