@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_run.json
 
-.PHONY: build test check race vet bench bench-compare deploy-demo clean
+.PHONY: build test check race vet bench bench-compare deploy-demo loadtest clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ bench-compare:
 # and exits nonzero if any stage fails.
 deploy-demo:
 	$(GO) run ./cmd/deploydemo
+
+# loadtest hammers the plan library's batched exact-hit read path over
+# real HTTP and fails if the p99 request latency breaches the SLO
+# (PLANLOAD_SLO, default 10ms).
+loadtest:
+	./scripts/loadtest.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,238 @@
+// Command planload load-tests the plan library's exact-hit read path
+// and enforces its latency SLO. It seeds an in-process library with N
+// solved scenarios, serves the real /plans:query handler over a
+// loopback HTTP listener, fires concurrent batched clients at it, and
+// reports request-latency percentiles. With -slo set (the default,
+// 10ms) the process exits nonzero when the measured p99 exceeds the
+// bound — the CI advisory gate and `make loadtest` both run this
+// binary.
+//
+// Every request must resolve entirely from cache: the harness seeds the
+// library before serving and queries only seeded scenarios, so any
+// non-"hit" result is a correctness failure, not a miss.
+//
+// Usage:
+//
+//	planload -entries 64 -requests 2000 -concurrency 4 -batch 8 -slo 10ms
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/coverage"
+	"repro/internal/plans"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "planload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("planload", flag.ContinueOnError)
+	var (
+		entries  = fs.Int("entries", 64, "distinct solved scenarios seeded into the library")
+		requests = fs.Int("requests", 2000, "measured requests (after warmup)")
+		warmup   = fs.Int("warmup", 100, "unmeasured warmup requests")
+		// The defaults are sized for single-core CI boxes: client-side
+		// JSON decode shares the CPU with the server, so latency is
+		// dominated by queueing, not service time.
+		concurrency = fs.Int("concurrency", 4, "parallel client goroutines")
+		batch       = fs.Int("batch", 8, "queries per request")
+		slo         = fs.Duration("slo", 10*time.Millisecond, "p99 request-latency bound (0 disables the gate)")
+		seed        = fs.Int64("seed", 1, "client sampling seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *entries <= 0 || *requests <= 0 || *concurrency <= 0 || *batch <= 0 || *batch > plans.MaxBatch {
+		return fmt.Errorf("invalid load shape: entries=%d requests=%d concurrency=%d batch=%d (batch max %d)",
+			*entries, *requests, *concurrency, *batch, plans.MaxBatch)
+	}
+
+	scns, svc, err := seedLibrary(*entries)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Pre-encode one request body per seeded scenario group so the
+	// measured loop spends its time on the wire, not in json.Marshal.
+	// Each body is a batch of distinct seeded scenarios starting at a
+	// rotating offset; clients sample bodies uniformly.
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	bodies := make([][]byte, *entries)
+	for i := range bodies {
+		qs := make([]plans.Query, *batch)
+		for j := range qs {
+			qs[j] = plans.Query{Scenario: scns[(i+j)%len(scns)], Objectives: obj, NoSpawn: true}
+		}
+		raw, err := json.Marshal(plans.QueryRequest{Queries: qs})
+		if err != nil {
+			return err
+		}
+		bodies[i] = raw
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(body []byte) (time.Duration, error) {
+		start := time.Now()
+		resp, err := client.Post(base+"/plans:query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		var qr plans.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		for _, r := range qr.Results {
+			if r.Status != plans.StatusHit {
+				return 0, fmt.Errorf("non-hit result %q on a fully seeded library", r.Status)
+			}
+		}
+		return elapsed, nil
+	}
+
+	// Warmup: fault every code path (JSON encoder state, connection
+	// pool, LRU ordering) before the measured window opens.
+	for i := 0; i < *warmup; i++ {
+		if _, err := post(bodies[i%len(bodies)]); err != nil {
+			return fmt.Errorf("warmup request %d: %w", i, err)
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr atomic.Value
+		mu       sync.Mutex
+		lats     = make([]time.Duration, 0, *requests)
+	)
+	wallStart := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			local := make([]time.Duration, 0, *requests / *concurrency + 1)
+			for next.Add(1) <= int64(*requests) {
+				d, err := post(bodies[rng.Intn(len(bodies))])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				local = append(local, d)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	p50, p90, p99 := pct(0.50), pct(0.90), pct(0.99)
+	fmt.Fprintf(out, "planload: %d requests x %d queries, %d clients, %d cached scenarios\n",
+		len(lats), *batch, *concurrency, *entries)
+	fmt.Fprintf(out, "  latency  p50=%v p90=%v p99=%v max=%v\n", p50, p90, p99, lats[len(lats)-1])
+	fmt.Fprintf(out, "  rate     %.0f req/s, %.0f queries/s\n",
+		float64(len(lats))/wall.Seconds(), float64(len(lats)**batch)/wall.Seconds())
+	if *slo > 0 {
+		if p99 > *slo {
+			return fmt.Errorf("SLO violated: exact-hit p99 %v > %v", p99, *slo)
+		}
+		fmt.Fprintf(out, "  SLO      p99 %v <= %v: ok\n", p99, *slo)
+	}
+	return nil
+}
+
+// seedLibrary builds a memory-only library holding n distinct solved
+// 4-PoI scenarios (all entries LRU-resident, so every lookup is a
+// memory-tier hit) and a query service with no job backend — the
+// harness measures the read path, never the fill path.
+func seedLibrary(n int) ([]coverage.Scenario, *plans.Service, error) {
+	lib, err := plans.New(plans.Config{Capacity: n})
+	if err != nil {
+		return nil, nil, err
+	}
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	scns := make([]coverage.Scenario, n)
+	for i := range scns {
+		// Deterministic, pairwise-distinct target distributions: the
+		// first weight grows with i, so no two entries share a Φ.
+		phi := []float64{float64(3 + i), 2, 1, 1}
+		var sum float64
+		for j := range phi {
+			phi[j] += float64((i * (2*j + 3)) % 5)
+			sum += phi[j]
+		}
+		for j := range phi {
+			phi[j] /= sum
+		}
+		scn, err := coverage.LineScenario(fmt.Sprintf("load-%04d", i), 4, phi)
+		if err != nil {
+			return nil, nil, err
+		}
+		scns[i] = scn
+		plan := fakeSolvedPlan(len(phi), 0.1+float64(i)*1e-4)
+		if _, err := lib.Publish(scn, obj, plan, plans.Provenance{Source: "manual"}); err != nil {
+			return nil, nil, fmt.Errorf("seeding entry %d: %w", i, err)
+		}
+	}
+	svc, err := plans.NewService(plans.ServiceConfig{Library: lib})
+	if err != nil {
+		return nil, nil, err
+	}
+	return scns, svc, nil
+}
+
+// fakeSolvedPlan fabricates a structurally valid plan: the harness
+// measures serving latency, so the matrix only has to round-trip, not
+// optimize anything.
+func fakeSolvedPlan(n int, cost float64) *coverage.Plan {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = 1 / float64(n)
+		}
+	}
+	return &coverage.Plan{TransitionMatrix: m, Cost: cost, Iterations: 1}
+}

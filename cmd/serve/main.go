@@ -2,8 +2,10 @@
 // a bounded queue and worker pool that executes multi-restart coverage
 // optimizations as cancellable, checkpointable jobs, plus the live
 // deployment runtime that executes plans, detects drift, and hot-swaps
-// re-optimized schedules (under /deployments). Operational metrics are
-// exposed at /metrics in Prometheus text format.
+// re-optimized schedules (under /deployments), plus the content-
+// addressed plan library (under /plans) that serves already-solved
+// scenarios from cache and warm-starts near-misses. Operational metrics
+// are exposed at /metrics in Prometheus text format.
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"repro/internal/deploy"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/plans"
 )
 
 func main() {
@@ -54,6 +57,7 @@ func run(args []string, ready chan<- string) error {
 		jobWorkers = fs.Int("max-job-workers", 1, "cap on each job's descent parallelism (options.workers); 0 = uncapped")
 		profile    = fs.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 		dir        = fs.String("checkpoint-dir", "", "job and deployment checkpoint directory (empty disables persistence)")
+		planCache  = fs.Int("plan-cache", plans.DefaultCapacity, "in-memory plan-library LRU capacity")
 		deploys    = fs.Int("max-deployments", 64, "cap on concurrent deployments")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
 		logLevel   = fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
@@ -82,8 +86,40 @@ func run(args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	// The plan library shares the checkpoint directory: its entry blobs
+	// (<fingerprint>.entry.json) coexist with the job and deployment
+	// checkpoints, each loader filtering by its own suffix.
+	var planStore jobs.Store
+	if *dir != "" {
+		planStore, err = jobs.NewFSStore(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	lib, err := plans.New(plans.Config{
+		Store:    planStore,
+		Capacity: *planCache,
+		Logger:   logger,
+		Metrics:  reg,
+	})
+	if err != nil {
+		return err
+	}
+	svc, err := plans.NewService(plans.ServiceConfig{
+		Library: lib,
+		Jobs:    mgr,
+		Logger:  logger,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	// Every completed optimization — direct submissions, /plans:query
+	// misses, deployment re-optimizations — publishes into the library.
+	mgr.SetDoneListener(svc.OnJobDone)
 	rt, err := deploy.New(deploy.Config{
 		Jobs:           mgr,
+		Plans:          lib,
 		Dir:            *dir,
 		MaxDeployments: *deploys,
 		Logger:         logger,
@@ -107,6 +143,10 @@ func run(args []string, ready chan<- string) error {
 	// precedence over the job handler's "/" mount.
 	mux.Handle("/deployments", rt.Handler())
 	mux.Handle("/deployments/", rt.Handler())
+	planAPI := svc.Handler()
+	mux.Handle("POST /plans:query", planAPI)
+	mux.Handle("/plans", planAPI)
+	mux.Handle("/plans/", planAPI)
 	mux.Handle("GET /metrics", reg.Handler())
 	if *profile {
 		// The default-mux registrations in net/http/pprof don't apply to

@@ -108,6 +108,17 @@ func TestMetricsCatalog(t *testing.T) {
 		"coverage_deployment_drift_checks_total":       obs.TypeCounter,
 		"coverage_deployment_drift_triggers_total":     obs.TypeCounter,
 		"coverage_deployment_plan_swaps_total":         obs.TypeCounter,
+		"plans_lookup_hits_total":                      obs.TypeCounter,
+		"plans_lookup_misses_total":                    obs.TypeCounter,
+		"plans_stale_serves_total":                     obs.TypeCounter,
+		"plans_warm_starts_total":                      obs.TypeCounter,
+		"plans_evictions_total":                        obs.TypeCounter,
+		"plans_queries_total":                          obs.TypeCounter,
+		"plans_jobs_spawned_total":                     obs.TypeCounter,
+		"plans_lookup_seconds":                         obs.TypeHistogram,
+		"plans_query_batch_size":                       obs.TypeHistogram,
+		"plans_memory_entries":                         obs.TypeGauge,
+		"plans_index_entries":                          obs.TypeGauge,
 	}
 	for name, wantType := range catalog {
 		if got, ok := types[name]; !ok {
@@ -125,6 +136,8 @@ func TestMetricsCatalog(t *testing.T) {
 		"http_request_duration_seconds",
 		"coverage_job_queue_depth",
 		"coverage_deployment_steps_total",
+		"plans_memory_entries",
+		"plans_index_entries",
 	} {
 		if !samples[name] {
 			t.Errorf("metric %s: no sample lines in scrape", name)

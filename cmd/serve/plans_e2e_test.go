@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/coverage"
+	"repro/internal/plans"
+)
+
+// postPlansQuery runs one /plans:query batch against a live server.
+func postPlansQuery(t *testing.T, base string, qs []plans.Query) []plans.Result {
+	t.Helper()
+	raw, err := json.Marshal(plans.QueryRequest{Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/plans:query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST /plans:query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /plans:query = %d: %s", resp.StatusCode, buf.String())
+	}
+	var qr plans.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if len(qr.Results) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(qr.Results), len(qs))
+	}
+	return qr.Results
+}
+
+// countJobs returns how many jobs the server has ever accepted.
+func countJobs(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs")
+	if err != nil {
+		t.Fatalf("GET /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode /jobs: %v", err)
+	}
+	return len(out.Jobs)
+}
+
+// awaitHits re-issues the batch until every result is an exact hit.
+func awaitHits(t *testing.T, base string, qs []plans.Query) []plans.Result {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		res := postPlansQuery(t, base, qs)
+		allHit := true
+		for _, r := range res {
+			if r.Status != plans.StatusHit {
+				allHit = false
+			}
+			if r.Status == plans.StatusError {
+				t.Fatalf("query errored: %+v", r)
+			}
+		}
+		if allHit {
+			return res
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatal("queries never resolved to cache hits")
+	panic("unreachable")
+}
+
+// TestPlanLibraryEndToEnd is the acceptance path for the batched read
+// side:
+//
+//  1. a cold batch spawns exactly one optimization per unique scenario
+//     (the duplicate shares the first one's job),
+//  2. once the jobs publish, the identical batch is served entirely
+//     from cache — zero new jobs,
+//  3. a perturbed-Φ query takes the warm-start path and its optimizer
+//     converges in fewer iterations than the identical cold run.
+func TestPlanLibraryEndToEnd(t *testing.T) {
+	base, done := bootServe(t)
+	defer drainServe(t, done)
+
+	mk := func(name string, phi []float64) coverage.Scenario {
+		scn, err := coverage.LineScenario(name, len(phi), phi)
+		if err != nil {
+			t.Fatalf("LineScenario: %v", err)
+		}
+		return scn
+	}
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	// PerturbedDescent stops once improvement stalls (StallIters), so the
+	// iteration count is a faithful "how far from an optimum did we
+	// start" measure for the warm-start comparison below. (The adaptive
+	// variant only halts at Δt* = 0 exactly and runs to MaxIters here.)
+	opts := coverage.Options{Algorithm: coverage.PerturbedDescent, Seed: 7, MaxIters: 5000}
+
+	scnA := mk("e2e-a", []float64{0.4, 0.1, 0.1, 0.4})
+	scnB := mk("e2e-b", []float64{0.1, 0.4, 0.4, 0.1})
+	batch := []plans.Query{
+		{Scenario: scnA, Objectives: obj, Options: opts},
+		{Scenario: scnB, Objectives: obj, Options: opts},
+		{Scenario: scnA, Objectives: obj, Options: opts}, // duplicate of A
+	}
+
+	// Cold batch: one job per unique scenario, duplicate deduplicated.
+	res := postPlansQuery(t, base, batch)
+	if res[0].Status != plans.StatusScheduled || res[1].Status != plans.StatusScheduled {
+		t.Fatalf("cold batch = %+v, want two scheduled", res)
+	}
+	if res[2].Status != plans.StatusPending || res[2].JobID != res[0].JobID {
+		t.Fatalf("duplicate query = %+v, want pending on %s", res[2], res[0].JobID)
+	}
+	if n := countJobs(t, base); n != 2 {
+		t.Fatalf("cold batch spawned %d jobs, want 2", n)
+	}
+
+	// Warm batch: everything from cache, no new jobs.
+	hits := awaitHits(t, base, batch)
+	for i, r := range hits {
+		if r.Plan == nil || len(r.Plan.TransitionMatrix) != 4 {
+			t.Errorf("hit %d has no plan: %+v", i, r)
+		}
+	}
+	if hits[0].Fingerprint != hits[2].Fingerprint {
+		t.Errorf("duplicate resolved to different fingerprints")
+	}
+	if n := countJobs(t, base); n != 2 {
+		t.Fatalf("cache hits spawned jobs: %d total, want 2", n)
+	}
+
+	// Perturbed Φ: same topology, slightly shifted target. The service
+	// must warm-start the fill job from A's cached optimum.
+	scnC := mk("e2e-c", []float64{0.38, 0.12, 0.1, 0.4})
+	cq := []plans.Query{{Scenario: scnC, Objectives: obj, Options: opts}}
+	cres := postPlansQuery(t, base, cq)[0]
+	if cres.Status != plans.StatusScheduled {
+		t.Fatalf("perturbed query = %+v, want scheduled", cres)
+	}
+	if cres.WarmStart == nil || cres.WarmStart.Fingerprint != hits[0].Fingerprint {
+		t.Fatalf("perturbed query not warm-started from A: %+v", cres.WarmStart)
+	}
+	if d := cres.WarmStart.Distance; d < 0.039 || d > 0.041 {
+		t.Errorf("warm-start distance = %v, want ~0.04 (‖ΔΦ‖₁)", d)
+	}
+
+	chit := awaitHits(t, base, cq)[0]
+	if n := countJobs(t, base); n != 3 {
+		t.Fatalf("%d jobs after perturbed query, want 3", n)
+	}
+
+	// Fetch the cached entry for its provenance (the warm job's
+	// iteration count), then replicate the cold run bit-for-bit: the
+	// job manager splits the master seed exactly like OptimizeBest.
+	resp, err := http.Get(base + "/plans/" + chit.Fingerprint)
+	if err != nil {
+		t.Fatalf("GET /plans/{fp}: %v", err)
+	}
+	var entry plans.Entry
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+		t.Fatalf("decode entry: %v", err)
+	}
+	resp.Body.Close()
+	if entry.Provenance.Source != "job" || entry.Provenance.JobID != cres.JobID {
+		t.Errorf("provenance = %+v, want job/%s", entry.Provenance, cres.JobID)
+	}
+	warmIters := entry.Provenance.Iterations
+	if warmIters <= 0 || warmIters != entry.Plan.Iterations {
+		t.Fatalf("provenance iterations %d inconsistent with plan %d", warmIters, entry.Plan.Iterations)
+	}
+
+	coldOpts := opts
+	coldOpts.Seed = coverage.SplitSeeds(opts.Seed, 1)[0]
+	cold, err := coverage.Optimize(scnC, obj, coldOpts)
+	if err != nil {
+		t.Fatalf("cold Optimize: %v", err)
+	}
+	if warmIters >= cold.Iterations {
+		t.Errorf("warm start did not converge faster: %d iterations warm vs %d cold",
+			warmIters, cold.Iterations)
+	}
+	t.Logf("warm start: %d iterations vs %d cold (%.0f%% saved)",
+		warmIters, cold.Iterations, 100*(1-float64(warmIters)/float64(cold.Iterations)))
+
+	// The warm-started search may not beat the cold one's optimum, but
+	// it must land on a valid optimum of the same problem family.
+	if entry.Plan.Cost <= 0 || len(entry.Plan.TransitionMatrix) != 4 {
+		t.Errorf("warm plan malformed: cost %v", entry.Plan.Cost)
+	}
+
+	// Library stats reflect the three published entries.
+	sresp, err := http.Get(base + "/plans")
+	if err != nil {
+		t.Fatalf("GET /plans: %v", err)
+	}
+	var stats plans.Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.IndexedEntries != 3 {
+		t.Errorf("stats = %+v, want 3 entries", stats)
+	}
+
+	// The scrape reflects the traffic: hits, misses, spawned jobs.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"plans_jobs_spawned_total 3",
+		"plans_warm_starts_total 1",
+		`plans_lookup_hits_total{tier="memory"}`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}

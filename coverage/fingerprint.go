@@ -1,0 +1,214 @@
+package coverage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+
+	"repro/internal/cost"
+)
+
+// Scenario fingerprinting: a content address for "the same coverage
+// problem". Two (Scenario, Objectives) pairs that differ only in
+// solver-irrelevant presentation — the display name, implicit vs.
+// explicit defaults, the sign of a floating-point zero, the listing
+// order of obstacles, or a scalar objective weight spelled as a uniform
+// per-PoI vector — canonicalize to the same form and therefore hash to
+// the same fingerprint. Everything that changes the optimization
+// problem (PoI layout, Φ, sensing range, speed, obstacle geometry,
+// objective weights) changes the hash.
+//
+// Stability contract: the fingerprint of a given canonical input is
+// pinned by tests and versioned by fingerprintVersion. Any change to
+// the canonicalization or the encoding MUST bump the version, so stored
+// plan libraries never serve a plan for a problem that hashes the same
+// only by accident.
+
+// fingerprintVersion tags the hash input; bump on any change to the
+// canonical encoding.
+const fingerprintVersion = "coverage-fingerprint/v1"
+
+// Fingerprint is a content address of a canonical scenario/objectives
+// pair: the lowercase hex SHA-256 of the canonical encoding.
+type Fingerprint string
+
+// canonZero flushes negative zero to positive zero so ±0.0 (equal as
+// numbers, different as bit patterns) hash identically.
+func canonZero(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v
+}
+
+// CanonicalScenario returns the solver-relevant normal form of a
+// scenario:
+//
+//   - Name dropped (identification, not optimization input).
+//   - Range, Speed, and per-PoI Pause defaults applied explicitly.
+//   - Negative zeros flushed in every float field.
+//   - Obstacles corner-normalized (Min ≤ Max per axis) and sorted
+//     lexicographically — obstacle order never affects routing.
+//
+// PoI order is preserved: Φ is indexed by PoI, so reordering PoIs is a
+// different problem. The transformation is idempotent.
+func CanonicalScenario(scn Scenario) Scenario {
+	out := Scenario{
+		Name:   "",
+		Range:  canonZero(scn.Range),
+		Speed:  canonZero(scn.Speed),
+		PoIs:   make([]PoI, len(scn.PoIs)),
+		Target: make([]float64, len(scn.Target)),
+	}
+	if out.Range == 0 {
+		out.Range = DefaultRange
+	}
+	if out.Speed == 0 {
+		out.Speed = DefaultSpeed
+	}
+	for i, p := range scn.PoIs {
+		pause := canonZero(p.Pause)
+		if pause == 0 {
+			pause = DefaultPause
+		}
+		out.PoIs[i] = PoI{X: canonZero(p.X), Y: canonZero(p.Y), Pause: pause}
+	}
+	for i, v := range scn.Target {
+		out.Target[i] = canonZero(v)
+	}
+	if len(scn.Obstacles) > 0 {
+		out.Obstacles = make([]Obstacle, len(scn.Obstacles))
+		for i, o := range scn.Obstacles {
+			minX, maxX := canonZero(o.MinX), canonZero(o.MaxX)
+			if minX > maxX {
+				minX, maxX = maxX, minX
+			}
+			minY, maxY := canonZero(o.MinY), canonZero(o.MaxY)
+			if minY > maxY {
+				minY, maxY = maxY, minY
+			}
+			out.Obstacles[i] = Obstacle{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+		}
+		sort.Slice(out.Obstacles, func(a, b int) bool {
+			oa, ob := out.Obstacles[a], out.Obstacles[b]
+			if oa.MinX != ob.MinX {
+				return oa.MinX < ob.MinX
+			}
+			if oa.MinY != ob.MinY {
+				return oa.MinY < ob.MinY
+			}
+			if oa.MaxX != ob.MaxX {
+				return oa.MaxX < ob.MaxX
+			}
+			return oa.MaxY < ob.MaxY
+		})
+	}
+	return out
+}
+
+// CanonicalObjectives returns the normal form of the objective weights:
+// scalar Alpha/Beta expanded to per-PoI vectors of length m (the form
+// the cost layer uses), the default Epsilon applied, and negative zeros
+// flushed. A scalar weight and the equivalent uniform vector are the
+// same objective and canonicalize identically.
+func CanonicalObjectives(obj Objectives, m int) Objectives {
+	out := Objectives{
+		EnergyWeight:  canonZero(obj.EnergyWeight),
+		EnergyTarget:  canonZero(obj.EnergyTarget),
+		EntropyWeight: canonZero(obj.EntropyWeight),
+		Epsilon:       canonZero(obj.Epsilon),
+	}
+	if out.Epsilon == 0 {
+		out.Epsilon = cost.DefaultEpsilon
+	}
+	out.PerPoIAlpha = make([]float64, m)
+	out.PerPoIBeta = make([]float64, m)
+	for i := 0; i < m; i++ {
+		out.PerPoIAlpha[i] = canonZero(obj.Alpha)
+		out.PerPoIBeta[i] = canonZero(obj.Beta)
+	}
+	if obj.PerPoIAlpha != nil && len(obj.PerPoIAlpha) == m {
+		for i, v := range obj.PerPoIAlpha {
+			out.PerPoIAlpha[i] = canonZero(v)
+		}
+	}
+	if obj.PerPoIBeta != nil && len(obj.PerPoIBeta) == m {
+		for i, v := range obj.PerPoIBeta {
+			out.PerPoIBeta[i] = canonZero(v)
+		}
+	}
+	return out
+}
+
+// hashFloats writes a tagged float64 sequence into the hash. Every
+// value goes in as its IEEE-754 bit pattern, little-endian, after the
+// canonicalization above has made bit equality mean value equality.
+func hashFloats(h hash.Hash, tag byte, vs ...float64) {
+	var buf [8]byte
+	h.Write([]byte{tag})
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(vs)))
+	h.Write(buf[:])
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}
+
+// hashTopology writes the Φ-independent scenario fields (PoI geometry,
+// range, speed, obstacles) into the hash.
+func hashTopology(h hash.Hash, c Scenario) {
+	hashFloats(h, 'r', c.Range)
+	hashFloats(h, 's', c.Speed)
+	for _, p := range c.PoIs {
+		hashFloats(h, 'p', p.X, p.Y, p.Pause)
+	}
+	for _, o := range c.Obstacles {
+		hashFloats(h, 'o', o.MinX, o.MinY, o.MaxX, o.MaxY)
+	}
+}
+
+// ScenarioFingerprint content-addresses a scenario/objectives pair: it
+// canonicalizes both and returns the SHA-256 of the canonical encoding.
+// The scenario must be structurally sound (PoIs and a matching Φ);
+// deeper validation (target sum, PoI spacing) is the optimizer's job.
+func ScenarioFingerprint(scn Scenario, obj Objectives) (Fingerprint, error) {
+	if len(scn.PoIs) == 0 {
+		return "", fmt.Errorf("%w: no PoIs", ErrScenario)
+	}
+	if len(scn.Target) != len(scn.PoIs) {
+		return "", fmt.Errorf("%w: %d targets for %d PoIs", ErrScenario, len(scn.Target), len(scn.PoIs))
+	}
+	c := CanonicalScenario(scn)
+	co := CanonicalObjectives(obj, len(c.PoIs))
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	hashTopology(h, c)
+	hashFloats(h, 't', c.Target...)
+	hashFloats(h, 'a', co.PerPoIAlpha...)
+	hashFloats(h, 'b', co.PerPoIBeta...)
+	hashFloats(h, 'e', co.EnergyWeight, co.EnergyTarget, co.EntropyWeight, co.Epsilon)
+	return Fingerprint(hex.EncodeToString(h.Sum(nil))), nil
+}
+
+// TopologyKey content-addresses only the Φ-independent part of a
+// scenario — the PoI layout, sensing range, speed, and obstacles. Two
+// scenarios with equal topology keys pose the same physical problem
+// with (possibly) different target allocations and objective weights:
+// exactly the family within which a cached plan is a meaningful warm
+// start for a neighbor (the transition-matrix dimensions and support
+// match, only the optimum moves).
+func TopologyKey(scn Scenario) (Fingerprint, error) {
+	if len(scn.PoIs) == 0 {
+		return "", fmt.Errorf("%w: no PoIs", ErrScenario)
+	}
+	c := CanonicalScenario(scn)
+	h := sha256.New()
+	h.Write([]byte(fingerprintVersion))
+	h.Write([]byte("/topology"))
+	hashTopology(h, c)
+	return Fingerprint(hex.EncodeToString(h.Sum(nil))), nil
+}

@@ -1,0 +1,162 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzScenarioFingerprint drives random scenarios through the
+// canonicalize→hash pipeline and checks the invariants the plan
+// library's content addressing rests on:
+//
+//   - determinism: hashing twice gives the same digest,
+//   - idempotence: fingerprinting the canonical form is a no-op,
+//   - name independence,
+//   - implicit defaults hash like explicit ones,
+//   - ±0.0 hash identically,
+//   - obstacle listing order is irrelevant,
+//   - scalar objective weights hash like uniform per-PoI vectors.
+//
+// The scenarios built here are structurally sound but numerically
+// arbitrary (targets need not sum to 1) — the fingerprint must be
+// well-defined for anything a client could POST, since lookups hash
+// before validation.
+func FuzzScenarioFingerprint(f *testing.F) {
+	f.Add(4, 0.4, 0.1, 0.1, 0.4, 0.0, 0.0, byte(0))
+	f.Add(2, 0.5, 0.5, 0.0, 0.0, 0.25, 1.0, byte(1))
+	f.Add(8, 0.1, 0.2, 0.3, 0.4, 0.3, 2.0, byte(3))
+	f.Fuzz(func(t *testing.T, n int, t0, t1, t2, t3, rng, speed float64, flip byte) {
+		if n < 2 {
+			n = 2
+		}
+		if n > 12 {
+			n = 2 + n%11
+		}
+		clean := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.25
+			}
+			return math.Abs(v)
+		}
+		t0, t1, t2, t3 = clean(t0), clean(t1), clean(t2), clean(t3)
+		rng, speed = clean(rng), clean(speed)
+		raw := []float64{t0, t1, t2, t3}
+		scn := Scenario{
+			Name:   "fuzz",
+			Range:  rng,
+			Speed:  speed,
+			PoIs:   make([]PoI, n),
+			Target: make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			scn.PoIs[i] = PoI{X: float64(i) + t0, Y: t1}
+			scn.Target[i] = raw[i%len(raw)]
+		}
+		if flip&1 != 0 {
+			scn.Obstacles = []Obstacle{
+				{MinX: t0, MinY: t1, MaxX: t0 + 1, MaxY: t1 + 1},
+				{MinX: t2, MinY: t3, MaxX: t2 + 0.5, MaxY: t3 + 0.5},
+			}
+		}
+		obj := Objectives{Alpha: t0 + 1, Beta: t1, EnergyWeight: t2, EnergyTarget: t3}
+
+		base, err := ScenarioFingerprint(scn, obj)
+		if err != nil {
+			t.Fatalf("fingerprint of sound scenario: %v", err)
+		}
+		if again, _ := ScenarioFingerprint(scn, obj); again != base {
+			t.Fatalf("non-deterministic: %s then %s", base, again)
+		}
+
+		canon := CanonicalScenario(scn)
+		if cfp, err := ScenarioFingerprint(canon, obj); err != nil || cfp != base {
+			t.Fatalf("canonical form drifted: %s vs %s (%v)", cfp, base, err)
+		}
+		if CanonicalScenario(canon).Name != "" {
+			t.Fatal("canonicalization not idempotent on Name")
+		}
+
+		renamed := scn
+		renamed.Name = "renamed-" + scn.Name
+		if got, _ := ScenarioFingerprint(renamed, obj); got != base {
+			t.Fatalf("name changed the fingerprint")
+		}
+
+		// Explicit defaults where the input used zeros.
+		explicit := scn
+		if explicit.Range == 0 {
+			explicit.Range = DefaultRange
+		}
+		if explicit.Speed == 0 {
+			explicit.Speed = DefaultSpeed
+		}
+		explicit.PoIs = append([]PoI(nil), scn.PoIs...)
+		for i := range explicit.PoIs {
+			if explicit.PoIs[i].Pause == 0 {
+				explicit.PoIs[i].Pause = DefaultPause
+			}
+		}
+		if got, _ := ScenarioFingerprint(explicit, obj); got != base {
+			t.Fatalf("explicit defaults changed the fingerprint")
+		}
+
+		// Flip the sign of every zero-valued float: ±0.0 must not matter.
+		negz := explicit
+		negz.PoIs = append([]PoI(nil), explicit.PoIs...)
+		negz.Target = append([]float64(nil), scn.Target...)
+		for i := range negz.PoIs {
+			if negz.PoIs[i].X == 0 {
+				negz.PoIs[i].X = math.Copysign(0, -1)
+			}
+			if negz.PoIs[i].Y == 0 {
+				negz.PoIs[i].Y = math.Copysign(0, -1)
+			}
+		}
+		for i := range negz.Target {
+			if negz.Target[i] == 0 {
+				negz.Target[i] = math.Copysign(0, -1)
+			}
+		}
+		if got, _ := ScenarioFingerprint(negz, obj); got != base {
+			t.Fatalf("negative zero changed the fingerprint")
+		}
+
+		// Obstacle order must not matter.
+		if len(scn.Obstacles) == 2 {
+			swapped := scn
+			swapped.Obstacles = []Obstacle{scn.Obstacles[1], scn.Obstacles[0]}
+			if got, _ := ScenarioFingerprint(swapped, obj); got != base {
+				t.Fatalf("obstacle order changed the fingerprint")
+			}
+		}
+
+		// Scalar weights hash like their uniform per-PoI expansion.
+		vec := obj
+		vec.Alpha, vec.Beta = 0, 0
+		vec.PerPoIAlpha = make([]float64, n)
+		vec.PerPoIBeta = make([]float64, n)
+		for i := 0; i < n; i++ {
+			vec.PerPoIAlpha[i] = obj.Alpha
+			vec.PerPoIBeta[i] = obj.Beta
+		}
+		if got, _ := ScenarioFingerprint(scn, vec); got != base {
+			t.Fatalf("uniform per-PoI expansion changed the fingerprint")
+		}
+
+		// Topology key: invariant in Φ, consistent with the fingerprint
+		// domain separation.
+		k1, err := TopologyKey(scn)
+		if err != nil {
+			t.Fatalf("TopologyKey: %v", err)
+		}
+		shifted := scn
+		shifted.Target = append([]float64(nil), scn.Target...)
+		shifted.Target[0] += 1
+		if k2, _ := TopologyKey(shifted); k2 != k1 {
+			t.Fatalf("Φ changed the topology key")
+		}
+		if k1 == base {
+			t.Fatalf("topology key collided with full fingerprint")
+		}
+	})
+}

@@ -1,0 +1,236 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+)
+
+// fpScenario is the shared fingerprint test problem.
+func fpScenario(t *testing.T) Scenario {
+	t.Helper()
+	scn, err := LineScenario("fp-line", 4, []float64{0.4, 0.1, 0.1, 0.4})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	return scn
+}
+
+func mustFP(t *testing.T, scn Scenario, obj Objectives) Fingerprint {
+	t.Helper()
+	fp, err := ScenarioFingerprint(scn, obj)
+	if err != nil {
+		t.Fatalf("ScenarioFingerprint: %v", err)
+	}
+	return fp
+}
+
+// TestFingerprintStabilityContract pins exact digests for fixed inputs.
+// These hex strings are the on-disk contract of every plan library ever
+// written: if this test fails, the canonical encoding changed, and
+// fingerprintVersion MUST be bumped (which changes the digests and
+// makes old caches miss cleanly instead of serving wrong plans).
+func TestFingerprintStabilityContract(t *testing.T) {
+	scn := fpScenario(t)
+	obj := Objectives{Alpha: 1, Beta: 1e-3}
+	cases := []struct {
+		name string
+		scn  Scenario
+		obj  Objectives
+		want Fingerprint
+	}{
+		{"line4", scn, obj,
+			"29cb7fa55726ec99fa68c224bb701a5f91cc31e67e2de223f047d1ee41b327b4"},
+		{"line4-energy", scn, Objectives{Alpha: 1, Beta: 1e-3, EnergyWeight: 0.5, EnergyTarget: 1.2},
+			"fd609531b74fe297d915e4afb5814c44cb5b5764184c17e00b02d5187db3d548"},
+		{"line4-alpha-only", scn, Objectives{Alpha: 2},
+			"9390ebf027e582ee910adcf72bc1ad88e777eb0031e16fb946b6f419dceb019b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mustFP(t, tc.scn, tc.obj)
+			if tc.want == "" {
+				t.Fatalf("record this digest: %q", got)
+			}
+			if got != tc.want {
+				t.Errorf("fingerprint = %s, want %s\n(canonical encoding changed: bump fingerprintVersion)", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFingerprintInvariances: presentation changes that do not change
+// the optimization problem do not change the fingerprint.
+func TestFingerprintInvariances(t *testing.T) {
+	scn := fpScenario(t)
+	obj := Objectives{Alpha: 1, Beta: 1e-3}
+	base := mustFP(t, scn, obj)
+
+	t.Run("name ignored", func(t *testing.T) {
+		renamed := scn
+		renamed.Name = "completely-different"
+		if got := mustFP(t, renamed, obj); got != base {
+			t.Errorf("renamed fingerprint %s != base %s", got, base)
+		}
+	})
+	t.Run("explicit defaults equal implicit", func(t *testing.T) {
+		explicit := scn
+		explicit.Range = DefaultRange
+		explicit.Speed = DefaultSpeed
+		explicit.PoIs = append([]PoI(nil), scn.PoIs...)
+		for i := range explicit.PoIs {
+			if explicit.PoIs[i].Pause == 0 {
+				explicit.PoIs[i].Pause = DefaultPause
+			}
+		}
+		implicit := scn
+		implicit.Range, implicit.Speed = 0, 0
+		if a, b := mustFP(t, explicit, obj), mustFP(t, implicit, obj); a != b {
+			t.Errorf("explicit defaults %s != implicit %s", a, b)
+		}
+	})
+	t.Run("negative zero flushed", func(t *testing.T) {
+		// A scenario with a genuine zero coordinate: flipping the zero's
+		// sign is a bit-level change with no numeric meaning.
+		pos := Scenario{
+			PoIs:   []PoI{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}},
+			Target: []float64{0.3, 0.3, 0.4},
+		}
+		neg := Scenario{
+			PoIs:   []PoI{{X: math.Copysign(0, -1), Y: math.Copysign(0, -1)}, {X: 1, Y: 0}, {X: 2, Y: 0}},
+			Target: []float64{0.3, 0.3, 0.4},
+		}
+		fp, fn := mustFP(t, pos, obj), mustFP(t, neg, obj)
+		if fp != fn {
+			t.Errorf("-0.0 fingerprint %s != +0.0 fingerprint %s", fn, fp)
+		}
+	})
+	t.Run("scalar weight equals uniform vector", func(t *testing.T) {
+		vec := Objectives{
+			PerPoIAlpha: []float64{1, 1, 1, 1},
+			PerPoIBeta:  []float64{1e-3, 1e-3, 1e-3, 1e-3},
+		}
+		if got := mustFP(t, scn, vec); got != base {
+			t.Errorf("vector objectives %s != scalar %s", got, base)
+		}
+	})
+	t.Run("obstacle order and corner order ignored", func(t *testing.T) {
+		a := scn
+		a.Obstacles = []Obstacle{
+			{MinX: 0.5, MinY: 0.1, MaxX: 0.9, MaxY: 0.4},
+			{MinX: 1.5, MinY: 0.2, MaxX: 1.9, MaxY: 0.3},
+		}
+		b := scn
+		b.Obstacles = []Obstacle{
+			{MinX: 1.9, MinY: 0.3, MaxX: 1.5, MaxY: 0.2}, // swapped corners
+			{MinX: 0.5, MinY: 0.1, MaxX: 0.9, MaxY: 0.4},
+		}
+		fa, fb := mustFP(t, a, obj), mustFP(t, b, obj)
+		if fa != fb {
+			t.Errorf("obstacle permutation changed fingerprint: %s != %s", fa, fb)
+		}
+		if fa == base {
+			t.Error("adding obstacles did not change the fingerprint")
+		}
+	})
+	t.Run("canonicalization idempotent", func(t *testing.T) {
+		once := CanonicalScenario(scn)
+		twice := CanonicalScenario(once)
+		fo, ft := mustFP(t, once, obj), mustFP(t, twice, obj)
+		if fo != ft || fo != base {
+			t.Errorf("idempotence broken: base %s, once %s, twice %s", base, fo, ft)
+		}
+	})
+}
+
+// TestFingerprintSensitivity: every solver-relevant field moves the
+// hash.
+func TestFingerprintSensitivity(t *testing.T) {
+	scn := fpScenario(t)
+	obj := Objectives{Alpha: 1, Beta: 1e-3}
+	base := mustFP(t, scn, obj)
+
+	perturb := []struct {
+		name string
+		scn  func() Scenario
+		obj  Objectives
+	}{
+		{"target", func() Scenario {
+			s := scn
+			s.Target = []float64{0.35, 0.15, 0.1, 0.4}
+			return s
+		}, obj},
+		{"poi position", func() Scenario {
+			s := scn
+			s.PoIs = append([]PoI(nil), scn.PoIs...)
+			s.PoIs[1].X += 0.25
+			return s
+		}, obj},
+		{"range", func() Scenario { s := scn; s.Range = 0.3; return s }, obj},
+		{"speed", func() Scenario { s := scn; s.Speed = 2; return s }, obj},
+		{"alpha", func() Scenario { return scn }, Objectives{Alpha: 2, Beta: 1e-3}},
+		{"beta", func() Scenario { return scn }, Objectives{Alpha: 1, Beta: 1e-2}},
+		{"epsilon", func() Scenario { return scn }, Objectives{Alpha: 1, Beta: 1e-3, Epsilon: 1e-3}},
+		{"entropy", func() Scenario { return scn }, Objectives{Alpha: 1, Beta: 1e-3, EntropyWeight: 0.1}},
+	}
+	seen := map[Fingerprint]string{base: "base"}
+	for _, tc := range perturb {
+		got := mustFP(t, tc.scn(), tc.obj)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s: %s", tc.name, prev, got)
+		}
+		seen[got] = tc.name
+	}
+}
+
+// TestTopologyKey: Φ and objectives do not move the topology key;
+// geometry does.
+func TestTopologyKey(t *testing.T) {
+	scn := fpScenario(t)
+	k1, err := TopologyKey(scn)
+	if err != nil {
+		t.Fatalf("TopologyKey: %v", err)
+	}
+	shifted := scn
+	shifted.Target = []float64{0.25, 0.25, 0.25, 0.25}
+	shifted.Name = "other"
+	k2, err := TopologyKey(shifted)
+	if err != nil {
+		t.Fatalf("TopologyKey: %v", err)
+	}
+	if k1 != k2 {
+		t.Errorf("Φ changed the topology key: %s != %s", k1, k2)
+	}
+	moved := scn
+	moved.PoIs = append([]PoI(nil), scn.PoIs...)
+	moved.PoIs[0].X -= 0.5
+	k3, err := TopologyKey(moved)
+	if err != nil {
+		t.Fatalf("TopologyKey: %v", err)
+	}
+	if k3 == k1 {
+		t.Error("moving a PoI did not change the topology key")
+	}
+	fp, err := ScenarioFingerprint(scn, Objectives{Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(k1) == fp {
+		t.Error("topology key equals full fingerprint; domains not separated")
+	}
+}
+
+// TestFingerprintRejectsMalformed: structural mismatches error instead
+// of hashing garbage.
+func TestFingerprintRejectsMalformed(t *testing.T) {
+	if _, err := ScenarioFingerprint(Scenario{}, Objectives{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	s := fpScenario(t)
+	s.Target = s.Target[:2]
+	if _, err := ScenarioFingerprint(s, Objectives{}); err == nil {
+		t.Error("target/PoI length mismatch accepted")
+	}
+	if _, err := TopologyKey(Scenario{}); err == nil {
+		t.Error("TopologyKey accepted empty scenario")
+	}
+}

@@ -237,6 +237,22 @@ type Jobs interface {
 	Plan(id string) (*coverage.Plan, error)
 }
 
+// PlanLibrary is the slice of the plan library the runtime uses:
+// consulted when drift fires (a cached exact solution that beats the
+// deployed plan's cost is swapped in directly, skipping the
+// re-optimization job entirely), and fed every plan the runtime swaps
+// in, so one deployment's re-optimization becomes every later
+// deployment's cache hit. *plans.Library satisfies it.
+type PlanLibrary interface {
+	// WarmStart returns the best cached plan for the scenario: an exact
+	// hit at distance 0, or the nearest same-topology neighbor.
+	WarmStart(scn coverage.Scenario, obj coverage.Objectives) (*coverage.Plan, float64, bool)
+	// PublishPlan records a plan the runtime adopted; jobID is the
+	// producing job for provenance ("" when the plan came from the
+	// library itself).
+	PublishPlan(scn coverage.Scenario, obj coverage.Objectives, plan *coverage.Plan, jobID string)
+}
+
 // incidents is the online Poisson incident simulation: arrivals per PoI
 // per step, detection when the sensor's walk next visits the PoI.
 type incidents struct {
@@ -354,6 +370,10 @@ type Config struct {
 	// Jobs submits and resolves re-optimization jobs; nil disables
 	// automatic re-optimization.
 	Jobs Jobs
+	// Plans is the plan library drifting deployments consult before
+	// paying for a re-optimization, and into which swapped-in plans are
+	// published. Nil disables library integration.
+	Plans PlanLibrary
 	// Dir is the checkpoint directory; empty disables persistence.
 	Dir string
 	// MaxDeployments bounds the deployment table (default 64).
@@ -893,9 +913,29 @@ func (rt *Runtime) checkDrift(d *deployment) {
 	lctx := obs.WithDeploymentID(context.Background(), d.id)
 
 	thr := d.spec.Drift.Threshold
-	canTrigger := rt.cfg.Jobs != nil && thr >= 0 && rep.Score >= thr &&
+	canTrigger := (rt.cfg.Jobs != nil || rt.cfg.Plans != nil) && thr >= 0 && rep.Score >= thr &&
 		d.reoptJob == "" && d.step-d.lastTrigger > d.spec.Drift.Cooldown
-	if canTrigger {
+	if canTrigger && rt.cfg.Plans != nil {
+		// Before paying for a search: the library may already hold this
+		// exact problem at a cost below the deployed plan's (published by
+		// another deployment, a direct query, or an earlier job). An exact
+		// hit that improves on what is running swaps in immediately.
+		if cached, dist, ok := rt.cfg.Plans.WarmStart(d.spec.Scenario, d.spec.Objectives); ok && dist == 0 && cached.Cost < d.plan.Cost {
+			rep.Triggered = true
+			d.driftTriggers++
+			d.lastTrigger = d.step
+			d.lastError = ""
+			d.lastDrift = rep
+			rt.log.InfoContext(lctx, "drift resolved from plan library",
+				slog.Float64("score", rep.Score),
+				slog.Int("step", d.step),
+				slog.Float64("cachedCost", cached.Cost))
+			d.emit(Event{Type: "trigger", Deployment: d.id, Step: d.step, Data: rep})
+			rt.swapTo(d, cached, "")
+			return
+		}
+	}
+	if canTrigger && rt.cfg.Jobs != nil {
 		opts := d.spec.Reopt.Options
 		opts.InitialMatrix = estimate
 		v, err := rt.cfg.Jobs.SubmitCtx(lctx, jobs.Spec{
@@ -1012,6 +1052,12 @@ func (rt *Runtime) swapTo(d *deployment, plan *coverage.Plan, jobID string) {
 		slog.Float64("oldCost", rec.OldCost),
 		slog.Float64("newCost", rec.NewCost))
 	d.emit(Event{Type: "swap", Deployment: d.id, Step: d.step, Data: rec})
+	if rt.cfg.Plans != nil && jobID != "" {
+		// Feed the adopted plan back into the library (best-cost wins
+		// there, so a worse duplicate is a no-op). Library-sourced swaps
+		// (jobID == "") are already cached.
+		rt.cfg.Plans.PublishPlan(d.spec.Scenario, d.spec.Objectives, plan, jobID)
+	}
 }
 
 // emit fans an event out to subscribers, dropping it for any subscriber

@@ -1,13 +1,12 @@
 package jobs
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"log/slog"
-	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
@@ -17,15 +16,16 @@ import (
 // checkpointVersion is the on-disk job-metadata format version.
 const checkpointVersion = 1
 
-// Checkpoint file layout, one triple per job under Config.Dir:
+// Checkpoint blob layout, one triple per job in the manager's Store:
 //
 //	<id>.job.json       job metadata + objectives + options (this file)
-//	<id>.scenario.json  the Scenario, via coverage.SaveScenario
-//	<id>.plan.json      best plan so far, via coverage.SavePlan (optional)
+//	<id>.scenario.json  the Scenario, via coverage.WriteScenario
+//	<id>.plan.json      best plan so far, via coverage.WritePlan (optional)
 //
-// The scenario and plan files reuse the coverage/persist envelopes, so
-// they are loadable by every existing tool (e.g. `coverage-opt -scenario`
-// or LoadPlan) as well as by the resume path.
+// The scenario and plan blobs reuse the coverage/persist envelopes, so
+// (with the default filesystem store) they are loadable by every
+// existing tool (e.g. `coverage-opt -scenario` or LoadPlan) as well as
+// by the resume path.
 type jobEnvelope struct {
 	Version int      `json:"version"`
 	Kind    string   `json:"kind"`
@@ -33,7 +33,7 @@ type jobEnvelope struct {
 }
 
 // jobMeta is the serializable slice of a job record. The scenario and
-// plan live in their own files.
+// plan live in their own blobs.
 type jobMeta struct {
 	ID           string              `json:"id"`
 	State        State               `json:"state"`
@@ -49,25 +49,17 @@ type jobMeta struct {
 	Error        string              `json:"error,omitempty"`
 }
 
-// jobPath returns the metadata path for a job ID.
-func (m *Manager) jobPath(id string) string {
-	return filepath.Join(m.cfg.Dir, id+".job.json")
-}
+// Blob names for a job ID.
+func jobBlob(id string) string      { return id + ".job.json" }
+func scenarioBlob(id string) string { return id + ".scenario.json" }
+func planBlob(id string) string     { return id + ".plan.json" }
 
-func (m *Manager) scenarioPath(id string) string {
-	return filepath.Join(m.cfg.Dir, id+".scenario.json")
-}
-
-func (m *Manager) planPath(id string) string {
-	return filepath.Join(m.cfg.Dir, id+".plan.json")
-}
-
-// persist checkpoints a job to disk: metadata always, the scenario only
-// on first write, the plan whenever one exists. Failures are recorded on
+// persist checkpoints a job: metadata always, the scenario only on
+// first write, the plan whenever one exists. Failures are recorded on
 // the job rather than crashing the worker — an unwritable checkpoint
-// directory must not take the service down.
+// store must not take the service down.
 func (m *Manager) persist(j *job, withScenario bool) {
-	if m.cfg.Dir == "" {
+	if m.store == nil {
 		return
 	}
 	m.mu.Lock()
@@ -103,25 +95,25 @@ func (m *Manager) persist(j *job, withScenario bool) {
 	}
 }
 
-// writeCheckpoint writes the triple atomically enough for crash safety:
-// each file lands via a temp-file rename, and the metadata (which names
-// the authoritative state) goes last.
+// writeCheckpoint writes the triple crash-safely: each blob lands via
+// the store's atomic Put, and the metadata (which names the
+// authoritative state) goes last.
 func (m *Manager) writeCheckpoint(meta *jobMeta, scn coverage.Scenario, plan *coverage.Plan, withScenario bool) error {
 	if withScenario {
-		tmp := m.scenarioPath(meta.ID) + ".tmp"
-		if err := coverage.SaveScenario(tmp, scn); err != nil {
+		var buf bytes.Buffer
+		if err := coverage.WriteScenario(&buf, scn); err != nil {
 			return err
 		}
-		if err := os.Rename(tmp, m.scenarioPath(meta.ID)); err != nil {
+		if err := m.store.Put(scenarioBlob(meta.ID), buf.Bytes()); err != nil {
 			return err
 		}
 	}
 	if plan != nil {
-		tmp := m.planPath(meta.ID) + ".tmp"
-		if err := coverage.SavePlan(tmp, plan); err != nil {
+		var buf bytes.Buffer
+		if err := coverage.WritePlan(&buf, plan); err != nil {
 			return err
 		}
-		if err := os.Rename(tmp, m.planPath(meta.ID)); err != nil {
+		if err := m.store.Put(planBlob(meta.ID), buf.Bytes()); err != nil {
 			return err
 		}
 	}
@@ -133,39 +125,33 @@ func (m *Manager) writeCheckpoint(meta *jobMeta, scn coverage.Scenario, plan *co
 	if err != nil {
 		return err
 	}
-	tmp := m.jobPath(meta.ID) + ".tmp"
-	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, m.jobPath(meta.ID))
+	return m.store.Put(jobBlob(meta.ID), append(blob, '\n'))
 }
 
-// loadCheckpoints scans the checkpoint directory, rebuilds the job table,
-// and returns the jobs that need re-queueing (queued, paused, or running
-// at the time the previous process stopped), ordered by ID. Terminal
-// jobs are loaded so their results stay queryable across restarts.
+// loadCheckpoints scans the store, rebuilds the job table, and returns
+// the jobs that need re-queueing (queued, paused, or running at the
+// time the previous process stopped), ordered by ID. Terminal jobs are
+// loaded so their results stay queryable across restarts.
 func (m *Manager) loadCheckpoints() ([]*job, error) {
-	if err := os.MkdirAll(m.cfg.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
-	}
-	entries, err := os.ReadDir(m.cfg.Dir)
+	names, err := m.store.List()
 	if err != nil {
-		return nil, fmt.Errorf("jobs: checkpoint dir: %w", err)
+		return nil, fmt.Errorf("jobs: checkpoint store: %w", err)
 	}
 	var resume []*job
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job.json") {
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".job.json") {
 			continue
 		}
-		j, err := m.loadJob(filepath.Join(m.cfg.Dir, e.Name()))
+		id := strings.TrimSuffix(name, ".job.json")
+		j, err := m.loadJob(id)
 		if err != nil {
 			// A torn or corrupt checkpoint (crash mid-write, disk trouble,
 			// manual edits) must not take every other job down with it:
-			// skip the bad file, keep it on disk for inspection, and load
-			// the rest. The write path's temp+rename makes this rare, but
-			// startup must tolerate whatever it finds.
+			// skip the bad blob, keep it in the store for inspection, and
+			// load the rest. The write path's atomic Put makes this rare,
+			// but startup must tolerate whatever it finds.
 			m.log.Error("skipping unreadable checkpoint",
-				slog.String("file", e.Name()),
+				slog.String("file", name),
 				slog.String("error", err.Error()))
 			continue
 		}
@@ -198,8 +184,8 @@ func (m *Manager) sortOrder() {
 }
 
 // loadJob reads one checkpoint triple back into a job record.
-func (m *Manager) loadJob(metaPath string) (*job, error) {
-	blob, err := os.ReadFile(metaPath)
+func (m *Manager) loadJob(id string) (*job, error) {
+	blob, err := m.store.Get(jobBlob(id))
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +200,11 @@ func (m *Manager) loadJob(metaPath string) (*job, error) {
 	if meta.ID == "" || !meta.State.valid() {
 		return nil, fmt.Errorf("malformed job metadata (id %q, state %q)", meta.ID, meta.State)
 	}
-	scn, err := coverage.LoadScenario(m.scenarioPath(meta.ID))
+	scnBlob, err := m.store.Get(scenarioBlob(meta.ID))
+	if err != nil {
+		return nil, err
+	}
+	scn, err := coverage.ReadScenario(bytes.NewReader(scnBlob))
 	if err != nil {
 		return nil, err
 	}
@@ -244,18 +234,21 @@ func (m *Manager) loadJob(metaPath string) (*job, error) {
 	if j.state == StateRunning {
 		j.state = StatePaused
 	}
-	// No plan checkpoint yet is fine for queued or just-started jobs;
-	// LoadPlan flattens the underlying error, so probe existence first.
-	if _, statErr := os.Stat(m.planPath(meta.ID)); statErr == nil {
-		plan, err := coverage.LoadPlan(m.planPath(meta.ID))
+	// No plan checkpoint yet is fine for queued or just-started jobs.
+	planRaw, err := m.store.Get(planBlob(meta.ID))
+	switch {
+	case err == nil:
+		plan, err := coverage.ReadPlan(bytes.NewReader(planRaw))
 		if err != nil {
 			return nil, err
 		}
 		j.plan = plan
 		c := plan.Cost
 		j.prog.BestCost = &c
-	} else if !errors.Is(statErr, fs.ErrNotExist) {
-		return nil, statErr
+	case errors.Is(err, fs.ErrNotExist):
+		// fine
+	default:
+		return nil, err
 	}
 	return j, nil
 }

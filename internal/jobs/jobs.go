@@ -205,8 +205,12 @@ type Config struct {
 	// count.
 	MaxJobWorkers int
 	// Dir is the checkpoint directory; empty disables persistence (jobs
-	// are lost on process exit).
+	// are lost on process exit). Ignored when Store is set.
 	Dir string
+	// Store overrides the persistence backend: when non-nil, checkpoints
+	// go through it instead of a filesystem store rooted at Dir. Use it
+	// to plug a blob/KV backend into the checkpoint path.
+	Store Store
 	// Logger receives structured job-lifecycle logs (submit, start,
 	// restart, checkpoint, finish), each carrying the job ID — and the
 	// deployment ID, when the submission context carries one — so a job's
@@ -253,6 +257,8 @@ type Manager struct {
 	log  *slog.Logger
 	met  jobMetrics
 
+	store Store // nil disables persistence
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order for List
@@ -260,6 +266,7 @@ type Manager struct {
 	seq      int
 	closed   bool
 	progress func(jobID string, p coverage.Progress)
+	onDone   func(jobID string, spec Spec, plan *coverage.Plan)
 }
 
 // New builds a Manager, resumes any checkpointed jobs found in cfg.Dir,
@@ -282,8 +289,19 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Metrics != nil {
 		m.met = newJobMetrics(cfg.Metrics)
 	}
+	switch {
+	case cfg.Store != nil:
+		m.store = cfg.Store
+	case cfg.Dir != "":
+		fsStore, err := NewFSStore(cfg.Dir)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		m.store = fsStore
+	}
 	var resumed []*job
-	if cfg.Dir != "" {
+	if m.store != nil {
 		var err error
 		resumed, err = m.loadCheckpoints()
 		if err != nil {
@@ -377,6 +395,18 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (View, error) {
 func (m *Manager) SetProgressListener(fn func(jobID string, p coverage.Progress)) {
 	m.mu.Lock()
 	m.progress = fn
+	m.mu.Unlock()
+}
+
+// SetDoneListener registers fn to receive every job that finishes in
+// state done together with its winning plan — the publish hook the plan
+// library uses to absorb completed optimizations. It is invoked
+// synchronously from the worker goroutine after the terminal checkpoint
+// is written, so a registered library never misses a completion. Wire
+// it once, before jobs run.
+func (m *Manager) SetDoneListener(fn func(jobID string, spec Spec, plan *coverage.Plan)) {
+	m.mu.Lock()
+	m.onDone = fn
 	m.mu.Unlock()
 }
 
@@ -701,6 +731,14 @@ func (m *Manager) finish(j *job, state State, best *coverage.Plan, errMsg string
 		m.log.InfoContext(j.logCtx(), "job finished", attrs...)
 	}
 	m.persist(j, false)
+	if state == StateDone && best != nil {
+		m.mu.Lock()
+		fn := m.onDone
+		m.mu.Unlock()
+		if fn != nil {
+			fn(j.id, j.spec, best)
+		}
+	}
 }
 
 // pause parks an interrupted job so a restarted manager resumes it from

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -423,7 +424,7 @@ func TestResumeAfterHardKill(t *testing.T) {
 
 	// Forge the crash: metadata says running with no completed restarts,
 	// and the plan checkpoint is gone.
-	metaPath := m1.jobPath(v.ID)
+	metaPath := filepath.Join(dir, jobBlob(v.ID))
 	blob, err := os.ReadFile(metaPath)
 	if err != nil {
 		t.Fatalf("read checkpoint: %v", err)
@@ -442,7 +443,7 @@ func TestResumeAfterHardKill(t *testing.T) {
 	if err := os.WriteFile(metaPath, blob, 0o644); err != nil {
 		t.Fatalf("write checkpoint: %v", err)
 	}
-	if err := os.Remove(m1.planPath(v.ID)); err != nil {
+	if err := os.Remove(filepath.Join(dir, planBlob(v.ID))); err != nil {
 		t.Fatalf("remove plan checkpoint: %v", err)
 	}
 
@@ -493,7 +494,7 @@ func TestLoadCheckpointsSkipsTorn(t *testing.T) {
 	// Forge a torn metadata file — the front half of a valid envelope, as
 	// a crash mid-write without the temp+rename dance would leave — plus a
 	// wrong-kind file, a la manual edits.
-	blob, err := os.ReadFile(m1.jobPath(v.ID))
+	blob, err := os.ReadFile(filepath.Join(dir, jobBlob(v.ID)))
 	if err != nil {
 		t.Fatalf("read checkpoint: %v", err)
 	}

@@ -1,0 +1,120 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the persistence backend for checkpoint blobs: a flat
+// namespace of named byte blobs with atomic replacement. The job
+// manager's checkpoint triple and the plan library's persistent tier
+// both run on it, so a future blob/KV backend (object store, embedded
+// KV) plugs into every durable path at once by implementing these four
+// methods.
+//
+// Contract:
+//   - Put replaces the blob atomically: a reader never observes a
+//     half-written blob under the final name (torn data may exist only
+//     under transient names a List caller must ignore).
+//   - Get returns an error satisfying errors.Is(err, fs.ErrNotExist)
+//     for a missing name.
+//   - List returns the names of every stored blob, in no particular
+//     order.
+//   - Delete of a missing name is not an error.
+type Store interface {
+	Get(name string) ([]byte, error)
+	Put(name string, blob []byte) error
+	List() ([]string, error)
+	Delete(name string) error
+}
+
+// FSStore is the filesystem Store: one file per blob inside a
+// directory, with Put writing a temp file and renaming it into place —
+// the same crash-safety dance the checkpoint code has always done.
+type FSStore struct {
+	dir string
+}
+
+// tmpSuffix marks in-flight Put files; List hides them so a crash
+// mid-write never surfaces a torn blob under a listable name.
+const tmpSuffix = ".tmp"
+
+// NewFSStore creates the directory if needed and returns a store over
+// it.
+func NewFSStore(dir string) (*FSStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: store dir: %w", err)
+	}
+	return &FSStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+// path maps a blob name to its file, rejecting names that would escape
+// the directory.
+func (s *FSStore) path(name string) (string, error) {
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		return "", fmt.Errorf("jobs: invalid blob name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// Get reads one blob; a missing name satisfies errors.Is(err,
+// fs.ErrNotExist).
+func (s *FSStore) Get(name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// Put atomically replaces the blob via temp-file + rename.
+func (s *FSStore) Put(name string, blob []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	tmp := p + tmpSuffix
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// List returns every stored blob name (temp files from in-flight or
+// crashed Puts excluded).
+func (s *FSStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), tmpSuffix) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// Delete removes a blob; deleting a missing name is a no-op.
+func (s *FSStore) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package jobs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestFSStoreRoundTrip pins the Store contract on the filesystem
+// implementation: Put/Get round-trips, atomic replace, fs.ErrNotExist
+// on misses, List hiding temp files, and idempotent Delete.
+func TestFSStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFSStore(dir)
+	if err != nil {
+		t.Fatalf("NewFSStore: %v", err)
+	}
+
+	if _, err := s.Get("missing.json"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Get missing: err = %v, want fs.ErrNotExist", err)
+	}
+	if err := s.Put("a.json", []byte("one")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("a.json", []byte("two")); err != nil {
+		t.Fatalf("Put replace: %v", err)
+	}
+	got, err := s.Get("a.json")
+	if err != nil || string(got) != "two" {
+		t.Errorf("Get = %q, %v; want \"two\"", got, err)
+	}
+
+	// A crashed Put leaves a temp file; List must not surface it.
+	if err := os.WriteFile(filepath.Join(dir, "b.json.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("c.json", []byte("three")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a.json" || names[1] != "c.json" {
+		t.Errorf("List = %v, want [a.json c.json]", names)
+	}
+
+	if err := s.Delete("a.json"); err != nil {
+		t.Errorf("Delete: %v", err)
+	}
+	if err := s.Delete("a.json"); err != nil {
+		t.Errorf("Delete missing: %v, want nil", err)
+	}
+	if _, err := s.Get("a.json"); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Get deleted: err = %v, want fs.ErrNotExist", err)
+	}
+
+	// Names that would escape the directory are rejected.
+	for _, bad := range []string{"", ".", "..", "x/y.json", "../z.json"} {
+		if err := s.Put(bad, []byte("no")); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+	}
+}
+
+// TestManagerCustomStore runs a job manager on an explicit Store and
+// checks the checkpoint triple lands under the expected blob names —
+// the layout the plan library's persistent tier shares.
+func TestManagerCustomStore(t *testing.T) {
+	s, err := NewFSStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewFSStore: %v", err)
+	}
+	m, err := New(Config{Workers: 1, Store: s})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	v, err := m.Submit(testSpec(t, 100, 1, 3))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		got, _ := m.Get(v.ID)
+		return got.State == StateDone
+	}, "job to finish")
+	shutdown(t, m)
+
+	for _, name := range []string{jobBlob(v.ID), scenarioBlob(v.ID), planBlob(v.ID)} {
+		if _, err := s.Get(name); err != nil {
+			t.Errorf("blob %s missing after run: %v", name, err)
+		}
+	}
+
+	// A fresh manager on the same store resumes the finished job.
+	m2, err := New(Config{Workers: 1, Store: s})
+	if err != nil {
+		t.Fatalf("New on same store: %v", err)
+	}
+	defer shutdown(t, m2)
+	got, err := m2.Get(v.ID)
+	if err != nil || got.State != StateDone {
+		t.Errorf("resumed job = %+v, %v; want done", got, err)
+	}
+}

@@ -1,0 +1,68 @@
+package plans
+
+import "math"
+
+// Scenario distance for nearest-neighbor warm-start lookup. The metric
+// only compares entries whose topology keys already match (same PoI
+// layout, range, speed, obstacles — hence identical transition-matrix
+// dimensions and support), so the remaining degrees of freedom are the
+// target allocation Φ and the objective weights:
+//
+//	d = ‖ΔΦ‖₁ + objWeight · (relative objective-weight distance)
+//
+// ‖ΔΦ‖₁ dominates by design: Φ lives on the probability simplex, so the
+// term is a dimensionless value in [0, 2], and it is the quantity the
+// deploy runtime's drift detector already thresholds on — a caller's
+// MaxDistance bound composes naturally with drift tolerances. Objective
+// weights are unbounded, so each weight contributes a relative
+// difference |a−b|/(1+|a|+|b|) in [0, 1) instead of a raw delta.
+
+// objWeight scales the objective-weight term relative to ‖ΔΦ‖₁.
+const objWeight = 0.5
+
+// distance computes the scenario distance between a query projection
+// and an index entry with the same topology key.
+func distance(q, e *indexEntry) float64 {
+	d := l1(q.phi, e.phi)
+	d += objWeight * (relL1(q.alpha, e.alpha) +
+		relL1(q.beta, e.beta) +
+		relDiff(q.objScals[0], e.objScals[0]) +
+		relDiff(q.objScals[1], e.objScals[1]) +
+		relDiff(q.objScals[2], e.objScals[2]) +
+		relDiff(q.objScals[3], e.objScals[3]))
+	return d
+}
+
+// l1 is the ℓ₁ distance; mismatched lengths (impossible for entries
+// sharing a topology key, but cheap to guard) are infinitely far apart.
+func l1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// relL1 sums per-element relative differences.
+func relL1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var s float64
+	for i := range a {
+		s += relDiff(a[i], b[i])
+	}
+	return s
+}
+
+// relDiff is a bounded, scale-aware difference: 0 for equal values,
+// approaching 1 as the values diverge by orders of magnitude.
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / (1 + math.Abs(a) + math.Abs(b))
+}

@@ -1,0 +1,338 @@
+package plans
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/coverage"
+	"repro/internal/jobs"
+)
+
+// fakeJobs is a controllable Jobs backend: it records every submitted
+// spec and lets tests drive job completion by hand.
+type fakeJobs struct {
+	mu     sync.Mutex
+	nextID int
+	specs  map[string]jobs.Spec
+	states map[string]jobs.State
+	subs   int
+}
+
+func newFakeJobs() *fakeJobs {
+	return &fakeJobs{specs: make(map[string]jobs.Spec), states: make(map[string]jobs.State)}
+}
+
+func (f *fakeJobs) SubmitCtx(_ context.Context, spec jobs.Spec) (jobs.View, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextID++
+	f.subs++
+	id := fmt.Sprintf("job-%04d", f.nextID)
+	f.specs[id] = spec
+	f.states[id] = jobs.StateRunning
+	return jobs.View{ID: id, State: jobs.StateQueued}, nil
+}
+
+func (f *fakeJobs) Get(id string) (jobs.View, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.states[id]
+	if !ok {
+		return jobs.View{}, jobs.ErrNotFound
+	}
+	return jobs.View{ID: id, State: st}, nil
+}
+
+func (f *fakeJobs) submissions() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.subs
+}
+
+func (f *fakeJobs) spec(id string) jobs.Spec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.specs[id]
+}
+
+func (f *fakeJobs) setState(id string, st jobs.State) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.states[id] = st
+}
+
+// finish marks the job done and fires the publish hook the way
+// Manager.SetDoneListener would.
+func (f *fakeJobs) finish(s *Service, id string, plan *coverage.Plan) {
+	f.setState(id, jobs.StateDone)
+	s.OnJobDone(id, f.spec(id), plan)
+}
+
+func newSvc(t *testing.T, lib *Library, j Jobs) *Service {
+	t.Helper()
+	s, err := NewService(ServiceConfig{Library: lib, Jobs: j})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return s
+}
+
+// TestQueryLifecycle walks one scenario miss → scheduled → pending →
+// (job done) → hit.
+func TestQueryLifecycle(t *testing.T) {
+	fj := newFakeJobs()
+	s := newSvc(t, newLib(t, Config{}), fj)
+	ctx := context.Background()
+	scn := lineScn(t, "lifecycle", []float64{0.4, 0.1, 0.1, 0.4})
+	q := Query{Scenario: scn, Objectives: testObj}
+
+	r1 := s.Query(ctx, q)
+	if r1.Status != StatusScheduled || r1.JobID == "" {
+		t.Fatalf("first query = %+v, want scheduled", r1)
+	}
+	r2 := s.Query(ctx, q)
+	if r2.Status != StatusPending || r2.JobID != r1.JobID {
+		t.Fatalf("second query = %+v, want pending on %s", r2, r1.JobID)
+	}
+	if fj.submissions() != 1 {
+		t.Fatalf("%d submissions for one fingerprint", fj.submissions())
+	}
+
+	fj.finish(s, r1.JobID, fakePlan(4, 1.5))
+	r3 := s.Query(ctx, q)
+	if r3.Status != StatusHit || r3.Plan == nil || r3.Plan.Cost != 1.5 {
+		t.Fatalf("post-publish query = %+v, want hit", r3)
+	}
+	if r3.Provenance == nil || r3.Provenance.JobID != r1.JobID || r3.Provenance.Source != "job" {
+		t.Errorf("hit provenance = %+v", r3.Provenance)
+	}
+	if fj.submissions() != 1 {
+		t.Errorf("hit spawned a job")
+	}
+}
+
+// TestQueryFailedJobRetries: a failed in-flight job does not wedge the
+// fingerprint; the next query spawns a fresh attempt.
+func TestQueryFailedJobRetries(t *testing.T) {
+	fj := newFakeJobs()
+	s := newSvc(t, newLib(t, Config{}), fj)
+	ctx := context.Background()
+	q := Query{Scenario: lineScn(t, "retry", []float64{0.5, 0.5}), Objectives: testObj}
+
+	r1 := s.Query(ctx, q)
+	if r1.Status != StatusScheduled {
+		t.Fatalf("first query = %+v", r1)
+	}
+	fj.setState(r1.JobID, jobs.StateFailed)
+	r2 := s.Query(ctx, q)
+	if r2.Status != StatusScheduled || r2.JobID == r1.JobID {
+		t.Fatalf("query after failure = %+v, want a fresh job", r2)
+	}
+	if fj.submissions() != 2 {
+		t.Errorf("%d submissions, want 2", fj.submissions())
+	}
+}
+
+// TestQueryWarmStart: a miss near a cached neighbor submits a job
+// seeded with the neighbor's matrix; a far or NoSpawn miss does not.
+func TestQueryWarmStart(t *testing.T) {
+	fj := newFakeJobs()
+	lib := newLib(t, Config{})
+	s := newSvc(t, lib, fj)
+	ctx := context.Background()
+
+	seedPhi := []float64{0.4, 0.1, 0.1, 0.4}
+	if _, err := lib.Publish(lineScn(t, "seed", seedPhi), testObj, fakePlan(4, 1), Provenance{Source: "manual"}); err != nil {
+		t.Fatal(err)
+	}
+
+	shifted := lineScn(t, "shifted", []float64{0.38, 0.12, 0.1, 0.4})
+	r := s.Query(ctx, Query{Scenario: shifted, Objectives: testObj})
+	if r.Status != StatusScheduled {
+		t.Fatalf("query = %+v", r)
+	}
+	if r.WarmStart == nil || r.WarmStart.Distance <= 0 {
+		t.Fatalf("no warm-start neighbor reported: %+v", r)
+	}
+	spec := fj.spec(r.JobID)
+	if spec.Options.InitialMatrix == nil {
+		t.Error("spawned job not warm-started")
+	}
+	if spec.Scenario.Name != "shifted" {
+		t.Errorf("spawned spec lost the caller's scenario: %q", spec.Scenario.Name)
+	}
+
+	// NoSpawn probes never submit.
+	before := fj.submissions()
+	r2 := s.Query(ctx, Query{Scenario: lineScn(t, "probe", []float64{0.25, 0.25, 0.25, 0.25}), Objectives: testObj, NoSpawn: true})
+	if r2.Status != StatusMiss || fj.submissions() != before {
+		t.Errorf("NoSpawn query = %+v (submissions %d→%d)", r2, before, fj.submissions())
+	}
+}
+
+// TestQueryServeStale: within MaxDistance a neighbor's plan is served
+// directly and no job spawns; outside the bound it is not.
+func TestQueryServeStale(t *testing.T) {
+	fj := newFakeJobs()
+	lib := newLib(t, Config{})
+	s := newSvc(t, lib, fj)
+	ctx := context.Background()
+
+	if _, err := lib.Publish(lineScn(t, "seed", []float64{0.4, 0.1, 0.1, 0.4}), testObj, fakePlan(4, 1), Provenance{Source: "manual"}); err != nil {
+		t.Fatal(err)
+	}
+	shifted := lineScn(t, "near", []float64{0.38, 0.12, 0.1, 0.4}) // distance 0.04
+
+	r := s.Query(ctx, Query{Scenario: shifted, Objectives: testObj, ServeStale: true, MaxDistance: 0.1})
+	if r.Status != StatusStale || r.Plan == nil || r.WarmStart == nil {
+		t.Fatalf("stale query = %+v", r)
+	}
+	if fj.submissions() != 0 {
+		t.Error("stale serve spawned a job")
+	}
+
+	r2 := s.Query(ctx, Query{Scenario: shifted, Objectives: testObj, ServeStale: true, MaxDistance: 0.01})
+	if r2.Status != StatusScheduled {
+		t.Errorf("out-of-bound stale query = %+v, want scheduled", r2)
+	}
+}
+
+// TestQueryBatch: a batch resolves in order, deduplicates identical
+// misses onto one job, and reports malformed items without failing the
+// batch.
+func TestQueryBatch(t *testing.T) {
+	fj := newFakeJobs()
+	lib := newLib(t, Config{})
+	s := newSvc(t, lib, fj)
+	ctx := context.Background()
+
+	cached := lineScn(t, "cached", []float64{0.4, 0.1, 0.1, 0.4})
+	if _, err := lib.Publish(cached, testObj, fakePlan(4, 1), Provenance{Source: "manual"}); err != nil {
+		t.Fatal(err)
+	}
+	missed := lineScn(t, "missed", []float64{0.1, 0.4, 0.4, 0.1})
+
+	res := s.QueryBatch(ctx, []Query{
+		{Scenario: cached, Objectives: testObj},
+		{Scenario: missed, Objectives: testObj},
+		{Scenario: missed, Objectives: testObj}, // duplicate miss
+		{Scenario: coverage.Scenario{}, Objectives: testObj},
+	})
+	want := []string{StatusHit, StatusScheduled, StatusPending, StatusError}
+	for i, w := range want {
+		if res[i].Status != w {
+			t.Errorf("result[%d] = %+v, want status %s", i, res[i], w)
+		}
+	}
+	if res[1].JobID != res[2].JobID {
+		t.Errorf("duplicate misses got different jobs: %s vs %s", res[1].JobID, res[2].JobID)
+	}
+	if fj.submissions() != 1 {
+		t.Errorf("%d submissions for one unique miss", fj.submissions())
+	}
+}
+
+// TestHTTPQuery drives the batched endpoint over HTTP, including the
+// request-validation failure modes.
+func TestHTTPQuery(t *testing.T) {
+	fj := newFakeJobs()
+	lib := newLib(t, Config{})
+	s := newSvc(t, lib, fj)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cached := lineScn(t, "http-cached", []float64{0.4, 0.1, 0.1, 0.4})
+	fp, err := lib.Publish(cached, testObj, fakePlan(4, 1), Provenance{Source: "manual"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(t *testing.T, body any) (*http.Response, []byte) {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/plans:query", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := post(t, QueryRequest{Queries: []Query{
+		{Scenario: cached, Objectives: testObj},
+		{Scenario: lineScn(t, "http-miss", []float64{0.1, 0.4, 0.4, 0.1}), Objectives: testObj},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /plans:query = %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != 2 || qr.Results[0].Status != StatusHit || qr.Results[1].Status != StatusScheduled {
+		t.Fatalf("results = %+v", qr.Results)
+	}
+	if qr.Results[0].Fingerprint != string(fp) {
+		t.Errorf("hit fingerprint = %s, want %s", qr.Results[0].Fingerprint, fp)
+	}
+
+	// Empty and oversized batches are 400s.
+	if resp, _ := post(t, QueryRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch = %d, want 400", resp.StatusCode)
+	}
+	big := QueryRequest{Queries: make([]Query, MaxBatch+1)}
+	if resp, _ := post(t, big); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch = %d, want 400", resp.StatusCode)
+	}
+
+	// Library endpoints.
+	st, err := http.Get(srv.URL + "/plans")
+	if err != nil || st.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plans = %v, %v", st, err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	st.Body.Close()
+	if stats.IndexedEntries != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	ge, err := http.Get(srv.URL + "/plans/" + string(fp))
+	if err != nil || ge.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plans/{fp} = %v, %v", ge, err)
+	}
+	var entry Entry
+	if err := json.NewDecoder(ge.Body).Decode(&entry); err != nil {
+		t.Fatal(err)
+	}
+	ge.Body.Close()
+	if entry.Fingerprint != string(fp) || entry.Plan == nil {
+		t.Errorf("entry = %+v", entry)
+	}
+
+	if missing, _ := http.Get(srv.URL + "/plans/ffff"); missing.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown fingerprint = %d, want 404", missing.StatusCode)
+	}
+}
+
+// TestServiceRequiresLibrary: config validation.
+func TestServiceRequiresLibrary(t *testing.T) {
+	if _, err := NewService(ServiceConfig{}); err == nil {
+		t.Error("NewService accepted nil library")
+	}
+}
