@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_run.json
 
-.PHONY: build test check race vet bench bench-compare deploy-demo loadtest clean
+.PHONY: build test check race vet bench bench-compare deploy-demo loadtest shardsmoke clean
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,13 @@ deploy-demo:
 # (PLANLOAD_SLO, default 10ms).
 loadtest:
 	./scripts/loadtest.sh
+
+# shardsmoke boots a three-node serve cluster sharing one checkpoint
+# store, runs a 12-restart job through the shard/lease protocol, and
+# fails unless every node serves a plan byte-identical to a
+# single-process run and all processes drain cleanly on SIGTERM.
+shardsmoke:
+	./scripts/shardsmoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -13,9 +13,11 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"repro/coverage"
 	"repro/internal/core"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/descent"
 	"repro/internal/exp"
 	"repro/internal/geom"
+	"repro/internal/jobs"
 	"repro/internal/markov"
 	"repro/internal/mat"
 	"repro/internal/mcmc"
@@ -589,5 +592,120 @@ func BenchmarkPublicOptimize(b *testing.B) {
 		); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEvaluateLarge pits the dense and sparse evaluation paths
+// against each other at city scale on the same kNN fixture as
+// BenchmarkGradientLarge. The dense row exercises the M³ coverage-table
+// sweep in evaluateInto — the hot loop of every line-search probe — so
+// the bench gate catches dispatch regressions the M≤128 sweep hides in
+// solver time.
+func BenchmarkEvaluateLarge(b *testing.B) {
+	for _, m := range []int{256} {
+		for _, sv := range []struct {
+			name   string
+			method markov.Method
+		}{{"dense", markov.MethodDense}, {"sparse", markov.MethodSparse}} {
+			b.Run(fmt.Sprintf("M%d/%s", m, sv.name), func(b *testing.B) {
+				model, p := benchLargeFixture(b, m)
+				ws := model.NewWorkspace()
+				ws.SetSolver(sv.method)
+				// Warm-up builds the model's lazy tables outside the
+				// timed region.
+				if _, err := model.EvaluateIn(ws, p); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := model.EvaluateIn(ws, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// benchShardSpec is the 12-restart M=64 job the sharding bench runs.
+func benchShardSpec(b *testing.B) jobs.Spec {
+	b.Helper()
+	target := make([]float64, 64)
+	for i := range target {
+		target[i] = 1.0 / 64
+	}
+	scn, err := coverage.GridScenario("bench-shard", 8, 8, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs.Spec{
+		Scenario:   scn,
+		Objectives: coverage.Objectives{Alpha: 1, Beta: 1e-3},
+		Options:    coverage.Options{MaxIters: 15, Seed: 42},
+		Restarts:   12,
+	}
+}
+
+// BenchmarkShardedOptimizeBest runs a 12-restart M=64 job end to end
+// through the shard/lease/merge protocol, with one vs three manager
+// nodes sharing a single FSStore. On multi-core hosts the three nodes
+// overlap restarts and the ratio approaches 3×; on a single core the
+// nodes time-slice one CPU and the comparison instead measures the
+// protocol's coordination overhead (lease CAS, checkpoint writes,
+// merge). Setup and teardown run off the clock.
+func BenchmarkShardedOptimizeBest(b *testing.B) {
+	spec := benchShardSpec(b)
+	for _, nodes := range []int{1, 3} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				mgrs := make([]*jobs.Manager, nodes)
+				for n := range mgrs {
+					m, err := jobs.New(jobs.Config{
+						Workers: 1,
+						Dir:     dir,
+						Shard: jobs.ShardConfig{
+							Enabled:  true,
+							Node:     fmt.Sprintf("bench%d", n),
+							LeaseTTL: 10 * time.Second,
+							Poll:     5 * time.Millisecond,
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					mgrs[n] = m
+				}
+				b.StartTimer()
+				v, err := mgrs[0].Submit(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					got, err := mgrs[0].Get(v.ID)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got.State.Terminal() {
+						if got.State != jobs.StateDone {
+							b.Fatalf("job finished %s", got.State)
+						}
+						break
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				b.StopTimer()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				for _, m := range mgrs {
+					if err := m.Shutdown(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cancel()
+				b.StartTimer()
+			}
+		})
 	}
 }

@@ -13,8 +13,12 @@
 //
 // With a checkpoint directory, interrupted jobs survive a restart of the
 // server and resume from their last completed restart, and live
-// deployments resume bit-for-bit. See the README for a curl walkthrough
-// of both APIs.
+// deployments resume bit-for-bit. Adding -shard (plus a unique
+// -node-id) lets any number of serve instances share one checkpoint
+// directory as a cluster: multi-restart jobs split into work-leased
+// restart shards that the nodes claim, checkpoint, and merge
+// deterministically, with takeover on node death. See the README for a
+// curl walkthrough of the APIs and the multi-node setup.
 package main
 
 import (
@@ -62,9 +66,16 @@ func run(args []string, ready chan<- string) error {
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for draining workers")
 		logLevel   = fs.String("log-level", "info", "minimum log level (debug, info, warn, error)")
 		logFormat  = fs.String("log-format", "text", "log output format (text, json)")
+		shard      = fs.Bool("shard", false, "shard multi-restart jobs across every serve instance sharing the checkpoint dir (requires -checkpoint-dir)")
+		nodeID     = fs.String("node-id", "", "node name in shard leases and job IDs (default hostname-pid); must be unique per instance")
+		shardSize  = fs.Int("shard-restarts", 1, "restarts per shard when -shard is on")
+		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "shard lease time-to-live before another node may take over")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shard && *dir == "" {
+		return fmt.Errorf("-shard requires -checkpoint-dir (the shared store nodes coordinate through)")
 	}
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
@@ -82,6 +93,12 @@ func run(args []string, ready chan<- string) error {
 		Dir:           *dir,
 		Logger:        logger,
 		Metrics:       reg,
+		Shard: jobs.ShardConfig{
+			Enabled:   *shard,
+			Node:      *nodeID,
+			ShardSize: *shardSize,
+			LeaseTTL:  *leaseTTL,
+		},
 	})
 	if err != nil {
 		return err

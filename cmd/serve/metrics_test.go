@@ -119,6 +119,16 @@ func TestMetricsCatalog(t *testing.T) {
 		"plans_query_batch_size":                       obs.TypeHistogram,
 		"plans_memory_entries":                         obs.TypeGauge,
 		"plans_index_entries":                          obs.TypeGauge,
+		"jobs_shard_claims_total":                      obs.TypeCounter,
+		"jobs_shard_claim_seconds":                     obs.TypeHistogram,
+		"jobs_shards_completed_total":                  obs.TypeCounter,
+		"jobs_shard_merges_total":                      obs.TypeCounter,
+		"jobs_shard_merge_seconds":                     obs.TypeHistogram,
+		"jobs_shard_queue_depth":                       obs.TypeGauge,
+		"jobs_lease_renewals_total":                    obs.TypeCounter,
+		"jobs_lease_takeovers_total":                   obs.TypeCounter,
+		"jobs_lease_losses_total":                      obs.TypeCounter,
+		"jobs_lease_active":                            obs.TypeGauge,
 	}
 	for name, wantType := range catalog {
 		if got, ok := types[name]; !ok {

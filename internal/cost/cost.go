@@ -291,39 +291,51 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 	// it uses the identity G_i = coverNum_i − Φ_i·Σ π_j p_jk T_jk, which
 	// is the same sum reassociated — exact in exact arithmetic, within
 	// markov.SparseTol in floating point.
-	sparseMode := sol.Z2 == nil
-	var at []float64
-	if !sparseMode {
-		at = m.atTable()
-	}
+	// The mode test is hoisted out of the O(M²) transition sweep into two
+	// separate loop nests: a per-(j,k) branch on an invariant defeats the
+	// inner-loop unrolling the dense path relies on. Both nests keep the
+	// historic per-(j,k) visit order and per-slot fold, so the sums carry
+	// identical bits to the fused loop they replace.
 	var totalTime float64 // Σ π_j p_jk T_jk
 	pd := p.Data()
-	for j := 0; j < n; j++ {
-		pij := sol.Pi[j]
-		prow := pd[j*n : (j+1)*n]
-		for k := 0; k < n; k++ {
-			w := pij * prow[k]
-			if w == 0 {
-				continue
-			}
-			totalTime += w * m.travel[j*n+k]
-			crow := m.top.CoverRow(j, k)
-			if sparseMode {
+	if sol.Z2 == nil {
+		// Sparse mode: never touch the M³ at table.
+		for j := 0; j < n; j++ {
+			pij := sol.Pi[j]
+			prow := pd[j*n : (j+1)*n]
+			for k := 0; k < n; k++ {
+				w := pij * prow[k]
+				if w == 0 {
+					continue
+				}
+				totalTime += w * m.travel[j*n+k]
+				crow := m.top.CoverRow(j, k)
 				for i := 0; i < n; i++ {
 					coverNum[i] += w * crow[i]
 				}
-				continue
-			}
-			arow := at[(j*n+k)*n : (j*n+k+1)*n]
-			for i := 0; i < n; i++ {
-				coverNum[i] += w * crow[i]
-				g[i] += w * arow[i]
 			}
 		}
-	}
-	if sparseMode {
 		for i := 0; i < n; i++ {
 			g[i] = coverNum[i] - m.top.TargetAt(i)*totalTime
+		}
+	} else {
+		at := m.atTable()
+		for j := 0; j < n; j++ {
+			pij := sol.Pi[j]
+			prow := pd[j*n : (j+1)*n]
+			for k := 0; k < n; k++ {
+				w := pij * prow[k]
+				if w == 0 {
+					continue
+				}
+				totalTime += w * m.travel[j*n+k]
+				crow := m.top.CoverRow(j, k)
+				arow := at[(j*n+k)*n : (j*n+k+1)*n]
+				for i := 0; i < n; i++ {
+					coverNum[i] += w * crow[i]
+					g[i] += w * arow[i]
+				}
+			}
 		}
 	}
 	for i := 0; i < n; i++ {

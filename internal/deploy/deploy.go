@@ -18,7 +18,10 @@
 // When the drift score crosses Drift.Threshold, the runtime submits a
 // re-optimization job through the jobs.Manager, warm-started from the
 // estimated chain (coverage.Options.InitialMatrix), and hot-swaps the
-// plan atomically when the job completes, recording a swap history. All
+// plan atomically when the job completes, recording a swap history. On
+// a sharding manager (jobs.ShardConfig) those re-optimizations split
+// across the cluster like any other job; the runtime only sees the
+// done notification from whichever node merges the result. All
 // deployment state — including the executor's exact random-stream
 // position — checkpoints to disk, so a restarted server resumes
 // deployments bit-for-bit, exactly like jobs.

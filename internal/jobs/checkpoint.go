@@ -40,6 +40,7 @@ type jobMeta struct {
 	Objectives   coverage.Objectives `json:"objectives"`
 	Options      coverage.Options    `json:"options"`
 	Restarts     int                 `json:"restarts"`
+	Sharded      bool                `json:"sharded,omitempty"`
 	RestartsDone int                 `json:"restartsDone"`
 	ItersDone    int                 `json:"itersDone,omitempty"`
 	RanSec       float64             `json:"ranSec,omitempty"`
@@ -63,9 +64,18 @@ func (m *Manager) persist(j *job, withScenario bool) {
 		return
 	}
 	m.mu.Lock()
+	if j.sharded && !withScenario {
+		// Sharded jobs write their metadata blob exactly once, at submit;
+		// after that the blob is CAS-contended across nodes (terminal
+		// transitions only) and progress lives in the shard-state blobs.
+		// A plain Put here could clobber another node's terminal CAS.
+		m.mu.Unlock()
+		return
+	}
 	meta := &jobMeta{
 		ID:           j.id,
 		State:        j.state,
+		Sharded:      j.sharded,
 		Objectives:   j.spec.Objectives,
 		Options:      j.spec.Options,
 		Restarts:     j.spec.Restarts,
@@ -217,6 +227,7 @@ func (m *Manager) loadJob(id string) (*job, error) {
 			Restarts:   meta.Restarts,
 		},
 		state:        meta.State,
+		sharded:      meta.Sharded,
 		created:      meta.Created,
 		started:      meta.Started,
 		finished:     meta.Finished,

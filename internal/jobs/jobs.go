@@ -153,6 +153,8 @@ type job struct {
 	ranSec       float64            // wall-clock seconds of finished running spans
 	cancel       context.CancelFunc // non-nil while running
 	userCancel   bool
+	sharded      bool // runs through the shard protocol (shardrun.go)
+	inQueue      bool // sitting on the local worker queue right now
 }
 
 // view snapshots the job; callers must hold Manager.mu.
@@ -220,6 +222,20 @@ type Config struct {
 	// duration, descent iteration time, line-search probes, checkpoint
 	// write latency) register into. Nil disables metrics.
 	Metrics *obs.Registry
+	// Shard configures distributed restart sharding: when enabled (and a
+	// persistence backend exists), every submitted multi-restart job is
+	// split into restart-shards any manager sharing the Store can claim
+	// through a CAS lease and run; results merge deterministically to
+	// the bit-exact single-process answer. See shard.go.
+	Shard ShardConfig
+
+	// Test hooks, settable only from inside the package (crash and
+	// ordering injection for the shard protocol): testDropLeases makes
+	// shutdown keep held leases, simulating a node that died with work
+	// in flight; testAfterShardRestart fires after each durably
+	// completed shard restart.
+	testDropLeases        bool
+	testAfterShardRestart func(jobID string, shard, restart int)
 }
 
 // jobMetrics bundles the manager's instruments. All obs instruments are
@@ -230,6 +246,18 @@ type jobMetrics struct {
 	iterSeconds *obs.Histogram
 	probes      *obs.Histogram
 	ckptSeconds *obs.Histogram
+
+	// Shard-protocol instruments (see shard.go / shardrun.go).
+	shardClaims     *obs.Counter
+	claimSeconds    *obs.Histogram
+	shardsDone      *obs.Counter
+	merges          *obs.Counter
+	mergeSeconds    *obs.Histogram
+	shardQueueDepth *obs.Gauge
+	leaseRenewals   *obs.Counter
+	leaseTakeovers  *obs.Counter
+	leaseLosses     *obs.Counter
+	leaseActive     *obs.Gauge
 }
 
 func newJobMetrics(r *obs.Registry) jobMetrics {
@@ -245,6 +273,26 @@ func newJobMetrics(r *obs.Registry) jobMetrics {
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 		ckptSeconds: r.Histogram("coverage_checkpoint_write_seconds",
 			"Job checkpoint write latency.", obs.DefBuckets),
+		shardClaims: r.Counter("jobs_shard_claims_total",
+			"Restart-shards claimed by this node (first claims and takeovers)."),
+		claimSeconds: r.Histogram("jobs_shard_claim_seconds",
+			"Latency of one shard-claim scan (state reads + lease CAS).", obs.DefBuckets),
+		shardsDone: r.Counter("jobs_shards_completed_total",
+			"Restart-shards driven to a terminal state by this node."),
+		merges: r.Counter("jobs_shard_merges_total",
+			"Deterministic best-of merges this node performed or observed."),
+		mergeSeconds: r.Histogram("jobs_shard_merge_seconds",
+			"Latency of the shard-result merge (state reads + plan publish + CAS).", obs.DefBuckets),
+		shardQueueDepth: r.Gauge("jobs_shard_queue_depth",
+			"Claimable shards (open, no live lease) visible in the shared store."),
+		leaseRenewals: r.Counter("jobs_lease_renewals_total",
+			"Successful shard-lease heartbeat renewals."),
+		leaseTakeovers: r.Counter("jobs_lease_takeovers_total",
+			"Expired foreign leases this node took over (crash/stall recovery)."),
+		leaseLosses: r.Counter("jobs_lease_losses_total",
+			"Leases this node lost to takeover mid-shard (renewal CAS failed)."),
+		leaseActive: r.Gauge("jobs_lease_active",
+			"Shard leases this node currently holds."),
 	}
 }
 
@@ -257,7 +305,13 @@ type Manager struct {
 	log  *slog.Logger
 	met  jobMetrics
 
-	store Store // nil disables persistence
+	store Store       // nil disables persistence
+	cas   CASStore    // non-nil iff sharding is enabled
+	shard ShardConfig // normalized; meaningful iff cas != nil
+
+	// Copied from Config before the workers start (see Config).
+	testDropLeases        bool
+	testAfterShardRestart func(jobID string, shard, restart int)
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -300,6 +354,12 @@ func New(cfg Config) (*Manager, error) {
 		}
 		m.store = fsStore
 	}
+	if cfg.Shard.Enabled && m.store != nil {
+		m.shard = cfg.Shard.withDefaults()
+		m.cas = AsCAS(m.store)
+	}
+	m.testDropLeases = cfg.testDropLeases
+	m.testAfterShardRestart = cfg.testAfterShardRestart
 	var resumed []*job
 	if m.store != nil {
 		var err error
@@ -314,11 +374,21 @@ func New(cfg Config) (*Manager, error) {
 	m.queue = make(chan *job, cfg.QueueDepth+len(resumed))
 	for _, j := range resumed {
 		j.state = StateQueued
+		if !m.shardingEnabled() {
+			// A sharded checkpoint resumed by a non-sharded manager runs
+			// single-process; restarts are bit-exact either way.
+			j.sharded = false
+		}
+		j.inQueue = true
 		m.queue <- j
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	if m.shardingEnabled() {
+		m.wg.Add(1)
+		go m.poller()
 	}
 	return m, nil
 }
@@ -365,14 +435,22 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (View, error) {
 	}
 	m.seq++
 	now := time.Now()
+	id := fmt.Sprintf("job-%06d", m.seq)
+	if m.shardingEnabled() {
+		// Node-qualified IDs keep submissions from different managers on
+		// one shared store from colliding.
+		id = fmt.Sprintf("job-%s-%06d", m.shard.Node, m.seq)
+	}
 	j := &job{
-		id:         fmt.Sprintf("job-%06d", m.seq),
+		id:         id,
 		spec:       spec,
 		state:      StateQueued,
 		created:    now,
 		queuedAt:   now,
 		deployment: obs.DeploymentID(ctx),
 		prog:       Progress{Restarts: spec.Restarts},
+		sharded:    m.shardingEnabled(),
+		inQueue:    true,
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -383,8 +461,20 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (View, error) {
 	m.log.InfoContext(obs.WithJobID(ctx, j.id), "job submitted",
 		slog.String("scenario", spec.Scenario.Name),
 		slog.Int("restarts", spec.Restarts),
-		slog.Int("maxIters", spec.Options.MaxIters))
+		slog.Int("maxIters", spec.Options.MaxIters),
+		slog.Bool("sharded", j.sharded))
 	m.persist(j, true)
+	if j.sharded {
+		// The shard table goes in last: its presence is what makes other
+		// nodes adopt the job, so they never see a partial checkpoint.
+		t := newShardTable(j.id, spec.Restarts, m.shard.ShardSize)
+		if err := m.store.Put(shardTableBlob(j.id), marshalBlob(t)); err != nil {
+			// The local worker loop rebuilds a missing table on claim, so
+			// the job still runs; only cross-node discovery is delayed.
+			m.log.ErrorContext(obs.WithJobID(ctx, j.id), "shard table write failed",
+				slog.String("error", err.Error()))
+		}
+	}
 	return v, nil
 }
 
@@ -420,15 +510,38 @@ func (j *job) logCtx() context.Context {
 	return ctx
 }
 
-// Get returns a snapshot of one job.
+// Get returns a snapshot of one job. With sharding enabled the lookup
+// is cluster-aware: an ID this node has never seen is resolved against
+// the shared store, so any node answers for any sharded job.
 func (m *Manager) Get(id string) (View, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
-	if !ok {
-		return View{}, ErrNotFound
+	if ok {
+		v := j.view()
+		m.mu.Unlock()
+		return v, nil
 	}
-	return j.view(), nil
+	m.mu.Unlock()
+	if j = m.lookupShared(id); j != nil {
+		m.mu.Lock()
+		v := j.view()
+		m.mu.Unlock()
+		return v, nil
+	}
+	return View{}, ErrNotFound
+}
+
+// lookupShared adopts a sharded job present in the shared store but
+// unknown locally (submitted to another node). Nil when sharding is
+// off or the store has no such sharded job.
+func (m *Manager) lookupShared(id string) *job {
+	if !m.shardingEnabled() {
+		return nil
+	}
+	if _, err := m.store.Get(shardTableBlob(id)); err != nil {
+		return nil
+	}
+	return m.adoptSharded(id)
 }
 
 // List returns snapshots of every job in submission order (resumed jobs
@@ -445,17 +558,61 @@ func (m *Manager) List() []View {
 
 // Plan returns the job's best plan so far — the final plan once done,
 // the best-so-far checkpoint for a running, paused or cancelled job.
+// Cluster-aware like Get: a sharded job's merged plan is served from
+// the shared store by any node.
 func (m *Manager) Plan(id string) (*coverage.Plan, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
+	m.mu.Unlock()
 	if !ok {
-		return nil, ErrNotFound
+		if j = m.lookupShared(id); j == nil {
+			return nil, ErrNotFound
+		}
 	}
-	if j.plan == nil {
+	m.mu.Lock()
+	plan := j.plan
+	sharded := j.sharded
+	m.mu.Unlock()
+	if plan == nil && sharded {
+		// In-flight sharded job: the cluster-wide best so far is the
+		// winner over the currently terminal-or-partial shard records.
+		if t, err := m.loadShardTable(id); err == nil {
+			plan = m.bestShardPlan(t)
+			if plan != nil {
+				m.mu.Lock()
+				if j.plan == nil {
+					j.plan = plan
+				}
+				m.mu.Unlock()
+			}
+		}
+	}
+	if plan == nil {
 		return nil, ErrNoPlan
 	}
-	return j.plan, nil
+	return plan, nil
+}
+
+// bestShardPlan reduces the current shard states to the best plan
+// recorded so far, terminal or not.
+func (m *Manager) bestShardPlan(t *shardTable) *coverage.Plan {
+	results := make([]shardResult, 0, t.Shards)
+	for k := 0; k < t.Shards; k++ {
+		s := m.loadShardState(t, k)
+		results = append(results, shardResult{
+			Shard: k, Failed: s.State == shardFailed,
+			BestCost: s.BestCost, BestRestart: s.BestRestart,
+		})
+	}
+	winner, ok := pickShardWinner(results)
+	if !ok {
+		return nil
+	}
+	p, err := m.readShardPlan(t.Job, winner.Shard)
+	if err != nil {
+		return nil
+	}
+	return p
 }
 
 // Cancel stops a queued or running job. Cancelling a running job signals
@@ -470,6 +627,16 @@ func (m *Manager) Cancel(id string) error {
 	}
 	switch j.state {
 	case StateQueued, StatePaused:
+		if j.sharded {
+			// Another node may be working this job right now: the terminal
+			// transition must go through the shared store's CAS so every
+			// node observes it. Running nodes stop at their next shard
+			// boundary.
+			j.userCancel = true
+			m.mu.Unlock()
+			m.log.InfoContext(j.logCtx(), "sharded job cancel requested")
+			return m.cancelSharded(j)
+		}
 		j.state = StateCancelled
 		j.userCancel = true
 		j.finished = time.Now()
@@ -546,7 +713,14 @@ func (m *Manager) worker() {
 		case <-m.ctx.Done():
 			return
 		case j := <-m.queue:
-			m.runJob(j)
+			m.mu.Lock()
+			sharded := j.sharded
+			m.mu.Unlock()
+			if sharded {
+				m.runShardedJob(j)
+			} else {
+				m.runJob(j)
+			}
 		}
 	}
 }
@@ -557,6 +731,7 @@ func (m *Manager) worker() {
 // shutdown (paused, resumable).
 func (m *Manager) runJob(j *job) {
 	m.mu.Lock()
+	j.inQueue = false
 	if j.state != StateQueued || m.ctx.Err() != nil {
 		// Cancelled while queued, or the pool is draining: leave the
 		// checkpointed state as-is.
@@ -776,9 +951,15 @@ func seqFromID(id string) int {
 	return n
 }
 
-// sortByID orders jobs by their numeric suffix (submission order).
+// sortByID orders jobs by their numeric suffix (submission order),
+// breaking cross-node sequence ties by full ID so every node lists a
+// shared store in the same order.
 func sortByID(js []*job) {
 	sort.Slice(js, func(a, b int) bool {
-		return seqFromID(js[a].id) < seqFromID(js[b].id)
+		sa, sb := seqFromID(js[a].id), seqFromID(js[b].id)
+		if sa != sb {
+			return sa < sb
+		}
+		return js[a].id < js[b].id
 	})
 }

@@ -150,7 +150,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -benchmem -benchtime 300ms \
-	-bench 'BenchmarkEvaluate$|BenchmarkEvaluateAlloc$|BenchmarkGradient$|BenchmarkGradientAlloc$|BenchmarkGradientLarge$|BenchmarkChainSolve$|BenchmarkOptimizerIteration$' \
+	-bench 'BenchmarkEvaluate$|BenchmarkEvaluateAlloc$|BenchmarkEvaluateLarge$|BenchmarkGradient$|BenchmarkGradientAlloc$|BenchmarkGradientLarge$|BenchmarkChainSolve$|BenchmarkOptimizerIteration$|BenchmarkShardedOptimizeBest$' \
 	. >"$tmp"
 go test -run '^$' -benchmem -benchtime 300ms \
 	-bench 'BenchmarkLineSearchStep' ./internal/descent/ >>"$tmp"
