@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_run.json
 
-.PHONY: build test check race vet bench bench-compare deploy-demo loadtest shardsmoke clean
+.PHONY: build test check race vet bench bench-compare deploy-demo fleet-demo loadtest shardsmoke clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,13 @@ bench-compare:
 # and exits nonzero if any stage fails.
 deploy-demo:
 	$(GO) run ./cmd/deploydemo
+
+# fleet-demo runs the fleet path end to end through cmd/serve: a K=3
+# joint fleet job and a single-sensor job for the same problem over
+# HTTP, then requires the joint plan to beat the single plan replicated
+# K times on simulated union coverage.
+fleet-demo:
+	./scripts/fleetsmoke.sh
 
 # loadtest hammers the plan library's batched exact-hit read path over
 # real HTTP and fails if the p99 request latency breaches the SLO

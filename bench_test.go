@@ -24,6 +24,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/descent"
 	"repro/internal/exp"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/jobs"
 	"repro/internal/markov"
@@ -412,6 +413,40 @@ func BenchmarkGradientLarge(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := model.GradientIn(ws, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFleetGradient measures one joint fleet evaluation + stacked
+// gradient (K single-sensor Eq. 10 assemblies with the fleet couplings,
+// DESIGN.md §14.1) across fleet sizes and field sizes — the hot loop of
+// the stacked descent, gating the fleet job path in CI.
+func BenchmarkFleetGradient(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		for _, m := range []int{32, 128} {
+			b.Run(fmt.Sprintf("K%d/M%d", k, m), func(b *testing.B) {
+				model, _ := benchModelSized(b, m)
+				fm, err := fleet.NewModel(model, k, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ps := make([]*mat.Matrix, k)
+				for s := range ps {
+					ps[s] = descent.RandomInit(rng.New(uint64(s+1)), m, 1e-7)
+				}
+				// Warm-up builds the model's lazy tables outside the
+				// timed region.
+				if _, _, err := fm.Gradient(ps); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := fm.Gradient(ps); err != nil {
 						b.Fatal(err)
 					}
 				}

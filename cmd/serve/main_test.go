@@ -329,3 +329,135 @@ func TestServeDeploymentsAndMetrics(t *testing.T) {
 	}
 	drain(done)
 }
+
+// TestServeFleetLifecycle runs a fleet job and a fleet deployment
+// through the HTTP API: submit a 2-sensor joint optimization, fetch the
+// resulting fleet plan envelope, deploy it, advance, and verify the
+// fleet metrics counted both.
+func TestServeFleetLifecycle(t *testing.T) {
+	base, done := bootServe(t, "-checkpoint-dir", t.TempDir())
+	defer drainServe(t, done)
+
+	scn, err := coverage.LineScenario("serve-fleet", 4, []float64{0.3, 0.2, 0.2, 0.3})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	obj := coverage.Objectives{Alpha: 1, Beta: 1e-3}
+	body, err := json.Marshal(jobs.Spec{
+		Scenario:   scn,
+		Objectives: obj,
+		Options:    coverage.Options{MaxIters: 200, Seed: 7},
+		Sensors:    2,
+	})
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit fleet job: %v", err)
+	}
+	var created jobs.View
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet job never finished")
+		}
+		resp, err := http.Get(base + "/jobs/" + created.ID)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var v jobs.View
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode poll: %v", err)
+		}
+		resp.Body.Close()
+		if v.State == jobs.StateFailed {
+			t.Fatalf("fleet job failed: %s", v.Error)
+		}
+		if v.State == jobs.StateDone {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The plan endpoint serves the standard persistence envelope; for a
+	// fleet job that envelope must round-trip the whole matrix stack.
+	resp, err = http.Get(base + "/jobs/" + created.ID + "/plan")
+	if err != nil {
+		t.Fatalf("get plan: %v", err)
+	}
+	plan, err := coverage.ReadPlan(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode fleet plan envelope: %v", err)
+	}
+	if plan.Fleet == nil || plan.Fleet.Sensors != 2 || len(plan.Fleet.TransitionMatrices) != 2 {
+		t.Fatalf("plan endpoint lost the fleet block: %+v", plan.Fleet)
+	}
+
+	body, err = json.Marshal(deploy.Spec{
+		Scenario: scn, Objectives: obj, Plan: plan, Seed: 13,
+		Drift: deploy.DriftConfig{Window: 128, CheckEvery: 32, MinSamples: 64, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatalf("marshal deploy spec: %v", err)
+	}
+	resp, err = http.Post(base+"/deployments", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("create fleet deployment: %v", err)
+	}
+	var dep deploy.View
+	if err := json.NewDecoder(resp.Body).Decode(&dep); err != nil {
+		t.Fatalf("decode create: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create deployment = %d", resp.StatusCode)
+	}
+	if dep.Sensors != 2 || len(dep.Positions) != 2 {
+		t.Fatalf("deployment view sensors=%d positions=%v, want a 2-sensor fleet",
+			dep.Sensors, dep.Positions)
+	}
+
+	resp, err = http.Post(base+"/deployments/"+dep.ID+"/advance",
+		"application/json", bytes.NewReader([]byte(`{"steps":100}`)))
+	if err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	var adv deploy.View
+	if err := json.NewDecoder(resp.Body).Decode(&adv); err != nil {
+		t.Fatalf("decode advance: %v", err)
+	}
+	resp.Body.Close()
+	if adv.Step != 101 || len(adv.Positions) != 2 {
+		t.Fatalf("advance: step %d positions %v, want 101 with 2 sensors", adv.Step, adv.Positions)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"fleet_jobs_total 1",
+		"fleet_deployments_total 1",
+		"fleet_job_sensors_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -129,6 +129,9 @@ func TestMetricsCatalog(t *testing.T) {
 		"jobs_lease_takeovers_total":                   obs.TypeCounter,
 		"jobs_lease_losses_total":                      obs.TypeCounter,
 		"jobs_lease_active":                            obs.TypeGauge,
+		"fleet_jobs_total":                             obs.TypeCounter,
+		"fleet_job_sensors":                            obs.TypeHistogram,
+		"fleet_deployments_total":                      obs.TypeCounter,
 	}
 	for name, wantType := range catalog {
 		if got, ok := types[name]; !ok {

@@ -41,6 +41,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *sensors < 1 {
+		return fmt.Errorf("-sensors must be at least 1, got %d", *sensors)
+	}
 
 	var scn coverage.Scenario
 	var err error

@@ -2,6 +2,7 @@ package main
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/coverage"
@@ -83,5 +84,37 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+func TestRunSensorsValidation(t *testing.T) {
+	for _, bad := range []string{"0", "-2"} {
+		err := run([]string{"-topology", "1", "-source", "uniform", "-sensors", bad})
+		if err == nil {
+			t.Errorf("-sensors %s: expected error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-sensors must be at least 1") {
+			t.Errorf("-sensors %s: unhelpful error %q", bad, err)
+		}
+	}
+}
+
+// TestRunFleetLargerThanField: a fleet bigger than the PoI set wraps
+// the start stagger around the ring instead of indexing out of range.
+func TestRunFleetLargerThanField(t *testing.T) {
+	dir := t.TempDir()
+	scn, err := coverage.LineScenario("tiny", 3, []float64{0.3, 0.3, 0.4})
+	if err != nil {
+		t.Fatalf("LineScenario: %v", err)
+	}
+	scnPath := filepath.Join(dir, "scn.json")
+	if err := coverage.SaveScenario(scnPath, scn); err != nil {
+		t.Fatalf("SaveScenario: %v", err)
+	}
+	if err := run([]string{
+		"-scenario", scnPath, "-source", "uniform", "-steps", "2000", "-sensors", "5",
+	}); err != nil {
+		t.Fatalf("fleet of 5 on 3 PoIs: %v", err)
 	}
 }

@@ -194,6 +194,64 @@ func ScenarioFingerprint(scn Scenario, obj Objectives) (Fingerprint, error) {
 	return Fingerprint(hex.EncodeToString(h.Sum(nil))), nil
 }
 
+// fleetFingerprintVersion tags the fleet hash input. The fleet domain is
+// separate from the single-sensor one: a K=1 fleet problem and the plain
+// problem must never collide in a plan library, because their plans have
+// different shapes.
+const fleetFingerprintVersion = "coverage-fleet-fingerprint/v1"
+
+// FleetFingerprint content-addresses a joint fleet optimization problem:
+// the canonical scenario/objectives encoding extended with the fleet
+// size and the canonicalized responsibility assignment. A nil
+// responsibility hashes identically to the explicit uniform 1/K split it
+// denotes, so defaulted and spelled-out uniform fleets share a cache
+// entry.
+func FleetFingerprint(scn Scenario, obj Objectives, sensors int, responsibility [][]float64) (Fingerprint, error) {
+	if sensors < 1 {
+		return "", fmt.Errorf("%w: %d sensors", ErrScenario, sensors)
+	}
+	if len(scn.PoIs) == 0 {
+		return "", fmt.Errorf("%w: no PoIs", ErrScenario)
+	}
+	if len(scn.Target) != len(scn.PoIs) {
+		return "", fmt.Errorf("%w: %d targets for %d PoIs", ErrScenario, len(scn.Target), len(scn.PoIs))
+	}
+	m := len(scn.PoIs)
+	if responsibility != nil && len(responsibility) != sensors {
+		return "", fmt.Errorf("%w: %d responsibility rows for %d sensors",
+			ErrScenario, len(responsibility), sensors)
+	}
+	c := CanonicalScenario(scn)
+	co := CanonicalObjectives(obj, m)
+	h := sha256.New()
+	h.Write([]byte(fleetFingerprintVersion))
+	hashTopology(h, c)
+	hashFloats(h, 't', c.Target...)
+	hashFloats(h, 'a', co.PerPoIAlpha...)
+	hashFloats(h, 'b', co.PerPoIBeta...)
+	hashFloats(h, 'e', co.EnergyWeight, co.EnergyTarget, co.EntropyWeight, co.Epsilon)
+	hashFloats(h, 'k', float64(sensors))
+	row := make([]float64, m)
+	for s := 0; s < sensors; s++ {
+		if responsibility == nil {
+			u := 1 / float64(sensors)
+			for i := range row {
+				row[i] = u
+			}
+		} else {
+			if len(responsibility[s]) != m {
+				return "", fmt.Errorf("%w: responsibility row %d has %d entries for %d PoIs",
+					ErrScenario, s, len(responsibility[s]), m)
+			}
+			for i, v := range responsibility[s] {
+				row[i] = canonZero(v)
+			}
+		}
+		hashFloats(h, 'R', row...)
+	}
+	return Fingerprint(hex.EncodeToString(h.Sum(nil))), nil
+}
+
 // TopologyKey content-addresses only the Φ-independent part of a
 // scenario — the PoI layout, sensing range, speed, and obstacles. Two
 // scenarios with equal topology keys pose the same physical problem

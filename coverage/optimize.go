@@ -120,6 +120,10 @@ type Options struct {
 	// (≥ 9) seeding with MetropolisBaseline typically reaches far better
 	// optima than a random start.
 	InitialMatrix [][]float64 `json:"initialMatrix,omitempty"`
+	// InitialMatrices warm-starts a fleet search (OptimizeFleet and
+	// friends) from K transition matrices, one per sensor. Ignored by the
+	// single-sensor entry points; its length must equal the fleet size.
+	InitialMatrices [][][]float64 `json:"initialMatrices,omitempty"`
 	// OnProgress, when non-nil, receives a sampled Progress every
 	// ProgressEvery iterations (plus the first iteration of each restart).
 	// It is invoked synchronously from the optimizing goroutine and must
@@ -183,6 +187,11 @@ type Plan struct {
 	Converged bool `json:"converged"`
 	// Trace is the optimization history (only when Options.RecordTrace).
 	Trace []TracePoint `json:"trace,omitempty"`
+	// Fleet carries the multi-sensor extension when the plan was produced
+	// by a joint fleet optimization; nil for single-sensor plans. See
+	// FleetPlan for how the single-sensor-shaped fields above are
+	// reinterpreted when it is set.
+	Fleet *FleetPlan `json:"fleet,omitempty"`
 }
 
 // weights converts public objectives to the internal form.

@@ -110,6 +110,73 @@ func validatePlan(plan *Plan) error {
 			return fmt.Errorf("%w: trace[%d] has non-finite values", ErrPersist, i)
 		}
 	}
+	if plan.Fleet != nil {
+		if err := validateFleetPlan(plan.Fleet, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateFleetPlan applies the validatePlan discipline to the fleet
+// extension: every sensor matrix must be a stochastic n×n matrix, the
+// responsibility rows must be finite and non-negative with one row per
+// sensor, and the per-PoI vectors must have the plan's dimension.
+func validateFleetPlan(fp *FleetPlan, n int) error {
+	if fp.Sensors < 1 {
+		return fmt.Errorf("%w: fleet has %d sensors", ErrPersist, fp.Sensors)
+	}
+	if len(fp.TransitionMatrices) != fp.Sensors {
+		return fmt.Errorf("%w: fleet declares %d sensors but carries %d matrices",
+			ErrPersist, fp.Sensors, len(fp.TransitionMatrices))
+	}
+	for s, rows := range fp.TransitionMatrices {
+		if err := validateMatrix(rows); err != nil {
+			return fmt.Errorf("%w: fleet sensor %d: %v", ErrPersist, s, err)
+		}
+		if len(rows) != n {
+			return fmt.Errorf("%w: fleet sensor %d has %d rows for a %d-PoI plan",
+				ErrPersist, s, len(rows), n)
+		}
+	}
+	if fp.Responsibility != nil {
+		if len(fp.Responsibility) != fp.Sensors {
+			return fmt.Errorf("%w: fleet responsibility has %d rows for %d sensors",
+				ErrPersist, len(fp.Responsibility), fp.Sensors)
+		}
+		for s, row := range fp.Responsibility {
+			if len(row) != n {
+				return fmt.Errorf("%w: fleet responsibility row %d has %d entries for %d PoIs",
+					ErrPersist, s, len(row), n)
+			}
+			for i, v := range row {
+				if !finite(v) || v < 0 {
+					return fmt.Errorf("%w: fleet responsibility[%d][%d] = %v", ErrPersist, s, i, v)
+				}
+			}
+		}
+	}
+	vectors := []struct {
+		name string
+		v    []float64
+	}{
+		{"unionShare", fp.UnionShare},
+		{"minExposure", fp.MinExposure},
+	}
+	for _, vec := range vectors {
+		if vec.v == nil {
+			continue
+		}
+		if len(vec.v) != n {
+			return fmt.Errorf("%w: fleet %s has %d entries for a %d-PoI plan",
+				ErrPersist, vec.name, len(vec.v), n)
+		}
+		for i, v := range vec.v {
+			if !finite(v) || v < 0 {
+				return fmt.Errorf("%w: fleet %s[%d] = %v", ErrPersist, vec.name, i, v)
+			}
+		}
+	}
 	return nil
 }
 

@@ -36,6 +36,10 @@ type SimOptions struct {
 	// Replications repeats the simulation with split seeds (default 1);
 	// the report then carries per-replication values.
 	Replications int
+	// Workers bounds the OS-level workers a fleet simulation's trajectory
+	// unrolls may occupy. Results are bit-for-bit identical for every
+	// value; zero selects GOMAXPROCS. Ignored by single-sensor runs.
+	Workers int
 }
 
 // ReplicationMetrics is one replication's headline pair.
@@ -78,11 +82,14 @@ type FleetReport struct {
 	MaxGap  []float64 `json:"maxGap"`
 }
 
-// SimulateFleet deploys `sensors` independent sensors, each executing the
-// plan's schedule from staggered starting PoIs, and measures the union
-// coverage — the natural multi-sensor extension of the paper's model
-// (evaluated by exact simulation; the closed forms do not compose across
-// independent walkers).
+// SimulateFleet deploys `sensors` independent sensors executing the
+// plan from staggered starting PoIs and measures the union coverage —
+// the natural multi-sensor extension of the paper's model (evaluated by
+// exact simulation; the closed forms do not compose across independent
+// walkers). A single-sensor plan is replicated across the fleet; a
+// jointly optimized plan (plan.Fleet non-nil) gives each sensor its own
+// matrix, in which case `sensors` must be zero (meaning the fleet's own
+// size) or equal to plan.Fleet.Sensors.
 func SimulateFleet(scn Scenario, plan *Plan, sensors int, opts SimOptions) (*FleetReport, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("%w: nil plan", ErrScenario)
@@ -91,21 +98,40 @@ func SimulateFleet(scn Scenario, plan *Plan, sensors int, opts SimOptions) (*Fle
 	if err != nil {
 		return nil, err
 	}
-	pm, err := mat.NewFromRows(plan.TransitionMatrix)
-	if err != nil {
-		return nil, fmt.Errorf("coverage: %w", err)
+	cfg := sim.FleetConfig{
+		Topology: top,
+		Sensors:  sensors,
+		Seed:     opts.Seed,
+		Stagger:  true,
+		Workers:  opts.Workers,
+	}
+	if plan.Fleet != nil {
+		k := plan.Fleet.Sensors
+		if sensors != 0 && sensors != k {
+			return nil, fmt.Errorf("%w: %d sensors requested for a %d-sensor fleet plan",
+				ErrScenario, sensors, k)
+		}
+		cfg.Sensors = k
+		cfg.Ps = make([]*mat.Matrix, k)
+		for s, rows := range plan.Fleet.TransitionMatrices {
+			pm, err := mat.NewFromRows(rows)
+			if err != nil {
+				return nil, fmt.Errorf("coverage: fleet sensor %d: %w", s, err)
+			}
+			cfg.Ps[s] = pm
+		}
+	} else {
+		pm, err := mat.NewFromRows(plan.TransitionMatrix)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: %w", err)
+		}
+		cfg.P = pm
 	}
 	if opts.Steps == 0 {
 		opts.Steps = 100000
 	}
-	met, err := sim.SimulateFleet(sim.FleetConfig{
-		Topology: top,
-		P:        pm,
-		Sensors:  sensors,
-		Steps:    opts.Steps,
-		Seed:     opts.Seed,
-		Stagger:  true,
-	})
+	cfg.Steps = opts.Steps
+	met, err := sim.SimulateFleet(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("coverage: fleet: %w", err)
 	}

@@ -233,6 +233,15 @@ type Evaluation struct {
 	CBar []float64
 	// EBarI are the per-PoI mean exposure times Ē_i (Eq. 3).
 	EBarI []float64
+	// CoverTime is the raw coverage numerator Σ_{j,k} π_j p_jk T_{jk,i}
+	// per PoI (CBar's numerator before normalization). Together with
+	// TotalTime it lets a caller rebuild G against any target vector:
+	// G_i(Φ') = CoverTime_i − Φ'_i·TotalTime — the identity the fleet
+	// layer uses to give each sensor its own responsibility-scaled target
+	// without a per-sensor cost model.
+	CoverTime []float64
+	// TotalTime is Σ_{j,k} π_j p_jk T_jk, the mean time per transition.
+	TotalTime float64
 	// Energy is the mean travel distance per transition D (§VII).
 	Energy float64
 	// Entropy is the chain's entropy rate H (§VII).
@@ -257,9 +266,10 @@ func (m *Model) Evaluate(p *mat.Matrix) (*Evaluation, error) {
 func (m *Model) EvaluateSolved(sol *markov.Solution) (*Evaluation, error) {
 	n := m.top.M()
 	ev := &Evaluation{
-		G:     make([]float64, n),
-		CBar:  make([]float64, n),
-		EBarI: make([]float64, n),
+		G:         make([]float64, n),
+		CBar:      make([]float64, n),
+		EBarI:     make([]float64, n),
+		CoverTime: make([]float64, n),
 	}
 	if err := m.evaluateInto(ev, make([]float64, n), sol); err != nil {
 		return nil, err
@@ -276,8 +286,11 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 		return fmt.Errorf("%w: solution for %d states, topology has %d",
 			ErrWeights, len(sol.Pi), n)
 	}
-	g, cb, eb := ev.G, ev.CBar, ev.EBarI
-	*ev = Evaluation{Sol: sol, G: g, CBar: cb, EBarI: eb}
+	g, cb, eb, ct := ev.G, ev.CBar, ev.EBarI, ev.CoverTime
+	if ct == nil {
+		ct = make([]float64, n)
+	}
+	*ev = Evaluation{Sol: sol, G: g, CBar: cb, EBarI: eb, CoverTime: ct}
 	for i := 0; i < n; i++ {
 		g[i], cb[i], eb[i], coverNum[i] = 0, 0, 0, 0
 	}
@@ -338,7 +351,9 @@ func (m *Model) evaluateInto(ev *Evaluation, coverNum []float64, sol *markov.Sol
 			}
 		}
 	}
+	ev.TotalTime = totalTime
 	for i := 0; i < n; i++ {
+		ct[i] = coverNum[i]
 		ev.CBar[i] = coverNum[i] / totalTime
 		ev.CoverageTerm += 0.5 * m.w.Alpha[i] * ev.G[i] * ev.G[i]
 		ev.DeltaC += ev.G[i] * ev.G[i]

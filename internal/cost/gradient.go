@@ -70,6 +70,19 @@ func (t *mulTask) Run(w, lo, hi int) {
 // is what keeps the parallel gradient bit-for-bit identical to the serial
 // one: merging shards would reassociate floating-point sums.
 func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error) {
+	return m.gradientIntoWith(ws, ev, nil, 0, nil)
+}
+
+// gradientIntoWith is gradientInto with optional objective-coupling
+// overrides. A nil coverCoef selects the standard coverage coefficients
+// c_i = α_i G_i (and coverPhi is ignored); a non-nil coverCoef supplies
+// c_i directly together with the travel-time coefficient coverPhi =
+// Σ_i c_i Φ̃_i for caller-chosen per-PoI targets Φ̃, and forces the
+// target-independent cover-list coverage form regardless of solver
+// backend. A nil beta selects the model's exposure weights; a non-nil
+// beta overrides them per PoI. The standard call (nil, 0, nil) is
+// bit-for-bit the historic gradient.
+func (m *Model) gradientIntoWith(ws *Workspace, ev *Evaluation, coverCoef []float64, coverPhi float64, beta []float64) (*mat.Matrix, error) {
 	n := m.top.M()
 	sol := ev.Sol
 
@@ -92,23 +105,44 @@ func (m *Model) gradientInto(ws *Workspace, ev *Evaluation) (*mat.Matrix, error)
 	// up front rather than per worker.
 	carr := ws.carr
 	ws.anyCover = false
-	for i := 0; i < n; i++ {
-		c := m.w.Alpha[i] * ev.G[i]
-		carr[i] = c
-		if c != 0 {
-			ws.anyCover = true
+	if coverCoef == nil {
+		for i := 0; i < n; i++ {
+			c := m.w.Alpha[i] * ev.G[i]
+			carr[i] = c
+			if c != 0 {
+				ws.anyCover = true
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			c := coverCoef[i]
+			carr[i] = c
+			if c != 0 {
+				ws.anyCover = true
+			}
 		}
 	}
+	if beta == nil {
+		beta = m.w.Beta
+	}
+	ws.beta = beta
 	// Sparse solutions (Z² elided) flip the coverage partials to the
-	// cover-list form and the Eq. 10 contractions to factor solves.
+	// cover-list form and the Eq. 10 contractions to factor solves. A
+	// caller-supplied coverCoef always uses the cover-list form: the lists
+	// are target-independent, which is what lets the override carry its own
+	// Φ̃ through coverPhi.
 	sparseMode := sol.Z2 == nil
-	ws.sparseCover = sparseMode
-	if sparseMode && ws.anyCover {
-		var cphi float64 // Σ_i c_i Φ_i, the travel-time coefficient
-		for i := 0; i < n; i++ {
-			cphi += carr[i] * m.top.TargetAt(i)
+	ws.sparseCover = sparseMode || coverCoef != nil
+	if ws.sparseCover && ws.anyCover {
+		if coverCoef == nil {
+			var cphi float64 // Σ_i c_i Φ_i, the travel-time coefficient
+			for i := 0; i < n; i++ {
+				cphi += carr[i] * m.top.TargetAt(i)
+			}
+			ws.cphi = cphi
+		} else {
+			ws.cphi = coverPhi
 		}
-		ws.cphi = cphi
 		m.coverLists() // build outside the worker fan-out
 	}
 	for w := 0; w < width; w++ {
@@ -317,8 +351,9 @@ func (m *Model) gradientRows(ws *Workspace, ev *Evaluation, w, lo, hi int) {
 	// dUdZ — all owned by this span, so no other worker races these writes.
 	dzd := ws.dUdZ.Data()
 	zd := sol.Z.Data()
+	beta := ws.beta
 	for i := lo; i < hi; i++ {
-		e := m.w.Beta[i] * ev.EBarI[i]
+		e := beta[i] * ev.EBarI[i]
 		if e == 0 {
 			continue
 		}

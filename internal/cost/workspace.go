@@ -31,16 +31,20 @@ type Workspace struct {
 
 	// Gradient scratch, allocated on first GradientIn so evaluate-only
 	// workspaces stay small.
-	dUdPi   []float64
-	colsum  []float64
-	q       []float64
-	r       []float64
-	r2      []float64 // Z·colsum staging when Z² is elided (sparse path)
-	carr    []float64 // coverage coefficients c_i = α_i G_i
+	dUdPi  []float64
+	colsum []float64
+	q      []float64
+	r      []float64
+	r2     []float64 // Z·colsum staging when Z² is elided (sparse path)
+	carr   []float64 // coverage coefficients c_i = α_i G_i
 	// Sparse-path coverage state for the current gradient pass.
 	sparseCover bool
 	cphi        float64 // Σ_i c_i Φ_i
-	dUdZ        *mat.Matrix
+	// beta is the exposure-weight vector the current gradient pass reads:
+	// the model's own β on the standard path, a caller override on the
+	// weighted path (the fleet layer masks β to the argmin sensor).
+	beta   []float64
+	dUdZ   *mat.Matrix
 	dUdP   *mat.Matrix
 	zt     *mat.Matrix
 	tmp    *mat.Matrix
@@ -63,9 +67,10 @@ func (m *Model) NewWorkspace() *Workspace {
 		n:      n,
 		solver: markov.NewSolver(n),
 		ev: Evaluation{
-			G:     make([]float64, n),
-			CBar:  make([]float64, n),
-			EBarI: make([]float64, n),
+			G:         make([]float64, n),
+			CBar:      make([]float64, n),
+			EBarI:     make([]float64, n),
+			CoverTime: make([]float64, n),
 		},
 		coverNum: make([]float64, n),
 	}
@@ -169,6 +174,20 @@ func (m *Model) GradientSolvedIn(ws *Workspace, ev *Evaluation) (*mat.Matrix, er
 	return m.gradientInto(ws, ev)
 }
 
+// GradientWeightedSolvedIn is GradientSolvedIn with caller-supplied
+// objective couplings: coverCoef replaces the coverage coefficients
+// c_i = α_i G_i (with coverPhi = Σ_i c_i Φ̃_i for the caller's per-PoI
+// targets Φ̃), and beta replaces the model's exposure weights. Either may
+// be nil to keep the model's own term. The barrier, energy, and entropy
+// partials are unchanged. The fleet layer uses this to assemble each
+// sensor's slice of the stacked joint gradient: the coverage coupling
+// c_i = α_i G_i^fleet with responsibility-scaled targets, and β masked to
+// the PoIs whose min-over-sensors exposure this sensor owns. Like
+// GradientSolvedIn, ev must be this workspace's most recent evaluation.
+func (m *Model) GradientWeightedSolvedIn(ws *Workspace, ev *Evaluation, coverCoef []float64, coverPhi float64, beta []float64) (*mat.Matrix, error) {
+	return m.gradientIntoWith(ws, ev, coverCoef, coverPhi, beta)
+}
+
 // Clone returns a deep copy of the Evaluation, detached from any
 // workspace buffers backing it.
 func (ev *Evaluation) Clone() *Evaluation {
@@ -176,6 +195,7 @@ func (ev *Evaluation) Clone() *Evaluation {
 	out.G = append([]float64(nil), ev.G...)
 	out.CBar = append([]float64(nil), ev.CBar...)
 	out.EBarI = append([]float64(nil), ev.EBarI...)
+	out.CoverTime = append([]float64(nil), ev.CoverTime...)
 	if ev.Sol != nil {
 		out.Sol = ev.Sol.Clone()
 	}

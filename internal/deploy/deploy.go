@@ -184,9 +184,14 @@ type View struct {
 	Stopped  *time.Time `json:"stopped,omitempty"`
 	// Step counts recorded positions, including the start.
 	Step int `json:"step"`
-	// Current is the PoI the sensor is at.
+	// Current is the PoI the sensor is at (sensor 0 for fleets).
 	Current int `json:"current"`
-	// Faults is the executor's degenerate-row counter.
+	// Sensors is the fleet size for fleet deployments; 0 for
+	// single-sensor deployments.
+	Sensors int `json:"sensors,omitempty"`
+	// Positions is every sensor's current PoI (fleet deployments only).
+	Positions []int `json:"positions,omitempty"`
+	// Faults is the executors' degenerate-row counter (summed for fleets).
 	Faults uint64 `json:"faults,omitempty"`
 	// PlanCost is the deployed plan's analytic cost.
 	PlanCost float64 `json:"planCost"`
@@ -334,6 +339,13 @@ type deployment struct {
 	plan *coverage.Plan // currently deployed plan (hot-swapped)
 	exec *coverage.Executor
 
+	// Fleet mode (plan.Fleet set): execs holds all K executors (execs[0]
+	// == exec) and fleetWins the per-sensor trajectory rings, which share
+	// winStart/winLen with the single-sensor window since all sensors
+	// advance in lockstep. Both are nil for single-sensor deployments.
+	execs     []*coverage.Executor
+	fleetWins [][]int
+
 	step   int     // recorded positions, including the start
 	visits []int64 // all-time per-PoI visit counts
 
@@ -400,6 +412,7 @@ type Config struct {
 type deployMetrics struct {
 	driftScore  *obs.Histogram
 	ckptSeconds *obs.Histogram
+	fleetDeps   *obs.Counter
 }
 
 func newDeployMetrics(r *obs.Registry) deployMetrics {
@@ -409,6 +422,8 @@ func newDeployMetrics(r *obs.Registry) deployMetrics {
 			[]float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1}),
 		ckptSeconds: r.Histogram("coverage_deployment_checkpoint_write_seconds",
 			"Deployment checkpoint write latency.", obs.DefBuckets),
+		fleetDeps: r.Counter("fleet_deployments_total",
+			"Fleet (multi-sensor) deployments created."),
 	}
 }
 
@@ -470,6 +485,25 @@ func normalize(spec Spec) (Spec, error) {
 		return Spec{}, fmt.Errorf("%w: plan has %d rows for %d PoIs",
 			ErrSpec, len(spec.Plan.TransitionMatrix), m)
 	}
+	if fp := spec.Plan.Fleet; fp != nil {
+		if fp.Sensors < 2 {
+			return Spec{}, fmt.Errorf("%w: fleet plan with %d sensors", ErrSpec, fp.Sensors)
+		}
+		if len(fp.TransitionMatrices) != fp.Sensors {
+			return Spec{}, fmt.Errorf("%w: fleet plan has %d matrices for %d sensors",
+				ErrSpec, len(fp.TransitionMatrices), fp.Sensors)
+		}
+		for s, rows := range fp.TransitionMatrices {
+			if len(rows) != m {
+				return Spec{}, fmt.Errorf("%w: fleet matrix %d has %d rows for %d PoIs",
+					ErrSpec, s, len(rows), m)
+			}
+		}
+		if fp.Responsibility != nil && len(fp.Responsibility) != fp.Sensors {
+			return Spec{}, fmt.Errorf("%w: %d responsibility rows for %d sensors",
+				ErrSpec, len(fp.Responsibility), fp.Sensors)
+		}
+	}
 	if spec.TickMillis < 0 {
 		return Spec{}, fmt.Errorf("%w: negative tickMillis %d", ErrSpec, spec.TickMillis)
 	}
@@ -517,6 +551,7 @@ func normalize(spec Spec) (Spec, error) {
 	}
 	// The warm start is owned by the runtime; drop anything smuggled in.
 	spec.Reopt.Options.InitialMatrix = nil
+	spec.Reopt.Options.InitialMatrices = nil
 	spec.Reopt.Options.OnProgress = nil
 	spec.Reopt.Options.OnIteration = nil
 	if len(spec.IncidentRates) == 1 && m > 1 {
@@ -541,11 +576,22 @@ func normalize(spec Spec) (Spec, error) {
 // executor is seeded from spec.Seed, the incident process from a split of
 // it; the start position is recorded as step 0.
 func newDeployment(id string, spec Spec) (*deployment, error) {
-	exec, err := coverage.NewExecutor(spec.Plan, spec.Start, spec.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
-	}
 	m := len(spec.Scenario.PoIs)
+	var exec *coverage.Executor
+	var execs []*coverage.Executor
+	var err error
+	if spec.Plan.Fleet != nil {
+		execs, err = newFleetExecutors(spec.Plan, spec.Start, spec.Seed, m)
+		if err != nil {
+			return nil, err
+		}
+		exec = execs[0]
+	} else {
+		exec, err = coverage.NewExecutor(spec.Plan, spec.Start, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+	}
 	d := &deployment{
 		id:          id,
 		spec:        spec,
@@ -565,12 +611,33 @@ func newDeployment(id string, spec Spec) (*deployment, error) {
 	for i := range d.lastVisit {
 		d.lastVisit[i] = -1
 	}
+	if execs != nil {
+		d.execs = execs
+		d.fleetWins = make([][]int, len(execs))
+		for s := range d.fleetWins {
+			d.fleetWins[s] = make([]int, spec.Drift.Window)
+		}
+	}
 	if len(spec.IncidentRates) > 0 {
 		// Split the seed so executor draws and incident arrivals are
-		// independent streams from one master seed.
-		d.inc = newIncidents(spec.IncidentRates, rng.New(spec.Seed).Split().Uint64())
+		// independent streams from one master seed. Fleet executor seeds
+		// come from the same master's earlier splits (fleetSeeds), so the
+		// incident stream splits after them to stay independent.
+		src := rng.New(spec.Seed)
+		for range d.execs {
+			src.Split()
+		}
+		d.inc = newIncidents(spec.IncidentRates, src.Split().Uint64())
 	}
-	d.recordStep(spec.Start)
+	if d.execs != nil {
+		starts := make([]int, len(d.execs))
+		for s := range starts {
+			starts[s] = fleetStart(spec.Start, s, m)
+		}
+		d.recordFleetStep(starts)
+	} else {
+		d.recordStep(spec.Start)
+	}
 	return d, nil
 }
 
@@ -606,7 +673,11 @@ func (rt *Runtime) Create(spec Spec) (View, error) {
 	rt.log.InfoContext(obs.WithDeploymentID(context.Background(), id), "deployment created",
 		slog.String("scenario", spec.Scenario.Name),
 		slog.Float64("planCost", spec.Plan.Cost),
+		slog.Int("sensors", fleetSize(spec.Plan)),
 		slog.Int("tickMillis", spec.TickMillis))
+	if spec.Plan.Fleet != nil {
+		rt.met.fleetDeps.Inc()
+	}
 	rt.persist(d, true)
 	return v, nil
 }
@@ -651,8 +722,18 @@ func (rt *Runtime) Advance(id string, steps int) (View, error) {
 		return View{}, ErrStopped
 	}
 	rt.resolveReopt(d)
-	for i := 0; i < steps; i++ {
-		rt.applyStep(d, d.exec.Next())
+	if d.execs != nil {
+		pois := make([]int, len(d.execs))
+		for i := 0; i < steps; i++ {
+			for s, e := range d.execs {
+				pois[s] = e.Next()
+			}
+			rt.applyFleetStep(d, pois)
+		}
+	} else {
+		for i := 0; i < steps; i++ {
+			rt.applyStep(d, d.exec.Next())
+		}
 	}
 	v := d.view()
 	rt.mu.Unlock()
@@ -678,6 +759,13 @@ func (rt *Runtime) Observe(id string, pois []int) (View, error) {
 	if d.state != StateActive {
 		rt.mu.Unlock()
 		return View{}, ErrStopped
+	}
+	if d.execs != nil {
+		// Observations carry one position per step; a K-sensor fleet would
+		// need K-tuples, and partially observed fleets raise attribution
+		// questions (which sensor moved?) this runtime does not answer.
+		rt.mu.Unlock()
+		return View{}, fmt.Errorf("%w: observations are not supported for fleet deployments", ErrSpec)
 	}
 	m := len(d.visits)
 	for i, p := range pois {
@@ -860,6 +948,15 @@ func (rt *Runtime) applyStep(d *deployment, poi int) {
 	}
 }
 
+// applyFleetStep is applyStep for one lockstep fleet position vector.
+// Callers hold rt.mu.
+func (rt *Runtime) applyFleetStep(d *deployment, pois []int) {
+	d.recordFleetStep(pois)
+	if d.step%d.spec.Drift.CheckEvery == 0 {
+		rt.checkDrift(d)
+	}
+}
+
 // recordStep updates the trajectory window, coverage counts, exposure
 // segments, and the incident process for one recorded position.
 func (d *deployment) recordStep(poi int) {
@@ -904,7 +1001,15 @@ func (rt *Runtime) checkDrift(d *deployment) {
 	if d.winLen < d.spec.Drift.MinSamples {
 		return
 	}
-	rep, estimate, err := driftReport(d.windowSlice(), d.plan, d.spec.Scenario.Target, d.spec.Drift.Smoothing)
+	var rep *DriftReport
+	var estimate [][]float64   // single-sensor warm start
+	var fleetEst [][][]float64 // fleet warm start (per-sensor estimates)
+	var err error
+	if d.execs != nil {
+		rep, fleetEst, _, err = d.fleetDriftReport()
+	} else {
+		rep, estimate, err = driftReport(d.windowSlice(), d.plan, d.spec.Scenario.Target, d.spec.Drift.Smoothing)
+	}
 	if err != nil {
 		d.lastError = fmt.Sprintf("drift check: %v", err)
 		d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
@@ -922,8 +1027,24 @@ func (rt *Runtime) checkDrift(d *deployment) {
 		// Before paying for a search: the library may already hold this
 		// exact problem at a cost below the deployed plan's (published by
 		// another deployment, a direct query, or an earlier job). An exact
-		// hit that improves on what is running swaps in immediately.
-		if cached, dist, ok := rt.cfg.Plans.WarmStart(d.spec.Scenario, d.spec.Objectives); ok && dist == 0 && cached.Cost < d.plan.Cost {
+		// hit that improves on what is running swaps in immediately. Fleet
+		// deployments consult the fleet key space (same fleet size and
+		// responsibility) when the library supports it.
+		var cached *coverage.Plan
+		var dist float64
+		var ok bool
+		if d.execs != nil {
+			if fl, fleetLib := rt.cfg.Plans.(FleetPlanLibrary); fleetLib {
+				var resp [][]float64
+				if d.plan.Fleet != nil {
+					resp = d.plan.Fleet.Responsibility
+				}
+				cached, dist, ok = fl.WarmStartFleet(d.spec.Scenario, d.spec.Objectives, fleetSize(d.plan), resp)
+			}
+		} else {
+			cached, dist, ok = rt.cfg.Plans.WarmStart(d.spec.Scenario, d.spec.Objectives)
+		}
+		if ok && dist == 0 && cached.Cost < d.plan.Cost {
 			rep.Triggered = true
 			d.driftTriggers++
 			d.lastTrigger = d.step
@@ -939,14 +1060,20 @@ func (rt *Runtime) checkDrift(d *deployment) {
 		}
 	}
 	if canTrigger && rt.cfg.Jobs != nil {
-		opts := d.spec.Reopt.Options
-		opts.InitialMatrix = estimate
-		v, err := rt.cfg.Jobs.SubmitCtx(lctx, jobs.Spec{
-			Scenario:   d.spec.Scenario,
-			Objectives: d.spec.Objectives,
-			Options:    opts,
-			Restarts:   d.spec.Reopt.Restarts,
-		})
+		var spec jobs.Spec
+		if d.execs != nil {
+			spec = d.fleetReoptSpec(fleetEst)
+		} else {
+			opts := d.spec.Reopt.Options
+			opts.InitialMatrix = estimate
+			spec = jobs.Spec{
+				Scenario:   d.spec.Scenario,
+				Objectives: d.spec.Objectives,
+				Options:    opts,
+				Restarts:   d.spec.Reopt.Restarts,
+			}
+		}
+		v, err := rt.cfg.Jobs.SubmitCtx(lctx, spec)
 		if err != nil {
 			// Queue full or shutting down: report and retry at the next
 			// check rather than dropping the trigger permanently.
@@ -1028,7 +1155,15 @@ func (rt *Runtime) resolveReopt(d *deployment) {
 // and random stream, the drift window resets so the next score reflects
 // only post-swap behavior, and the swap is recorded. Callers hold rt.mu.
 func (rt *Runtime) swapTo(d *deployment, plan *coverage.Plan, jobID string) {
-	if err := d.exec.SwapPlan(plan); err != nil {
+	var err error
+	if d.execs != nil {
+		err = d.swapFleet(plan)
+	} else if plan.Fleet != nil {
+		err = fmt.Errorf("swap: fleet plan for a single-sensor deployment")
+	} else {
+		err = d.exec.SwapPlan(plan)
+	}
+	if err != nil {
 		d.lastError = fmt.Sprintf("swap: %v", err)
 		d.emit(Event{Type: "error", Deployment: d.id, Step: d.step, Data: d.lastError})
 		return
@@ -1097,6 +1232,15 @@ func (d *deployment) view() View {
 		ReoptJob:      d.reoptJob,
 		Swaps:         append([]SwapRecord(nil), d.swaps...),
 		LastError:     d.lastError,
+	}
+	if d.execs != nil {
+		v.Sensors = len(d.execs)
+		v.Positions = make([]int, len(d.execs))
+		v.Faults = 0
+		for s, e := range d.execs {
+			v.Positions[s] = e.Current()
+			v.Faults += e.Faults()
+		}
 	}
 	if !d.stopped.IsZero() {
 		t := d.stopped

@@ -1,0 +1,278 @@
+// Fleet deployment mode: a deployment whose plan carries a
+// coverage.FleetPlan runs K executors in lockstep — one per sensor,
+// each walking its own transition matrix with staggered starts and
+// independent random streams split from the deployment seed. Online
+// statistics are union statistics (a PoI is covered in a step when any
+// sensor sits on it), drift is scored per sensor against that sensor's
+// matrix and responsibility-weighted target, and a triggered
+// re-optimization is joint: the K window estimates warm-start a fleet
+// job (coverage.Options.InitialMatrices) whose result hot-swaps all K
+// matrices atomically.
+
+package deploy
+
+import (
+	"fmt"
+
+	"repro/coverage"
+	"repro/internal/jobs"
+	"repro/internal/rng"
+)
+
+// FleetPlanLibrary is the optional fleet extension of PlanLibrary,
+// satisfied by *plans.Library. When the configured library implements
+// it, drifting fleet deployments consult the fleet key space before
+// paying for a joint re-optimization.
+type FleetPlanLibrary interface {
+	WarmStartFleet(scn coverage.Scenario, obj coverage.Objectives, sensors int, responsibility [][]float64) (*coverage.Plan, float64, bool)
+}
+
+// fleetSize returns the deployment's sensor count: the fleet size for
+// joint plans, 1 otherwise.
+func fleetSize(plan *coverage.Plan) int {
+	if plan.Fleet != nil {
+		return plan.Fleet.Sensors
+	}
+	return 1
+}
+
+// sensorPlans splits a fleet plan into per-executor plans: sensor s
+// walks TransitionMatrices[s]; cost metadata rides along unchanged so
+// swap records and views keep reporting the joint cost.
+func sensorPlans(plan *coverage.Plan) ([]*coverage.Plan, error) {
+	k := fleetSize(plan)
+	if k < 2 {
+		return []*coverage.Plan{plan}, nil
+	}
+	if len(plan.Fleet.TransitionMatrices) != k {
+		return nil, fmt.Errorf("%w: fleet plan has %d matrices for %d sensors",
+			ErrSpec, len(plan.Fleet.TransitionMatrices), k)
+	}
+	out := make([]*coverage.Plan, k)
+	for s := 0; s < k; s++ {
+		p := *plan
+		p.TransitionMatrix = plan.Fleet.TransitionMatrices[s]
+		out[s] = &p
+	}
+	return out, nil
+}
+
+// fleetSeeds derives one executor seed per sensor from the deployment
+// master seed, mirroring the pre-split discipline of sim.SimulateFleet:
+// sensor s's stream is independent of every other and of the incident
+// process (which splits from the same master after these).
+func fleetSeeds(seed uint64, k int) []uint64 {
+	master := rng.New(seed)
+	out := make([]uint64, k)
+	for s := range out {
+		out[s] = master.Split().Uint64()
+	}
+	return out
+}
+
+// fleetStart is sensor s's starting PoI: the configured start for
+// sensor 0, then staggered around the PoI ring exactly like
+// sim.FleetConfig, so K sensors begin spread out rather than stacked.
+func fleetStart(start, s, m int) int {
+	return (start + s) % m
+}
+
+// newFleetExecutors builds the K staggered executors for a fleet plan.
+func newFleetExecutors(plan *coverage.Plan, start int, seed uint64, m int) ([]*coverage.Executor, error) {
+	ps, err := sensorPlans(plan)
+	if err != nil {
+		return nil, err
+	}
+	seeds := fleetSeeds(seed, len(ps))
+	execs := make([]*coverage.Executor, len(ps))
+	for s := range ps {
+		execs[s], err = coverage.NewExecutor(ps[s], fleetStart(start, s, m), seeds[s])
+		if err != nil {
+			return nil, fmt.Errorf("%w: sensor %d: %v", ErrSpec, s, err)
+		}
+	}
+	return execs, nil
+}
+
+// recordFleetStep records one lockstep position vector (one PoI per
+// sensor). The trajectory windows advance per sensor; coverage,
+// exposure, and incident detection are union statistics — a PoI is
+// covered this step when any sensor sits on it, counted once.
+func (d *deployment) recordFleetStep(pois []int) {
+	now := d.step
+	d.step++
+	w := len(d.window)
+	if d.winLen < w {
+		at := (d.winStart + d.winLen) % w
+		for s, poi := range pois {
+			d.fleetWins[s][at] = poi
+		}
+		d.winLen++
+	} else {
+		for s, poi := range pois {
+			d.fleetWins[s][d.winStart] = poi
+		}
+		d.winStart = (d.winStart + 1) % w
+	}
+	for s, poi := range pois {
+		if covered(pois[:s], poi) {
+			continue // another sensor already covers this PoI this step
+		}
+		d.visits[poi]++
+		if last := d.lastVisit[poi]; last >= 0 {
+			seg := int64(now - last)
+			d.segCount[poi]++
+			d.segSum[poi] += seg
+			if seg > d.segMax[poi] {
+				d.segMax[poi] = seg
+			}
+		}
+		d.lastVisit[poi] = now
+	}
+	if d.inc != nil {
+		d.inc.stepFleet(now, pois)
+	}
+}
+
+// covered reports whether poi already appears among earlier sensors'
+// positions this step.
+func covered(earlier []int, poi int) bool {
+	for _, p := range earlier {
+		if p == poi {
+			return true
+		}
+	}
+	return false
+}
+
+// stepFleet advances the incident process one step under union
+// detection: arrivals everywhere, then detection at every sensor
+// position.
+func (inc *incidents) stepFleet(now int, pois []int) {
+	for i, rate := range inc.rates {
+		if rate <= 0 {
+			continue
+		}
+		for k := inc.src.Poisson(rate); k > 0; k-- {
+			inc.open[i] = append(inc.open[i], now)
+		}
+	}
+	for s, poi := range pois {
+		if covered(pois[:s], poi) {
+			continue
+		}
+		for _, arrival := range inc.open[poi] {
+			delay := int64(now - arrival)
+			inc.detected[poi]++
+			inc.delaySum[poi] += delay
+			if delay > inc.delayMax[poi] {
+				inc.delayMax[poi] = delay
+			}
+		}
+		inc.open[poi] = inc.open[poi][:0]
+	}
+}
+
+// fleetWindowSlice materializes sensor s's trajectory window
+// oldest-first. All sensors share winStart/winLen — they advance in
+// lockstep.
+func (d *deployment) fleetWindowSlice(s int) []int {
+	out := make([]int, d.winLen)
+	w := len(d.window)
+	for i := 0; i < d.winLen; i++ {
+		out[i] = d.fleetWins[s][(d.winStart+i)%w]
+	}
+	return out
+}
+
+// sensorTarget is sensor s's coverage responsibility ρ_s∘Φ: the share
+// of each PoI's prescribed allocation this sensor owes. With a nil
+// responsibility the split is uniform 1/K. Scoring each sensor's window
+// against its own share keeps per-sensor drift checks meaningful — a
+// sensor covering only its half of the field is healthy, not drifted.
+func sensorTarget(plan *coverage.Plan, target []float64, s int) []float64 {
+	k := fleetSize(plan)
+	out := make([]float64, len(target))
+	for i, phi := range target {
+		rho := 1 / float64(k)
+		if plan.Fleet != nil && plan.Fleet.Responsibility != nil {
+			rho = plan.Fleet.Responsibility[s][i]
+		}
+		out[i] = rho * phi
+	}
+	return out
+}
+
+// fleetDriftReport scores every sensor's window against its own matrix
+// and responsibility-weighted target, returning the worst report (the
+// trigger signal), the per-sensor window estimates (the joint warm
+// start), and the index of the worst sensor.
+func (d *deployment) fleetDriftReport() (*DriftReport, [][][]float64, int, error) {
+	ps, err := sensorPlans(d.plan)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var worst *DriftReport
+	worstAt := 0
+	estimates := make([][][]float64, len(ps))
+	for s := range ps {
+		rep, est, err := driftReport(d.fleetWindowSlice(s), ps[s],
+			sensorTarget(d.plan, d.spec.Scenario.Target, s), d.spec.Drift.Smoothing)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("sensor %d: %w", s, err)
+		}
+		estimates[s] = est
+		if worst == nil || rep.Score > worst.Score {
+			worst = rep
+			worstAt = s
+		}
+	}
+	return worst, estimates, worstAt, nil
+}
+
+// fleetReoptSpec builds the joint re-optimization job a drifting fleet
+// deployment submits: a fleet job over the same responsibility split,
+// warm-started from the K window estimates.
+func (d *deployment) fleetReoptSpec(estimates [][][]float64) jobs.Spec {
+	opts := d.spec.Reopt.Options
+	opts.InitialMatrices = estimates
+	var resp [][]float64
+	if d.plan.Fleet != nil {
+		resp = d.plan.Fleet.Responsibility
+	}
+	return jobs.Spec{
+		Scenario:       d.spec.Scenario,
+		Objectives:     d.spec.Objectives,
+		Options:        opts,
+		Restarts:       d.spec.Reopt.Restarts,
+		Sensors:        fleetSize(d.plan),
+		Responsibility: resp,
+	}
+}
+
+// swapFleet installs a new fleet plan across all K executors
+// atomically: every incoming matrix is validated (via a throwaway
+// executor) before the first live executor is touched, so a malformed
+// stack can never leave the fleet half-swapped.
+func (d *deployment) swapFleet(plan *coverage.Plan) error {
+	k := fleetSize(d.plan)
+	if fleetSize(plan) != k {
+		return fmt.Errorf("%d-sensor plan for a %d-sensor deployment", fleetSize(plan), k)
+	}
+	ps, err := sensorPlans(plan)
+	if err != nil {
+		return err
+	}
+	for s := range ps {
+		if _, err := coverage.NewExecutor(ps[s], 0, 0); err != nil {
+			return fmt.Errorf("sensor %d: %w", s, err)
+		}
+	}
+	for s, e := range d.execs {
+		if err := e.SwapPlan(ps[s]); err != nil {
+			// Unreachable after the dry run above; surface it anyway.
+			return fmt.Errorf("sensor %d: %w", s, err)
+		}
+	}
+	return nil
+}

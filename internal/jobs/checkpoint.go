@@ -40,6 +40,8 @@ type jobMeta struct {
 	Objectives   coverage.Objectives `json:"objectives"`
 	Options      coverage.Options    `json:"options"`
 	Restarts     int                 `json:"restarts"`
+	Sensors      int                 `json:"sensors,omitempty"`
+	Resp         [][]float64         `json:"responsibility,omitempty"`
 	Sharded      bool                `json:"sharded,omitempty"`
 	RestartsDone int                 `json:"restartsDone"`
 	ItersDone    int                 `json:"itersDone,omitempty"`
@@ -79,6 +81,8 @@ func (m *Manager) persist(j *job, withScenario bool) {
 		Objectives:   j.spec.Objectives,
 		Options:      j.spec.Options,
 		Restarts:     j.spec.Restarts,
+		Sensors:      j.spec.Sensors,
+		Resp:         j.spec.Responsibility,
 		RestartsDone: j.restartsDone,
 		ItersDone:    j.itersDone,
 		RanSec:       j.ranSec,
@@ -221,10 +225,12 @@ func (m *Manager) loadJob(id string) (*job, error) {
 	j := &job{
 		id: meta.ID,
 		spec: Spec{
-			Scenario:   scn,
-			Objectives: meta.Objectives,
-			Options:    meta.Options,
-			Restarts:   meta.Restarts,
+			Scenario:       scn,
+			Objectives:     meta.Objectives,
+			Options:        meta.Options,
+			Restarts:       meta.Restarts,
+			Sensors:        meta.Sensors,
+			Responsibility: meta.Resp,
 		},
 		state:        meta.State,
 		sharded:      meta.Sharded,

@@ -91,7 +91,18 @@ type Spec struct {
 	Options coverage.Options `json:"options"`
 	// Restarts is the multi-start count (default 1).
 	Restarts int `json:"restarts"`
+	// Sensors, when ≥ 2, makes this a fleet job: every restart runs a
+	// joint K-sensor optimization (coverage.OptimizeFleetContext) instead
+	// of a single-sensor one, and the resulting plan carries the fleet
+	// extension. 0 and 1 mean the classic single-sensor job.
+	Sensors int `json:"sensors,omitempty"`
+	// Responsibility is the optional K×M per-PoI responsibility
+	// assignment for a fleet job; nil means the uniform 1/K split.
+	Responsibility [][]float64 `json:"responsibility,omitempty"`
 }
+
+// fleet reports whether the spec describes a joint multi-sensor job.
+func (s Spec) fleet() bool { return s.Sensors >= 2 }
 
 // Progress is a live snapshot of a job's position in its search.
 type Progress struct {
@@ -248,6 +259,10 @@ type jobMetrics struct {
 	ckptSeconds *obs.Histogram
 
 	// Shard-protocol instruments (see shard.go / shardrun.go).
+	// Fleet-job instruments.
+	fleetJobs    *obs.Counter
+	fleetSensors *obs.Histogram
+
 	shardClaims     *obs.Counter
 	claimSeconds    *obs.Histogram
 	shardsDone      *obs.Counter
@@ -273,6 +288,11 @@ func newJobMetrics(r *obs.Registry) jobMetrics {
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
 		ckptSeconds: r.Histogram("coverage_checkpoint_write_seconds",
 			"Job checkpoint write latency.", obs.DefBuckets),
+		fleetJobs: r.Counter("fleet_jobs_total",
+			"Joint multi-sensor optimization jobs submitted."),
+		fleetSensors: r.Histogram("fleet_job_sensors",
+			"Fleet size K of submitted fleet jobs.",
+			[]float64{2, 3, 4, 6, 8, 12, 16}),
 		shardClaims: r.Counter("jobs_shard_claims_total",
 			"Restart-shards claimed by this node (first claims and takeovers)."),
 		claimSeconds: r.Histogram("jobs_shard_claim_seconds",
@@ -409,8 +429,20 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (View, error) {
 	if spec.Restarts < 0 {
 		return View{}, fmt.Errorf("%w: %d restarts", ErrSpec, spec.Restarts)
 	}
-	if err := coverage.Validate(spec.Scenario, spec.Objectives); err != nil {
-		return View{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	if spec.Sensors < 0 {
+		return View{}, fmt.Errorf("%w: negative sensors %d", ErrSpec, spec.Sensors)
+	}
+	if spec.fleet() {
+		if err := coverage.ValidateFleet(spec.Scenario, spec.Objectives, spec.Sensors, spec.Responsibility); err != nil {
+			return View{}, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+	} else {
+		if spec.Responsibility != nil {
+			return View{}, fmt.Errorf("%w: responsibility set on a single-sensor job", ErrSpec)
+		}
+		if err := coverage.Validate(spec.Scenario, spec.Objectives); err != nil {
+			return View{}, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
 	}
 	if spec.Options.Workers < 0 {
 		return View{}, fmt.Errorf("%w: negative workers %d", ErrSpec, spec.Options.Workers)
@@ -462,7 +494,12 @@ func (m *Manager) SubmitCtx(ctx context.Context, spec Spec) (View, error) {
 		slog.String("scenario", spec.Scenario.Name),
 		slog.Int("restarts", spec.Restarts),
 		slog.Int("maxIters", spec.Options.MaxIters),
+		slog.Int("sensors", spec.Sensors),
 		slog.Bool("sharded", j.sharded))
+	if spec.fleet() {
+		m.met.fleetJobs.Inc()
+		m.met.fleetSensors.Observe(float64(spec.Sensors))
+	}
 	m.persist(j, true)
 	if j.sharded {
 		// The shard table goes in last: its presence is what makes other
@@ -725,6 +762,17 @@ func (m *Manager) worker() {
 	}
 }
 
+// optimizeSpec runs one restart of a job — the single place that decides
+// between the single-sensor and the joint fleet optimizer, so the local
+// worker loop and the shard runner dispatch identically.
+func optimizeSpec(ctx context.Context, spec Spec, opts coverage.Options) (*coverage.Plan, error) {
+	if spec.fleet() {
+		return coverage.OptimizeFleetContext(ctx, spec.Scenario, spec.Objectives, opts,
+			spec.Sensors, spec.Responsibility)
+	}
+	return coverage.OptimizeContext(ctx, spec.Scenario, spec.Objectives, opts)
+}
+
 // runJob drives one job: restarts run sequentially with OptimizeBest's
 // seed split, the best plan is checkpointed after every completed
 // restart, and cancellation is classified as user cancel (terminal) or
@@ -788,7 +836,7 @@ func (m *Manager) runJob(j *job) {
 				}
 			}
 		}
-		plan, err := coverage.OptimizeContext(ctx, spec.Scenario, spec.Objectives, runOpts)
+		plan, err := optimizeSpec(ctx, spec, runOpts)
 		if err != nil {
 			if ctx.Err() != nil {
 				// Interrupted mid-restart; plan is that run's best-so-far.

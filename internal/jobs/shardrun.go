@@ -231,7 +231,7 @@ func (m *Manager) runOneShard(ctx context.Context, j *job, t *shardTable, k int,
 				}
 			}
 		}
-		plan, err := coverage.OptimizeContext(shardCtx, spec.Scenario, spec.Objectives, runOpts)
+		plan, err := optimizeSpec(shardCtx, spec, runOpts)
 		if err != nil {
 			if shardCtx.Err() != nil {
 				return // interrupted mid-restart; nothing durable to record

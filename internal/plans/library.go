@@ -94,6 +94,10 @@ type Entry struct {
 	// Plan is the cached solution, including its achieved cost vector
 	// (DeltaC, EBar, Cost, Energy, Entropy).
 	Plan *coverage.Plan `json:"plan"`
+	// Sensors is the fleet size for jointly-optimized entries (Plan.Fleet
+	// set); 0 for single-sensor plans. Fleet entries are keyed by
+	// coverage.FleetFingerprint and never mix with single-sensor lookups.
+	Sensors int `json:"sensors,omitempty"`
 	// Provenance records the producing search.
 	Provenance Provenance `json:"provenance"`
 }
@@ -116,6 +120,7 @@ type indexEntry struct {
 	beta     []float64
 	objScals [4]float64 // energyWeight, energyTarget, entropyWeight, epsilon
 	cost     float64
+	sensors  int // fleet size; 0 for single-sensor entries
 }
 
 // Config tunes a Library.
@@ -271,6 +276,7 @@ func indexOf(e *Entry) *indexEntry {
 		alpha:   append([]float64(nil), e.Objectives.PerPoIAlpha...),
 		beta:    append([]float64(nil), e.Objectives.PerPoIBeta...),
 		cost:    e.Plan.Cost,
+		sensors: e.Sensors,
 	}
 	ie.objScals = [4]float64{
 		e.Objectives.EnergyWeight, e.Objectives.EnergyTarget,
@@ -289,7 +295,19 @@ func (l *Library) Publish(scn coverage.Scenario, obj coverage.Objectives, plan *
 	if plan == nil || len(plan.TransitionMatrix) == 0 {
 		return "", fmt.Errorf("%w: nil or empty plan", ErrEntry)
 	}
-	fp, err := coverage.ScenarioFingerprint(scn, obj)
+	// Fleet plans carry their own key space: the fingerprint covers the
+	// fleet size and responsibility assignment on top of the scenario, so
+	// a joint plan can never be confused with (or shadow) the
+	// single-sensor plan for the same scenario.
+	sensors := 0
+	var fp coverage.Fingerprint
+	var err error
+	if plan.Fleet != nil {
+		sensors = plan.Fleet.Sensors
+		fp, err = coverage.FleetFingerprint(scn, obj, plan.Fleet.Sensors, plan.Fleet.Responsibility)
+	} else {
+		fp, err = coverage.ScenarioFingerprint(scn, obj)
+	}
 	if err != nil {
 		return "", err
 	}
@@ -309,6 +327,7 @@ func (l *Library) Publish(scn coverage.Scenario, obj coverage.Objectives, plan *
 		Scenario:    coverage.CanonicalScenario(scn),
 		Objectives:  coverage.CanonicalObjectives(obj, len(scn.PoIs)),
 		Plan:        plan,
+		Sensors:     sensors,
 		Provenance:  prov,
 	}
 
@@ -414,16 +433,38 @@ type Neighbor struct {
 	Distance float64 `json:"distance"`
 }
 
-// Nearest finds the closest cached plan for a query that missed
-// exactly: candidates must share the query's topology key, and are
-// ranked by Distance. It returns the winning entry (promoted into the
-// LRU) and its distance. The exact fingerprint, if somehow present, is
-// excluded — callers resolve exact hits with Lookup first.
+// Nearest finds the closest cached single-sensor plan for a query that
+// missed exactly: candidates must share the query's topology key (fleet
+// entries are skipped — a K-matrix stack is not a drop-in answer for a
+// one-sensor problem), and are ranked by Distance. It returns the
+// winning entry (promoted into the LRU) and its distance. The exact
+// fingerprint, if somehow present, is excluded — callers resolve exact
+// hits with Lookup first.
 func (l *Library) Nearest(scn coverage.Scenario, obj coverage.Objectives) (*Entry, float64, bool) {
 	fp, err := coverage.ScenarioFingerprint(scn, obj)
 	if err != nil {
 		return nil, 0, false
 	}
+	return l.nearest(scn, obj, string(fp), 0)
+}
+
+// NearestFleet is Nearest over the fleet key space: candidates must be
+// jointly-optimized entries with the same fleet size (their matrix
+// stacks have the right shape to warm-start the query's joint descent),
+// sharing the query's topology key. Entries with a different
+// responsibility assignment remain candidates — responsibility shifts
+// coverage credit, not matrix shape.
+func (l *Library) NearestFleet(scn coverage.Scenario, obj coverage.Objectives, sensors int, responsibility [][]float64) (*Entry, float64, bool) {
+	fp, err := coverage.FleetFingerprint(scn, obj, sensors, responsibility)
+	if err != nil {
+		return nil, 0, false
+	}
+	return l.nearest(scn, obj, string(fp), sensors)
+}
+
+// nearest is the shared candidate scan: exclude is the query's own
+// fingerprint, sensors selects the key space (0 = single-sensor).
+func (l *Library) nearest(scn coverage.Scenario, obj coverage.Objectives, exclude string, sensors int) (*Entry, float64, bool) {
 	topo, err := coverage.TopologyKey(scn)
 	if err != nil {
 		return nil, 0, false
@@ -448,7 +489,7 @@ func (l *Library) Nearest(scn coverage.Scenario, obj coverage.Objectives) (*Entr
 	}
 	var cands []cand
 	for _, ie := range l.index {
-		if ie.topoKey != q.topoKey || ie.fp == string(fp) {
+		if ie.topoKey != q.topoKey || ie.fp == exclude || ie.sensors != sensors {
 			continue
 		}
 		cands = append(cands, cand{fp: ie.fp, dist: distance(q, ie)})
@@ -484,6 +525,23 @@ func (l *Library) WarmStart(scn coverage.Scenario, obj coverage.Objectives) (*co
 		return e.Plan, 0, true
 	}
 	if e, dist, ok := l.Nearest(scn, obj); ok {
+		return e.Plan, dist, true
+	}
+	return nil, 0, false
+}
+
+// WarmStartFleet is WarmStart over the fleet key space: the exact joint
+// plan (distance 0) or the nearest same-size fleet neighbor. It backs
+// the fleet deploy runtime's joint re-optimization path.
+func (l *Library) WarmStartFleet(scn coverage.Scenario, obj coverage.Objectives, sensors int, responsibility [][]float64) (*coverage.Plan, float64, bool) {
+	fp, err := coverage.FleetFingerprint(scn, obj, sensors, responsibility)
+	if err != nil {
+		return nil, 0, false
+	}
+	if e, ok := l.Lookup(fp); ok {
+		return e.Plan, 0, true
+	}
+	if e, dist, ok := l.NearestFleet(scn, obj, sensors, responsibility); ok {
 		return e.Plan, dist, true
 	}
 	return nil, 0, false

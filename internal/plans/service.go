@@ -43,6 +43,14 @@ type Query struct {
 	Options coverage.Options `json:"options"`
 	// Restarts is the multi-start budget of a spawned job (default 1).
 	Restarts int `json:"restarts,omitempty"`
+	// Sensors asks for a jointly-optimized K-sensor fleet plan when >= 2;
+	// 0 or 1 is the ordinary single-sensor query. Fleet queries address
+	// the fleet key space (coverage.FleetFingerprint) and never collide
+	// with single-sensor entries for the same scenario.
+	Sensors int `json:"sensors,omitempty"`
+	// Responsibility is the optional K×M fleet coverage-credit split
+	// (uniform 1/K when nil). Only valid with Sensors >= 2.
+	Responsibility [][]float64 `json:"responsibility,omitempty"`
 	// MaxDistance bounds how far a neighbor may be to serve it directly
 	// when ServeStale is set (see distance.go for the metric; ‖ΔΦ‖₁
 	// dominates, so values compose with drift-detector thresholds).
@@ -167,7 +175,21 @@ func (s *Service) QueryBatch(ctx context.Context, qs []Query) []Result {
 
 // resolve runs the hit → stale → singleflight-spawn ladder.
 func (s *Service) resolve(ctx context.Context, q Query) Result {
-	fp, err := coverage.ScenarioFingerprint(q.Scenario, q.Objectives)
+	fleet := q.Sensors >= 2
+	var fp coverage.Fingerprint
+	var err error
+	switch {
+	case q.Sensors < 0:
+		return Result{Status: StatusError,
+			Error: fmt.Sprintf("plans: negative sensors %d", q.Sensors)}
+	case !fleet && q.Responsibility != nil:
+		return Result{Status: StatusError,
+			Error: "plans: responsibility set on a single-sensor query"}
+	case fleet:
+		fp, err = coverage.FleetFingerprint(q.Scenario, q.Objectives, q.Sensors, q.Responsibility)
+	default:
+		fp, err = coverage.ScenarioFingerprint(q.Scenario, q.Objectives)
+	}
 	if err != nil {
 		return Result{Status: StatusError, Error: err.Error()}
 	}
@@ -188,7 +210,14 @@ func (s *Service) resolve(ctx context.Context, q Query) Result {
 		return res
 	}
 
-	neighbor, dist, haveNeighbor := s.lib.Nearest(q.Scenario, q.Objectives)
+	var neighbor *Entry
+	var dist float64
+	var haveNeighbor bool
+	if fleet {
+		neighbor, dist, haveNeighbor = s.lib.NearestFleet(q.Scenario, q.Objectives, q.Sensors, q.Responsibility)
+	} else {
+		neighbor, dist, haveNeighbor = s.lib.Nearest(q.Scenario, q.Objectives)
+	}
 	if haveNeighbor {
 		res.WarmStart = &Neighbor{Fingerprint: neighbor.Fingerprint, Distance: dist}
 	}
@@ -242,13 +271,21 @@ func (s *Service) spawn(ctx context.Context, q Query, res Result, neighbor *Entr
 		return res
 	}
 	spec := jobs.Spec{
-		Scenario:   q.Scenario,
-		Objectives: q.Objectives,
-		Options:    q.Options,
-		Restarts:   q.Restarts,
+		Scenario:       q.Scenario,
+		Objectives:     q.Objectives,
+		Options:        q.Options,
+		Restarts:       q.Restarts,
+		Sensors:        q.Sensors,
+		Responsibility: q.Responsibility,
 	}
 	if haveNeighbor {
-		spec.Options.InitialMatrix = neighbor.Plan.TransitionMatrix
+		// Fleet misses warm-start the joint descent from the neighbor's
+		// whole matrix stack; single-sensor misses seed one matrix.
+		if q.Sensors >= 2 && neighbor.Plan.Fleet != nil {
+			spec.Options.InitialMatrices = neighbor.Plan.Fleet.TransitionMatrices
+		} else {
+			spec.Options.InitialMatrix = neighbor.Plan.TransitionMatrix
+		}
 		s.lib.met.warmStarts.Inc()
 	}
 	v, err := s.cfg.Jobs.SubmitCtx(ctx, spec)

@@ -3,12 +3,26 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/topology"
 )
+
+// sensorSpanTask fans whole-sensor unrolls across a pool: each worker
+// owns the contiguous sensor span [lo, hi).
+type sensorSpanTask struct {
+	fn func(s int)
+}
+
+func (t sensorSpanTask) Run(_, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		t.fn(s)
+	}
+}
 
 // Fleet simulation: several sensors execute (copies of) a Markov schedule
 // over the same PoIs, and coverage is the union — a PoI is covered
@@ -24,8 +38,13 @@ import (
 type FleetConfig struct {
 	// Topology supplies the physical layout.
 	Topology *topology.Topology
-	// P is the shared transition matrix each sensor executes.
+	// P is the shared transition matrix each sensor executes when Ps is
+	// nil — the replicated-fleet configuration.
 	P *mat.Matrix
+	// Ps, when non-nil, gives each sensor its own transition matrix
+	// (jointly optimized fleets); its length must equal Sensors and P is
+	// ignored.
+	Ps []*mat.Matrix
 	// Sensors is the fleet size (≥ 1).
 	Sensors int
 	// Steps is the number of Markov transitions per sensor.
@@ -35,22 +54,46 @@ type FleetConfig struct {
 	// Stagger, when true, starts sensor k at PoI k mod M instead of all
 	// sensors at PoI 0 — the deployment-sensible default.
 	Stagger bool
+	// Workers bounds the OS-level workers the trajectory unrolls may
+	// occupy (one sensor per span). Every sensor draws from its own
+	// pre-split rng stream and writes only its own window set, so results
+	// are bit-for-bit identical for every value. Zero selects GOMAXPROCS;
+	// one forces the serial path.
+	Workers int
 }
 
 func (c *FleetConfig) validate() error {
 	if c.Topology == nil {
 		return fmt.Errorf("%w: nil topology", ErrConfig)
 	}
-	if c.P == nil || c.P.Rows() != c.Topology.M() || c.P.Cols() != c.Topology.M() {
-		return fmt.Errorf("%w: bad matrix", ErrConfig)
-	}
 	if c.Sensors < 1 {
 		return fmt.Errorf("%w: %d sensors", ErrConfig, c.Sensors)
+	}
+	n := c.Topology.M()
+	if c.Ps != nil {
+		if len(c.Ps) != c.Sensors {
+			return fmt.Errorf("%w: %d matrices for %d sensors", ErrConfig, len(c.Ps), c.Sensors)
+		}
+		for s, p := range c.Ps {
+			if p == nil || p.Rows() != n || p.Cols() != n {
+				return fmt.Errorf("%w: bad matrix for sensor %d", ErrConfig, s)
+			}
+		}
+	} else if c.P == nil || c.P.Rows() != n || c.P.Cols() != n {
+		return fmt.Errorf("%w: bad matrix", ErrConfig)
 	}
 	if c.Steps <= 0 {
 		return fmt.Errorf("%w: steps %d", ErrConfig, c.Steps)
 	}
 	return nil
+}
+
+// matrixFor returns the transition matrix sensor s executes.
+func (c *FleetConfig) matrixFor(s int) *mat.Matrix {
+	if c.Ps != nil {
+		return c.Ps[s]
+	}
+	return c.P
 }
 
 // FleetMetrics reports the union-coverage outcomes.
@@ -78,30 +121,70 @@ type interval struct {
 	start, end float64
 }
 
-// SimulateFleet runs the fleet and measures union coverage.
+// SimulateFleet runs the fleet and measures union coverage. Results are
+// bit-for-bit identical for every Workers setting: the per-sensor rng
+// streams are split from the master sequentially before any trajectory
+// runs, each sensor unrolls into its own private window set, and the
+// sets are concatenated in ascending sensor order — exactly the order a
+// serial shared-append run produces.
 func SimulateFleet(cfg FleetConfig) (*FleetMetrics, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if err := checkStochasticRows(cfg.P); err != nil {
+	if cfg.Ps != nil {
+		for s := range cfg.Ps {
+			if err := checkStochasticRows(cfg.Ps[s]); err != nil {
+				return nil, fmt.Errorf("sensor %d: %w", s, err)
+			}
+		}
+	} else if err := checkStochasticRows(cfg.P); err != nil {
 		return nil, err
 	}
 	top := cfg.Topology
 	n := top.M()
 	master := rng.New(cfg.Seed)
 
-	// Unroll each sensor into per-PoI coverage windows.
-	windows := make([][]interval, n)
-	horizon := math.Inf(1)
-	for s := 0; s < cfg.Sensors; s++ {
-		src := master.Split()
+	// Split every sensor's stream up front, in sensor order, so the
+	// stream assignment is independent of unroll scheduling.
+	srcs := make([]*rng.Source, cfg.Sensors)
+	for s := range srcs {
+		srcs[s] = master.Split()
+	}
+
+	// Unroll each sensor into its own per-PoI coverage windows.
+	perSensor := make([][][]interval, cfg.Sensors)
+	elapsed := make([]float64, cfg.Sensors)
+	unroll := func(s int) {
 		start := 0
 		if cfg.Stagger {
 			start = s % n
 		}
-		elapsed := unrollWindows(top, cfg.P, src, cfg.Steps, start, windows)
-		if elapsed < horizon {
-			horizon = elapsed
+		perSensor[s] = make([][]interval, n)
+		elapsed[s] = unrollWindows(top, cfg.matrixFor(s), srcs[s], cfg.Steps, start, perSensor[s])
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && cfg.Sensors > 1 {
+		pool := par.New(workers)
+		pool.Run(cfg.Sensors, sensorSpanTask{unroll})
+		pool.Stop()
+	} else {
+		for s := 0; s < cfg.Sensors; s++ {
+			unroll(s)
+		}
+	}
+
+	// Concatenate in ascending sensor order and take the common horizon.
+	windows := make([][]interval, n)
+	horizon := math.Inf(1)
+	for s := 0; s < cfg.Sensors; s++ {
+		for i := 0; i < n; i++ {
+			windows[i] = append(windows[i], perSensor[s][i]...)
+		}
+		if elapsed[s] < horizon {
+			horizon = elapsed[s]
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/mat"
 	"repro/internal/topology"
 )
 
@@ -134,6 +135,123 @@ func TestFleetSingleMatchesUnionOfOne(t *testing.T) {
 	for i := range fleet.CoverageShare {
 		if math.Abs(fleet.CoverageShare[i]-single.CoverageShare[i]) > 0.01 {
 			t.Errorf("PoI %d: fleet %v vs single %v", i, fleet.CoverageShare[i], single.CoverageShare[i])
+		}
+	}
+}
+
+// TestFleetStaggerWraparound: more sensors than PoIs is legal — starts
+// wrap modulo M, so sensors k and k+M start at the same PoI but follow
+// independent streams.
+func TestFleetStaggerWraparound(t *testing.T) {
+	top := topology.Topology2() // M = 3
+	met, err := SimulateFleet(FleetConfig{
+		Topology: top, P: uniformP(3), Sensors: 7, Steps: 2000, Seed: 5, Stagger: true,
+	})
+	if err != nil {
+		t.Fatalf("SimulateFleet with K > M: %v", err)
+	}
+	if met.Sensors != 7 {
+		t.Errorf("Sensors = %d, want 7", met.Sensors)
+	}
+	if !(met.Horizon > 0) {
+		t.Errorf("Horizon = %v, want > 0", met.Horizon)
+	}
+	for i, s := range met.CoverageShare {
+		if s <= 0 || s > 1 {
+			t.Errorf("PoI %d union share %v outside (0, 1]", i, s)
+		}
+	}
+}
+
+func TestFleetPerSensorMatrices(t *testing.T) {
+	top := topology.Topology2()
+	n := top.M()
+	// Heterogeneous stack: sensor 0 uniform, sensor 1 biased to stay put.
+	biased := uniformP(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				biased.Set(i, j, 0.8)
+			} else {
+				biased.Set(i, j, 0.2/float64(n-1))
+			}
+		}
+	}
+	cfg := FleetConfig{
+		Topology: top, Ps: []*mat.Matrix{uniformP(n), biased},
+		Sensors: 2, Steps: 5000, Seed: 13, Stagger: true,
+	}
+	het, err := SimulateFleet(cfg)
+	if err != nil {
+		t.Fatalf("SimulateFleet with Ps: %v", err)
+	}
+	// A replicated run with the uniform matrix must differ: the biased
+	// sensor changes the union timeline.
+	rep, err := SimulateFleet(FleetConfig{
+		Topology: top, P: uniformP(n), Sensors: 2, Steps: 5000, Seed: 13, Stagger: true,
+	})
+	if err != nil {
+		t.Fatalf("SimulateFleet replicated: %v", err)
+	}
+	if het.DeltaC == rep.DeltaC && het.Horizon == rep.Horizon {
+		t.Error("per-sensor matrices had no effect on the union metrics")
+	}
+
+	// Validation: wrong stack length, nil entry, wrong dimension, bad rows.
+	bad := cfg
+	bad.Ps = cfg.Ps[:1]
+	if _, err := SimulateFleet(bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("short Ps: err = %v, want ErrConfig", err)
+	}
+	bad = cfg
+	bad.Ps = []*mat.Matrix{uniformP(n), nil}
+	if _, err := SimulateFleet(bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil entry: err = %v, want ErrConfig", err)
+	}
+	bad = cfg
+	bad.Ps = []*mat.Matrix{uniformP(n), uniformP(n + 1)}
+	if _, err := SimulateFleet(bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("wrong dims: err = %v, want ErrConfig", err)
+	}
+	bad = cfg
+	badRows := uniformP(n)
+	badRows.Set(0, 0, 0.9)
+	bad.Ps = []*mat.Matrix{uniformP(n), badRows}
+	if _, err := SimulateFleet(bad); !errors.Is(err, ErrConfig) {
+		t.Errorf("non-stochastic row: err = %v, want ErrConfig", err)
+	}
+}
+
+// TestFleetWorkersBitIdentical pins the parallel-unroll contract: the
+// union metrics are bit-for-bit identical for every Workers setting.
+func TestFleetWorkersBitIdentical(t *testing.T) {
+	top := topology.Topology1()
+	base := FleetConfig{
+		Topology: top, P: uniformP(4), Sensors: 5, Steps: 8000, Seed: 21,
+		Stagger: true, Workers: 1,
+	}
+	ref, err := SimulateFleet(base)
+	if err != nil {
+		t.Fatalf("SimulateFleet serial: %v", err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Workers = w
+		got, err := SimulateFleet(cfg)
+		if err != nil {
+			t.Fatalf("SimulateFleet workers=%d: %v", w, err)
+		}
+		if got.Horizon != ref.Horizon || got.DeltaC != ref.DeltaC {
+			t.Fatalf("workers=%d diverged: horizon %v vs %v, deltaC %v vs %v",
+				w, got.Horizon, ref.Horizon, got.DeltaC, ref.DeltaC)
+		}
+		for i := range ref.CoverageShare {
+			if got.CoverageShare[i] != ref.CoverageShare[i] ||
+				got.MeanGap[i] != ref.MeanGap[i] ||
+				got.MaxGap[i] != ref.MaxGap[i] ||
+				got.Gaps[i] != ref.Gaps[i] {
+				t.Fatalf("workers=%d PoI %d metrics diverged", w, i)
+			}
 		}
 	}
 }
