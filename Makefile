@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_run.json
 
-.PHONY: build test check race vet bench bench-compare deploy-demo fleet-demo loadtest shardsmoke clean
+.PHONY: build test check race vet bench bench-compare conformance deploy-demo fleet-demo loadtest shardsmoke clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ bench:
 # newest checked-in BENCH_pr*.json (its "after" numbers).
 bench-compare:
 	./scripts/bench.sh $(BENCH_OUT)
+
+# conformance runs the declarative scenario corpus: schema validation,
+# the confgen drift check, then every corpus case through the public
+# optimizer API under the full solver × workers matrix with every
+# declared invariant checked. CONF_SOLVERS / CONF_WORKERS narrow the
+# matrix (CI runs one cell per matrix job).
+conformance:
+	./scripts/conformance.sh
 
 # deploy-demo exercises the whole closed serving loop in one process —
 # deploy a plan, drift it, auto-re-optimize with a warm start, hot-swap —

@@ -1,0 +1,73 @@
+// Command confgen emits the conformance corpus (conformance/v1) into a
+// directory, deterministically: every family is generated from a fixed
+// PCG seed, so repeated runs produce bit-identical files. With -check it
+// verifies the checked-in corpus matches a fresh regeneration instead of
+// writing — the CI guard against hand-edited drift.
+//
+// Usage:
+//
+//	go run ./cmd/confgen -out coverage/testdata/corpus
+//	go run ./cmd/confgen -out coverage/testdata/corpus -check
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	out := flag.String("out", "coverage/testdata/corpus", "corpus directory to write (or verify with -check)")
+	check := flag.Bool("check", false, "verify the directory matches a fresh regeneration instead of writing")
+	flag.Parse()
+
+	if err := run(*out, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "confgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, check bool) error {
+	corpora, err := conformance.Generate()
+	if err != nil {
+		return err
+	}
+	if !check {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	var drifted []string
+	for _, nc := range corpora {
+		want, err := nc.Corpus.Encode()
+		if err != nil {
+			return fmt.Errorf("%s: %v", nc.Name, err)
+		}
+		path := filepath.Join(dir, nc.Name)
+		if check {
+			got, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("%s: %v (regenerate with `go run ./cmd/confgen -out %s`)", nc.Name, err, dir)
+			}
+			if !bytes.Equal(got, want) {
+				drifted = append(drifted, nc.Name)
+			}
+			continue
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			return fmt.Errorf("%s: %v", nc.Name, err)
+		}
+		fmt.Printf("wrote %s (%d cases, %d invariants)\n", path, len(nc.Corpus.Cases), len(nc.Corpus.Invariants))
+	}
+	if len(drifted) > 0 {
+		return fmt.Errorf("corpus drifted from generator output: %v (regenerate with `go run ./cmd/confgen -out %s`)", drifted, dir)
+	}
+	if check {
+		fmt.Printf("corpus matches generator output (%d files)\n", len(corpora))
+	}
+	return nil
+}

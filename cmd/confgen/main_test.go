@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Writing a fresh corpus and immediately checking it must succeed; a
+// byte of drift in any file must fail -check and name the file.
+func TestRunWriteThenCheck(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, false); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files written (%v)", err)
+	}
+	if err := run(dir, true); err != nil {
+		t.Fatalf("check of fresh output: %v", err)
+	}
+
+	// Corrupt one file: -check must fail and name it.
+	victim := files[0]
+	b, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, append(b, ' '), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(dir, true)
+	if err == nil {
+		t.Fatal("-check passed on drifted corpus")
+	}
+	if !strings.Contains(err.Error(), filepath.Base(victim)) {
+		t.Errorf("drift error %q does not name %s", err, filepath.Base(victim))
+	}
+	if !strings.Contains(err.Error(), "confgen") {
+		t.Errorf("drift error %q does not say how to regenerate", err)
+	}
+}
+
+// -check against a directory missing a family must fail with the
+// regeneration hint rather than a bare I/O error.
+func TestRunCheckMissingFile(t *testing.T) {
+	err := run(t.TempDir(), true)
+	if err == nil {
+		t.Fatal("-check passed on empty directory")
+	}
+	if !strings.Contains(err.Error(), "regenerate") {
+		t.Errorf("error %q lacks the regeneration hint", err)
+	}
+}

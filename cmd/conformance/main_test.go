@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const miniCorpus = `{
+  "version": "conformance/v1",
+  "family": "cmd-unit",
+  "matrix": {"solvers": ["dense"], "workers": [1]},
+  "cases": [
+    {
+      "name": "a",
+      "scenario": {
+        "name": "line-3",
+        "pois": [{"x": 0.5, "y": 0.5}, {"x": 1.5, "y": 0.5}, {"x": 2.5, "y": 0.5}],
+        "target": [0.3, 0.3, 0.4]
+      },
+      "objectives": {"alpha": 1},
+      "run": {"seed": 1, "maxIters": 40}
+    }
+  ],
+  "invariants": [
+    {"type": "bound", "cases": ["a"], "metric": "cost", "max": 1000000}
+  ]
+}`
+
+func writeCorpus(t *testing.T, doc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "mini.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// -validate accepts a well-formed corpus without executing anything.
+func TestRunValidateOnly(t *testing.T) {
+	dir := writeCorpus(t, miniCorpus)
+	if err := run(dir, "", "", 1, true, false, false); err != nil {
+		t.Fatalf("-validate on sound corpus: %v", err)
+	}
+}
+
+// -validate must reject an unversioned file: the schema gate exists so
+// a malformed corpus fails CI before any optimizer time is spent.
+func TestRunValidateRejectsUnversioned(t *testing.T) {
+	doc := strings.Replace(miniCorpus, `"version": "conformance/v1",`, "", 1)
+	dir := writeCorpus(t, doc)
+	err := run(dir, "", "", 1, true, false, false)
+	if err == nil {
+		t.Fatal("-validate accepted an unversioned corpus file")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("error %q does not mention the version", err)
+	}
+}
+
+// A full run over the mini corpus must pass, and a run with an
+// unsatisfiable bound must return the failure as an error (the nonzero
+// exit CI gates on).
+func TestRunExecutesAndGates(t *testing.T) {
+	dir := writeCorpus(t, miniCorpus)
+	if err := run(dir, "dense", "1", 2, false, false, false); err != nil {
+		t.Fatalf("run on sound corpus: %v", err)
+	}
+	bad := strings.Replace(miniCorpus, `"max": 1000000`, `"max": -1`, 1)
+	dir = writeCorpus(t, bad)
+	err := run(dir, "", "", 1, false, false, false)
+	if err == nil {
+		t.Fatal("failing corpus did not produce an error")
+	}
+	if !strings.Contains(err.Error(), "failing checks") {
+		t.Errorf("error %q does not count the failing checks", err)
+	}
+}
+
+// A solver filter that empties the matrix is an error, not a silent
+// no-op pass.
+func TestRunEmptyMatrixFilter(t *testing.T) {
+	dir := writeCorpus(t, miniCorpus)
+	if err := run(dir, "sparse", "", 1, false, false, false); err == nil {
+		t.Fatal("empty filtered matrix passed")
+	}
+}
+
+func TestRunBadWorkersFlag(t *testing.T) {
+	dir := writeCorpus(t, miniCorpus)
+	if err := run(dir, "", "one", 1, false, false, false); err == nil {
+		t.Fatal("bad -workers value accepted")
+	}
+}

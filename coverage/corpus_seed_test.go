@@ -1,0 +1,103 @@
+package coverage
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// The conformance corpus (testdata/corpus, emitted by cmd/confgen)
+// doubles as a fuzz-seed source: every corpus scenario is a known-good
+// deep input for the decoder and fingerprint fuzz targets. The corpus
+// files are decoded ad hoc here rather than through
+// internal/conformance, which imports this package.
+
+// corpusCase is the slice of a conformance case these seeds need.
+type corpusCase struct {
+	Name       string     `json:"name"`
+	Scenario   Scenario   `json:"scenario"`
+	Objectives Objectives `json:"objectives"`
+	Fleet      *struct {
+		Sensors int `json:"sensors"`
+	} `json:"fleet"`
+}
+
+// corpusFiles returns the raw bytes of every checked-in corpus file.
+func corpusFiles(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		tb.Fatalf("glob corpus: %v", err)
+	}
+	if len(paths) == 0 {
+		tb.Fatal("no corpus files under testdata/corpus — run `go run ./cmd/confgen -out coverage/testdata/corpus`")
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			tb.Fatalf("read %s: %v", p, err)
+		}
+		out[filepath.Base(p)] = b
+	}
+	return out
+}
+
+// corpusCases decodes every case in the checked-in corpus, in
+// deterministic (file-name, case) order so fuzz seeds derived from the
+// result are stable.
+func corpusCases(tb testing.TB) []corpusCase {
+	tb.Helper()
+	files := corpusFiles(tb)
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var cases []corpusCase
+	for _, name := range names {
+		raw := files[name]
+		var doc struct {
+			Version string       `json:"version"`
+			Cases   []corpusCase `json:"cases"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			tb.Fatalf("decode %s: %v", name, err)
+		}
+		if doc.Version != "conformance/v1" {
+			tb.Fatalf("%s: version %q, want conformance/v1", name, doc.Version)
+		}
+		cases = append(cases, doc.Cases...)
+	}
+	return cases
+}
+
+// Every corpus scenario must be optimizable (the conformance runner's
+// precondition) and fingerprintable — a corpus edit that breaks either
+// fails here, inside the ordinary test suite, before the full
+// conformance run ever starts.
+func TestCorpusScenariosValidateAndFingerprint(t *testing.T) {
+	cases := corpusCases(t)
+	if len(cases) < 25 {
+		t.Fatalf("corpus has %d cases, want >= 25", len(cases))
+	}
+	for _, cs := range cases {
+		if cs.Fleet != nil {
+			if err := ValidateFleet(cs.Scenario, cs.Objectives, cs.Fleet.Sensors, nil); err != nil {
+				t.Errorf("case %s: %v", cs.Name, err)
+			}
+			if _, err := FleetFingerprint(cs.Scenario, cs.Objectives, cs.Fleet.Sensors, nil); err != nil {
+				t.Errorf("case %s: fleet fingerprint: %v", cs.Name, err)
+			}
+			continue
+		}
+		if err := Validate(cs.Scenario, cs.Objectives); err != nil {
+			t.Errorf("case %s: %v", cs.Name, err)
+		}
+		if _, err := ScenarioFingerprint(cs.Scenario, cs.Objectives); err != nil {
+			t.Errorf("case %s: fingerprint: %v", cs.Name, err)
+		}
+	}
+}

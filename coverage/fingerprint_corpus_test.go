@@ -1,0 +1,170 @@
+// Pinned fingerprint digests over conformance-corpus scenarios. This
+// lives in an external test package because internal/conformance
+// imports coverage: the corpus loader cannot be used from package
+// coverage itself.
+package coverage_test
+
+import (
+	"testing"
+
+	"repro/coverage"
+	"repro/internal/conformance"
+)
+
+// Pinned digests for representative corpus cases: a paper topology, a
+// random-geometric scenario with an obstacle, an energy-weighted
+// objective, and a fleet block. These change ONLY when the fingerprint
+// scheme itself changes (a compatibility break for the plan library and
+// shard-merge dedup) or when confgen's generation changes — both events
+// that should be deliberate, visible, and re-pinned by hand.
+func TestCorpusFingerprintsPinned(t *testing.T) {
+	corpora, err := conformance.LoadDir("testdata/corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	cases := make(map[string]conformance.Case)
+	for _, c := range corpora {
+		for _, cs := range c.Cases {
+			cases[cs.Name] = cs
+		}
+	}
+
+	pins := []struct {
+		name        string
+		fingerprint coverage.Fingerprint
+		topologyKey coverage.Fingerprint
+	}{
+		{
+			name:        "topology-1",
+			fingerprint: "8205fdb81550053984330b02ce05c552c326efd5fd2861b6ae89b781aa60abf3",
+			topologyKey: "ed3234bc1e66484df172c826440d34225b2912114a84b01898219d93fe8dd3be",
+		},
+		{
+			name:        "rgg-7-obstacle",
+			fingerprint: "8fdb7eb7f28e3ad9e4a527396b2e92a655a22befc8fc83c93565c75a87f16b4f",
+			topologyKey: "e2337d701b16ad47b773962099bc4460bed2adeaa108dfa8128cb238e9cef654",
+		},
+		{
+			name:        "energy-w50",
+			fingerprint: "0529f823e3054817b7d85dd345515bbabe40683bb429be17e7ac277aafa835d7",
+			topologyKey: "4b78a2b6dad7a3316d08aa03b17daad8b25e335e3878e17e4e854c55ec15e64c",
+		},
+		{
+			name:        "fleet-joint",
+			fingerprint: "5014e56774e44623b4e8a14febc13b42aa503166bc71b5532458714eb3c7061f",
+			topologyKey: "1f5abecf0e6fdd9e6d0d34b752b6c2a0c7b1d09a27ffd735630a67c800a08939",
+		},
+	}
+	for _, pin := range pins {
+		cs, ok := cases[pin.name]
+		if !ok {
+			t.Errorf("case %q not found in corpus", pin.name)
+			continue
+		}
+		var fp coverage.Fingerprint
+		if cs.Fleet != nil {
+			fp, err = coverage.FleetFingerprint(cs.Scenario, cs.Objectives, cs.Fleet.Sensors, cs.Fleet.Responsibility)
+		} else {
+			fp, err = coverage.ScenarioFingerprint(cs.Scenario, cs.Objectives)
+		}
+		if err != nil {
+			t.Errorf("%s: fingerprint: %v", pin.name, err)
+			continue
+		}
+		if fp != pin.fingerprint {
+			t.Errorf("%s: fingerprint = %s, want %s (fingerprint scheme or corpus changed — re-pin deliberately)",
+				pin.name, fp, pin.fingerprint)
+		}
+		tk, err := coverage.TopologyKey(cs.Scenario)
+		if err != nil {
+			t.Errorf("%s: topology key: %v", pin.name, err)
+			continue
+		}
+		if tk != pin.topologyKey {
+			t.Errorf("%s: topology key = %s, want %s", pin.name, tk, pin.topologyKey)
+		}
+	}
+}
+
+// The obstacle block must be part of the digest: stripping it from
+// rgg-7-obstacle has to change both the fingerprint and the topology
+// key, otherwise obstacle and obstacle-free plans would collide in the
+// plan library.
+func TestCorpusObstacleChangesFingerprint(t *testing.T) {
+	corpora, err := conformance.LoadDir("testdata/corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	var cs *conformance.Case
+	for _, c := range corpora {
+		for i := range c.Cases {
+			if c.Cases[i].Name == "rgg-7-obstacle" {
+				cs = &c.Cases[i]
+			}
+		}
+	}
+	if cs == nil {
+		t.Fatal("rgg-7-obstacle not in corpus")
+	}
+	if len(cs.Scenario.Obstacles) == 0 {
+		t.Fatal("rgg-7-obstacle has no obstacles — corpus generation changed")
+	}
+	withFP, err := coverage.ScenarioFingerprint(cs.Scenario, cs.Objectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := cs.Scenario
+	stripped.Obstacles = nil
+	withoutFP, err := coverage.ScenarioFingerprint(stripped, cs.Objectives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFP == withoutFP {
+		t.Error("fingerprint ignores obstacles")
+	}
+	withTK, err := coverage.TopologyKey(cs.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutTK, err := coverage.TopologyKey(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withTK == withoutTK {
+		t.Error("topology key ignores obstacles")
+	}
+}
+
+// Fleet fingerprints must be distinct from the single-sensor
+// fingerprint of the same scenario, and sensitive to the fleet size.
+func TestCorpusFleetFingerprintDistinct(t *testing.T) {
+	corpora, err := conformance.LoadDir("testdata/corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	for _, c := range corpora {
+		for _, cs := range c.Cases {
+			if cs.Fleet == nil {
+				continue
+			}
+			single, err := coverage.ScenarioFingerprint(cs.Scenario, cs.Objectives)
+			if err != nil {
+				t.Fatalf("%s: %v", cs.Name, err)
+			}
+			fleet, err := coverage.FleetFingerprint(cs.Scenario, cs.Objectives, cs.Fleet.Sensors, cs.Fleet.Responsibility)
+			if err != nil {
+				t.Fatalf("%s: %v", cs.Name, err)
+			}
+			if fleet == single {
+				t.Errorf("%s: fleet fingerprint equals scenario fingerprint", cs.Name)
+			}
+			bigger, err := coverage.FleetFingerprint(cs.Scenario, cs.Objectives, cs.Fleet.Sensors+1, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", cs.Name, err)
+			}
+			if bigger == fleet {
+				t.Errorf("%s: fleet fingerprint insensitive to K", cs.Name)
+			}
+		}
+	}
+}

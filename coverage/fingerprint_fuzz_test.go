@@ -25,6 +25,22 @@ func FuzzScenarioFingerprint(f *testing.F) {
 	f.Add(4, 0.4, 0.1, 0.1, 0.4, 0.0, 0.0, byte(0))
 	f.Add(2, 0.5, 0.5, 0.0, 0.0, 0.25, 1.0, byte(1))
 	f.Add(8, 0.1, 0.2, 0.3, 0.4, 0.3, 2.0, byte(3))
+	// Conformance-corpus seeds, projected onto the tuple signature: the
+	// PoI count, leading target shares, range/speed, and an obstacle
+	// flag of each corpus scenario steer the fuzzer toward the shapes
+	// the optimizer actually runs on.
+	for _, cs := range corpusCases(f) {
+		scn := cs.Scenario
+		tgt := [4]float64{}
+		for i := 0; i < len(scn.Target) && i < 4; i++ {
+			tgt[i] = scn.Target[i]
+		}
+		var flip byte
+		if len(scn.Obstacles) > 0 {
+			flip = 1
+		}
+		f.Add(len(scn.PoIs), tgt[0], tgt[1], tgt[2], tgt[3], scn.Range, scn.Speed, flip)
+	}
 	f.Fuzz(func(t *testing.T, n int, t0, t1, t2, t3, rng, speed float64, flip byte) {
 		if n < 2 {
 			n = 2

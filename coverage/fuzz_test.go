@@ -33,6 +33,21 @@ func FuzzReadPlan(f *testing.F) {
 	f.Add([]byte(`{"version":1,"kind":"plan","plan":{"transitionMatrix":[[-1,2],[1,0]]}}`))
 	f.Add([]byte(`not json at all`))
 
+	// Conformance-corpus seeds: each corpus file is a deep, valid JSON
+	// document in a sibling format the decoder must reject cleanly, and
+	// a WriteScenario envelope of a corpus scenario exercises the
+	// kind-mismatch path with otherwise well-formed content.
+	for _, raw := range corpusFiles(f) {
+		f.Add(raw)
+	}
+	if cases := corpusCases(f); len(cases) > 0 {
+		var sb bytes.Buffer
+		if err := WriteScenario(&sb, cases[0].Scenario); err != nil {
+			f.Fatalf("WriteScenario: %v", err)
+		}
+		f.Add(sb.Bytes())
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadPlan(bytes.NewReader(data))
 		if err != nil {

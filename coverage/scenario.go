@@ -93,6 +93,14 @@ type Scenario struct {
 // build converts the scenario into the internal topology, applying
 // defaults and validation.
 func (s Scenario) build() (*topology.Topology, error) {
+	// Check the Target/PoIs pairing here, where the scenario's name is
+	// still known: in a multi-scenario corpus run the generic topology
+	// message ("%d targets for %d PoIs") does not say which scenario is
+	// broken.
+	if len(s.Target) != len(s.PoIs) {
+		return nil, fmt.Errorf("%w: scenario %q: %d targets for %d PoIs",
+			ErrScenario, s.Name, len(s.Target), len(s.PoIs))
+	}
 	if s.Range == 0 {
 		s.Range = DefaultRange
 	}

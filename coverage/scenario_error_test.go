@@ -1,0 +1,44 @@
+package coverage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A Target/PoIs length mismatch must name the offending scenario and
+// both lengths: corpus runs build many scenarios back to back, and the
+// bare topology message ("2 targets for 3 PoIs") doesn't say which file
+// or case to fix.
+func TestScenarioBuildErrorNamesScenarioAndLengths(t *testing.T) {
+	scn := Scenario{
+		Name:   "corpus-case-7",
+		PoIs:   []PoI{{X: 0.5, Y: 0.5}, {X: 1.5, Y: 0.5}, {X: 2.5, Y: 0.5}},
+		Target: []float64{0.5, 0.5},
+	}
+	for _, entry := range []struct {
+		op  string
+		err error
+	}{
+		{"Optimize", func() error { _, err := Optimize(scn, Objectives{Alpha: 1}, Options{MaxIters: 5}); return err }()},
+		{"Validate", Validate(scn, Objectives{Alpha: 1})},
+		{"MetropolisBaseline", func() error { _, err := MetropolisBaseline(scn); return err }()},
+	} {
+		if !errors.Is(entry.err, ErrScenario) {
+			t.Fatalf("%s: err = %v, want ErrScenario", entry.op, entry.err)
+		}
+		msg := entry.err.Error()
+		for _, want := range []string{`"corpus-case-7"`, "2 targets", "3 PoIs"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s error %q does not mention %q", entry.op, msg, want)
+			}
+		}
+	}
+
+	// An unnamed scenario still reports both lengths.
+	scn.Name = ""
+	err := Validate(scn, Objectives{Alpha: 1})
+	if err == nil || !strings.Contains(err.Error(), "2 targets for 3 PoIs") {
+		t.Fatalf("unnamed scenario error %v does not carry the lengths", err)
+	}
+}

@@ -1,0 +1,135 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Generate must be a pure function of its fixed seeds: two invocations
+// have to produce byte-identical encodings, or confgen's -check mode
+// (and the CI drift gate) would flap.
+func TestGenerateDeterministic(t *testing.T) {
+	first, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("family counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Name != second[i].Name {
+			t.Fatalf("family order differs at %d: %s vs %s", i, first[i].Name, second[i].Name)
+		}
+		b1, err := first[i].Corpus.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := second[i].Corpus.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: regeneration is not bit-for-bit stable", first[i].Name)
+		}
+	}
+}
+
+// The checked-in corpus must match a fresh regeneration byte for byte —
+// the in-test mirror of `go run ./cmd/confgen -check`, so hand-edited
+// drift fails `go test ./...` too, not just CI.
+func TestCheckedInCorpusMatchesGenerator(t *testing.T) {
+	corpora, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("..", "..", "coverage", "testdata", "corpus")
+	seen := make(map[string]bool)
+	for _, nc := range corpora {
+		want, err := nc.Corpus.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dir, nc.Name))
+		if err != nil {
+			t.Errorf("%s: %v (regenerate with `go run ./cmd/confgen -out coverage/testdata/corpus`)", nc.Name, err)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: checked-in file drifted from generator output (regenerate with `go run ./cmd/confgen -out coverage/testdata/corpus`)", nc.Name)
+		}
+		seen[nc.Name] = true
+	}
+	// No stray files either: everything in the corpus directory must be
+	// generator-owned, or -check would pass while LoadDir picks up an
+	// unvetted family.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range entries {
+		if !seen[filepath.Base(p)] {
+			t.Errorf("stray corpus file %s not produced by the generator", filepath.Base(p))
+		}
+	}
+}
+
+// Every generated family must validate and satisfy the issue's floor:
+// the four paper topologies plus at least four generated families, 25+
+// cases in total.
+func TestGeneratedCorpusShape(t *testing.T) {
+	corpora, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpora) < 5 {
+		t.Fatalf("%d families, want >= 5 (paper + 4 generated)", len(corpora))
+	}
+	total := 0
+	for _, nc := range corpora {
+		if err := nc.Corpus.Validate(); err != nil {
+			t.Errorf("%s: %v", nc.Name, err)
+		}
+		if nc.Corpus.Generator == nil || nc.Corpus.Generator.Tool != "confgen" {
+			t.Errorf("%s: missing generator provenance", nc.Name)
+		}
+		total += len(nc.Corpus.Cases)
+	}
+	if total < 25 {
+		t.Errorf("%d cases across the corpus, want >= 25", total)
+	}
+}
+
+// A cheap end-to-end smoke over one checked-in family: grid-sweep under
+// dense/1-worker only. The full matrix belongs to `make conformance`;
+// this keeps `go test ./...` honest without its wall clock.
+func TestCheckedInGridSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus smoke skipped in -short")
+	}
+	c, err := LoadFile(filepath.Join("..", "..", "coverage", "testdata", "corpus", "grid-sweep.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), []*Corpus{c}, Config{
+		Solvers:  []string{"dense"},
+		Workers:  []int{1},
+		Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single-cell matrix cannot evaluate bitexact-over-workers groups
+	// meaningfully, but every per-cell invariant must hold.
+	for _, ch := range rep.Files[0].Checks {
+		if !ch.Pass {
+			t.Errorf("%s (%s/w%d): %s", ch.Invariant, ch.Solver, ch.Workers, ch.Detail)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package jobs
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/coverage"
+	"repro/internal/conformance"
+)
+
+// A conformance-corpus case submitted through the job manager must
+// produce the same plan as calling the public API directly: the async
+// job path is one of the execution paths the corpus gates, so the two
+// must agree bit for bit (same cost, same matrix values).
+func TestJobMatchesDirectOptimizeOnCorpusCase(t *testing.T) {
+	c, err := conformance.LoadFile(filepath.Join("..", "..", "coverage", "testdata", "corpus", "paper-topologies.json"))
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	var cs *conformance.Case
+	for i := range c.Cases {
+		if c.Cases[i].Name == "topology-1" {
+			cs = &c.Cases[i]
+		}
+	}
+	if cs == nil {
+		t.Fatal("topology-1 not in corpus")
+	}
+
+	opts := coverage.Options{MaxIters: cs.Run.MaxIters, Seed: cs.Run.Seed, Workers: 1}
+	restarts := cs.Run.Restarts
+	if restarts == 0 {
+		restarts = 1
+	}
+	direct, err := coverage.OptimizeBest(cs.Scenario, cs.Objectives, opts, restarts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, m)
+	v, err := m.Submit(Spec{
+		Scenario:   cs.Scenario,
+		Objectives: cs.Objectives,
+		Options:    opts,
+		Restarts:   restarts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		got, err := m.Get(v.ID)
+		return err == nil && got.State == StateDone
+	}, "corpus job completion")
+
+	plan, err := m.Plan(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != direct.Cost {
+		t.Fatalf("job cost %v != direct cost %v", plan.Cost, direct.Cost)
+	}
+	if len(plan.TransitionMatrix) != len(direct.TransitionMatrix) {
+		t.Fatalf("matrix dimensions differ: %d vs %d", len(plan.TransitionMatrix), len(direct.TransitionMatrix))
+	}
+	for i := range plan.TransitionMatrix {
+		for j := range plan.TransitionMatrix[i] {
+			if plan.TransitionMatrix[i][j] != direct.TransitionMatrix[i][j] {
+				t.Fatalf("P[%d][%d] differs: %v vs %v", i, j,
+					plan.TransitionMatrix[i][j], direct.TransitionMatrix[i][j])
+			}
+		}
+	}
+}
